@@ -1,0 +1,44 @@
+//! Criterion rendition of **Figure 8, row 2** (hashmap): per-op latency of
+//! a mixed workload batch on every TM. The multi-threaded throughput
+//! curves come from the `fig8` binary.
+
+use bench::{run_cell, Cell, Structure, TmKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_hashmap(c: &mut Criterion) {
+    for kind in TmKind::ALL {
+        for update_pct in [10u32, 100] {
+            c.bench_function(
+                &format!("fig8/hashmap/{}/u{update_pct}", kind.label()),
+                |b| {
+                    b.iter_custom(|iters| {
+                        let cell = Cell {
+                            threads: 1,
+                            update_pct,
+                            keys: 1 << 12,
+                            seconds: 0.25,
+                            ..Cell::new(kind, Structure::HashMap)
+                        };
+                        let r = run_cell(&cell);
+                        let per_op = std::time::Duration::from_secs_f64(r.secs / r.ops as f64);
+                        per_op * iters as u32
+                    })
+                },
+            );
+        }
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_hashmap
+}
+criterion_main!(benches);

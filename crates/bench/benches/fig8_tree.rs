@@ -1,0 +1,47 @@
+//! Criterion rendition of **Figure 8, row 1** ((a,b)-tree): per-op latency
+//! of a mixed workload batch on every TM, at two workload mixes. The
+//! multi-threaded throughput curves come from the `fig8` binary; this
+//! bench tracks the single-thread costs that drive them.
+
+use bench::{run_cell, Cell, Structure, TmKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_tree(c: &mut Criterion) {
+    for kind in TmKind::ALL {
+        for update_pct in [10u32, 100] {
+            c.bench_function(
+                &format!("fig8/abtree/{}/u{update_pct}", kind.label()),
+                |b| {
+                    b.iter_custom(|iters| {
+                        // One measured cell per sample set: ops/sec scaled
+                        // to the requested iteration count.
+                        let cell = Cell {
+                            threads: 1,
+                            update_pct,
+                            keys: 1 << 12,
+                            seconds: 0.25,
+                            ..Cell::new(kind, Structure::AbTree)
+                        };
+                        let r = run_cell(&cell);
+                        let per_op = std::time::Duration::from_secs_f64(r.secs / r.ops as f64);
+                        per_op * iters as u32
+                    })
+                },
+            );
+        }
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_tree
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion rendition of **Figure 9** (ablation): per-op latency of
+//! NV-HALT-CL and SPHT on the (a,b)-tree as overhead classes are removed.
+//! The multi-threaded bars come from the `fig9` binary.
+
+use bench::{run_cell, Ablation, Cell, Structure, TmKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_ablation(c: &mut Criterion) {
+    for kind in [TmKind::NvHaltCl, TmKind::Spht] {
+        for ablation in Ablation::ALL {
+            c.bench_function(
+                &format!("fig9/abtree-u50/{}/{}", kind.label(), ablation.label()),
+                |b| {
+                    b.iter_custom(|iters| {
+                        let cell = Cell {
+                            threads: 1,
+                            update_pct: 50,
+                            keys: 1 << 12,
+                            seconds: 0.25,
+                            ablation,
+                            ..Cell::new(kind, Structure::AbTree)
+                        };
+                        let r = run_cell(&cell);
+                        let per_op = std::time::Duration::from_secs_f64(r.secs / r.ops as f64);
+                        per_op * iters as u32
+                    })
+                },
+            );
+        }
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Criterion micro-benchmarks for the per-operation costs that explain
+//! the figures: substrate primitives (pmem persist, HTM commit) and
+//! single-threaded transaction latencies on each TM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use htm::{Htm, HtmConfig, HtmThread};
+use nvhalt::{NvHalt, NvHaltConfig};
+use pmem::annot::AnnotLayout;
+use pmem::pool::PmemConfig;
+use pmem::{AnnotPmem, LatencyModel, Meta};
+use spht::{Spht, SphtConfig};
+use std::hint::black_box;
+use tm::{txn, Addr, Tm};
+use trinity::{Trinity, TrinityConfig};
+
+fn quick(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn pmem_costs(c: &mut Criterion) {
+    let c = quick(c);
+    let layout = AnnotLayout {
+        heap_words: 1 << 10,
+        max_threads: 1,
+    };
+    let mut pm_cfg = PmemConfig::test(0, 1);
+    pm_cfg.lat = LatencyModel::optane();
+    let ap = AnnotPmem::new(layout, &pm_cfg, None);
+    let mut v = 0u64;
+    c.bench_function("pmem/persist_entry+fence (optane lat)", |b| {
+        b.iter(|| {
+            v += 1;
+            ap.persist_entry(0, 5, v, v + 1, Meta::pack(0, v));
+            ap.sfence(0);
+        })
+    });
+    let pm_cfg0 = PmemConfig::test(0, 1);
+    let ap0 = AnnotPmem::new(layout, &pm_cfg0, None);
+    c.bench_function("pmem/persist_entry+fence (zero lat)", |b| {
+        b.iter(|| {
+            v += 1;
+            ap0.persist_entry(0, 5, v, v + 1, Meta::pack(0, v));
+            ap0.sfence(0);
+        })
+    });
+}
+
+fn htm_costs(c: &mut Criterion) {
+    let c = quick(c);
+    let htm = Htm::new(HtmConfig::test());
+    let mut th = HtmThread::new(&htm, 0);
+    let cells: Vec<std::sync::atomic::AtomicU64> =
+        (0..64).map(std::sync::atomic::AtomicU64::new).collect();
+    c.bench_function("htm/read-only txn (8 reads)", |b| {
+        b.iter(|| {
+            htm.execute(&mut th, |tx| {
+                let mut s = 0;
+                for cell in cells.iter().take(8) {
+                    s += tx.read(cell)?;
+                }
+                Ok(black_box(s))
+            })
+            .unwrap()
+        })
+    });
+    c.bench_function("htm/writer txn (4 writes)", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            htm.execute(&mut th, |tx| {
+                for cell in cells.iter().take(4) {
+                    tx.write(cell, i)?;
+                }
+                Ok(())
+            })
+            .unwrap()
+        })
+    });
+    c.bench_function("htm/nt_store", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            htm.nt_store(&cells[0], i)
+        })
+    });
+}
+
+fn txn_latency<T: Tm>(c: &mut Criterion, tm: &T, label: &str) {
+    c.bench_function(&format!("txn/{label}/read-8"), |b| {
+        b.iter(|| {
+            txn(tm, 0, |tx| {
+                let mut s = 0;
+                for a in 1..9u64 {
+                    s += tx.read(Addr(a))?;
+                }
+                Ok(black_box(s))
+            })
+            .unwrap()
+        })
+    });
+    c.bench_function(&format!("txn/{label}/write-4"), |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            txn(tm, 0, |tx| {
+                for a in 1..5u64 {
+                    tx.write(Addr(a), i)?;
+                }
+                Ok(())
+            })
+            .unwrap()
+        })
+    });
+}
+
+fn tm_costs(c: &mut Criterion) {
+    let c = quick(c);
+    let mut nv_cfg = NvHaltConfig::test(1 << 12, 1);
+    nv_cfg.pm.lat = LatencyModel::optane();
+    let nv = NvHalt::new(nv_cfg);
+    txn_latency(c, &nv, "nv-halt");
+
+    let mut tr_cfg = TrinityConfig::test(1 << 12, 1);
+    tr_cfg.pm.lat = LatencyModel::optane();
+    let tr = Trinity::new(tr_cfg);
+    txn_latency(c, &tr, "trinity");
+
+    let mut sp_cfg = SphtConfig::test(1 << 12, 1);
+    sp_cfg.pm.lat = LatencyModel::optane();
+    let sp = Spht::new(sp_cfg);
+    txn_latency(c, &sp, "spht");
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = pmem_costs, htm_costs, tm_costs
+}
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Regenerates **Figure 8**: throughput of NV-HALT, NV-HALT-SP,
+//! NV-HALT-CL, Trinity and SPHT on the (a,b)-tree (row 1) and the
+//! fixed-bucket hashmap (row 2), across workloads (99%/90%/50% read-only
+//! and update-only) and thread counts.
+//!
+//! Paper parameters: 1M keys, 50% prefill, uniform access, 20 s trials,
+//! average of 5. Defaults here are scaled for a small container; restore
+//! the paper's scale with
+//! `--keys 1000000 --seconds 20 --trials 5 --threads 1,2,4,8`.
+//!
+//! Usage:
+//! ```text
+//! fig8 [--structure abtree|hashmap|both] [--keys N] [--seconds S]
+//!      [--threads 1,2,4,8] [--updates 1,10,50,100] [--trials T]
+//!      [--tms nv-halt,nv-halt-sp,nv-halt-cl,trinity,spht] [--csv]
+//! ```
+
+use bench::{fmt_tput, run_cell, workload_name, Args, Cell, Structure, TmKind};
+
+fn main() {
+    let args = Args::parse();
+    let keys: u64 = args.get_or("keys", 1 << 17);
+    let seconds: f64 = args.get_or("seconds", 1.0);
+    let trials: usize = args.get_or("trials", 1);
+    let threads: Vec<usize> = args
+        .list("threads")
+        .map(|v| v.iter().filter_map(|s| s.parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+    let updates: Vec<u32> = args
+        .list("updates")
+        .map(|v| v.iter().filter_map(|s| s.parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 10, 50, 100]);
+    let kinds: Vec<TmKind> = args
+        .list("tms")
+        .map(|v| v.iter().filter_map(|s| TmKind::parse(s)).collect())
+        .unwrap_or_else(|| TmKind::ALL.to_vec());
+    let structures = match args.get("structure").unwrap_or("both") {
+        "abtree" => vec![Structure::AbTree],
+        "hashmap" => vec![Structure::HashMap],
+        _ => vec![Structure::AbTree, Structure::HashMap],
+    };
+    let csv = args.get("csv").is_some();
+    let (instr_ns, clock_ns) = if args.get("raw-costs").is_some() {
+        (0, 0)
+    } else {
+        (
+            args.get_or("instr", bench::DEFAULT_INSTR_NS),
+            args.get_or("clock", bench::DEFAULT_CLOCK_NS),
+        )
+    };
+
+    println!(
+        "# Figure 8 — throughput (ops/sec); keys={keys} prefill=50% seconds={seconds} trials={trials} instr_ns={instr_ns} clock_ns={clock_ns}"
+    );
+    if csv {
+        println!("structure,workload,tm,threads,trial,ops_per_sec,hw_commit_ratio,aborts");
+    }
+
+    for structure in &structures {
+        // Per-workload best-throughput tracking for the headline summary.
+        let mut best: Vec<(String, f64, f64, f64)> = Vec::new();
+        for &u in &updates {
+            if !csv {
+                println!(
+                    "\n## {} — workload {} ({}% read-only)",
+                    structure.label(),
+                    workload_name(u),
+                    100 - u
+                );
+                print!("{:<12}", "tm\\threads");
+                for t in &threads {
+                    print!(" {t:>10}");
+                }
+                println!("  (hw-ratio at max threads)");
+            }
+            let mut nvhalt_best = 0.0f64;
+            let mut trinity_best = 0.0f64;
+            let mut spht_best = 0.0f64;
+            for &kind in &kinds {
+                if !csv {
+                    print!("{:<12}", kind.label());
+                }
+                let mut last_ratio = 0.0;
+                for &t in &threads {
+                    let mut sum = 0.0;
+                    for trial in 0..trials {
+                        let cell = Cell {
+                            kind,
+                            structure: *structure,
+                            threads: t,
+                            update_pct: u,
+                            keys,
+                            seconds,
+                            seed: 0xbe7c_5eed ^ (trial as u64) << 32,
+                            instr_ns,
+                            clock_ns,
+                            zipf_theta: args.get_or("zipf", 0.0),
+                            ..Cell::new(kind, *structure)
+                        };
+                        let r = run_cell(&cell);
+                        sum += r.throughput();
+                        last_ratio = r.stats.hw_commit_ratio();
+                        if csv {
+                            println!(
+                                "{},{},{},{},{},{:.0},{:.3},{}",
+                                structure.label(),
+                                workload_name(u),
+                                kind.label(),
+                                t,
+                                trial,
+                                r.throughput(),
+                                r.stats.hw_commit_ratio(),
+                                r.stats.aborts()
+                            );
+                        }
+                    }
+                    let avg = sum / trials as f64;
+                    match kind {
+                        TmKind::NvHalt | TmKind::NvHaltSp | TmKind::NvHaltCl => {
+                            nvhalt_best = nvhalt_best.max(avg)
+                        }
+                        TmKind::Trinity => trinity_best = trinity_best.max(avg),
+                        TmKind::Spht => spht_best = spht_best.max(avg),
+                    }
+                    if !csv {
+                        print!(" {:>10}", fmt_tput(avg));
+                    }
+                }
+                if !csv {
+                    println!("  ({last_ratio:.2})");
+                }
+            }
+            best.push((workload_name(u), nvhalt_best, trinity_best, spht_best));
+        }
+        if !csv {
+            println!("\n## {} — NV-HALT speedups (best variant)", structure.label());
+            for (w, nv, tr, sp) in &best {
+                let vs_tr = if *tr > 0.0 { nv / tr } else { f64::NAN };
+                let vs_sp = if *sp > 0.0 { nv / sp } else { f64::NAN };
+                println!("  {w}: {vs_tr:.2}x vs trinity, {vs_sp:.2}x vs spht");
+            }
+        }
+    }
+}

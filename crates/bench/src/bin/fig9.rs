@@ -1,0 +1,111 @@
+//! Regenerates **Figure 9**: the ablation study comparing NV-HALT-CL and
+//! SPHT with progressively fewer enabled features, on the same (a,b)-tree
+//! as Figure 8 row 1.
+//!
+//! Bars per TM, most to least featureful:
+//!   * `BASE`              — everything enabled;
+//!   * `NO-FLUSH-FENCE`    — flush/fence are no-ops (overhead class 1);
+//!   * `NO-NVRAM`          — memory behaves like DRAM (classes 1–2);
+//!   * `NO-PERSISTENT-HTX` — additionally drop all synchronization needed
+//!     to persist hardware transactions (classes 1–3).
+//!
+//! Usage:
+//! ```text
+//! fig9 [--keys N] [--seconds S] [--threads 1,2,4,8]
+//!      [--updates 1,10,50,100] [--trials T] [--csv]
+//! ```
+
+use bench::{fmt_tput, run_cell, workload_name, Ablation, Args, Cell, Structure, TmKind};
+
+fn main() {
+    let args = Args::parse();
+    let keys: u64 = args.get_or("keys", 1 << 17);
+    let seconds: f64 = args.get_or("seconds", 1.0);
+    let trials: usize = args.get_or("trials", 1);
+    let threads: Vec<usize> = args
+        .list("threads")
+        .map(|v| v.iter().filter_map(|s| s.parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+    let updates: Vec<u32> = args
+        .list("updates")
+        .map(|v| v.iter().filter_map(|s| s.parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 10, 50, 100]);
+    let csv = args.get("csv").is_some();
+    let (instr_ns, clock_ns) = if args.get("raw-costs").is_some() {
+        (0, 0)
+    } else {
+        (
+            args.get_or("instr", bench::DEFAULT_INSTR_NS),
+            args.get_or("clock", bench::DEFAULT_CLOCK_NS),
+        )
+    };
+
+    println!(
+        "# Figure 9 — ablation, (a,b)-tree; keys={keys} prefill=50% seconds={seconds} trials={trials} instr_ns={instr_ns} clock_ns={clock_ns}"
+    );
+    if csv {
+        println!("workload,tm,ablation,threads,trial,ops_per_sec");
+    }
+
+    for &u in &updates {
+        if !csv {
+            println!(
+                "\n## workload {} ({}% read-only)",
+                workload_name(u),
+                100 - u
+            );
+        }
+        for kind in [TmKind::NvHaltCl, TmKind::Spht] {
+            if !csv {
+                println!("  {}:", kind.label());
+                print!("  {:<18}", "config\\threads");
+                for t in &threads {
+                    print!(" {t:>10}");
+                }
+                println!();
+            }
+            for ablation in Ablation::ALL {
+                if !csv {
+                    print!("  {:<18}", ablation.label());
+                }
+                for &t in &threads {
+                    let mut sum = 0.0;
+                    for trial in 0..trials {
+                        let cell = Cell {
+                            kind,
+                            structure: Structure::AbTree,
+                            threads: t,
+                            update_pct: u,
+                            keys,
+                            seconds,
+                            ablation,
+                            seed: 0x0ab1_a7e5 ^ (trial as u64) << 32,
+                            instr_ns,
+                            clock_ns,
+                            zipf_theta: 0.0,
+                        };
+                        let r = run_cell(&cell);
+                        sum += r.throughput();
+                        if csv {
+                            println!(
+                                "{},{},{},{},{},{:.0}",
+                                workload_name(u),
+                                kind.label(),
+                                ablation.label(),
+                                t,
+                                trial,
+                                r.throughput()
+                            );
+                        }
+                    }
+                    if !csv {
+                        print!(" {:>10}", fmt_tput(sum / trials as f64));
+                    }
+                }
+                if !csv {
+                    println!();
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,507 @@
+//! Benchmark harness regenerating the paper's evaluation (§5).
+//!
+//! The methodology follows the paper: each trial prefills the data
+//! structure to 50% of the key range, then measures throughput
+//! (operations per second) for a fixed wall-clock period with keys drawn
+//! uniformly at random. Workloads are named by their update percentage —
+//! `u1` = 99% read-only, `u10` = 90% read-only, `u50`, and `u100` (update
+//! only); updates split evenly between inserts and removes.
+//!
+//! Differences from the paper's testbed, recorded in EXPERIMENTS.md: the
+//! hardware (2×24-core Xeon + Optane) is simulated, this container has a
+//! single CPU (threads timeslice), and the default measurement period is
+//! shorter than the paper's 20 s (configurable with `--seconds`).
+
+use nvhalt::{LockStrategy, NvHalt, NvHaltConfig, Progress};
+use pmem::pool::PmemMode;
+use pmem::LatencyModel;
+use spht::{Spht, SphtConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+use tm::stats::StatsSnapshot;
+use tm::Tm;
+use trinity::{Trinity, TrinityConfig};
+use txstructs::{AbTree, HashMapTx};
+
+/// Which TM a cell runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TmKind {
+    /// NV-HALT (weak progressive, lock table).
+    NvHalt,
+    /// NV-HALT-SP (strong progressive, lock table).
+    NvHaltSp,
+    /// NV-HALT-CL (weak progressive, colocated locks).
+    NvHaltCl,
+    /// TrinityVR-TL2 (persistent STM baseline).
+    Trinity,
+    /// SPHT (persistent HyTM baseline).
+    Spht,
+}
+
+impl TmKind {
+    /// All kinds, in the order figures list them.
+    pub const ALL: [TmKind; 5] = [
+        TmKind::NvHalt,
+        TmKind::NvHaltSp,
+        TmKind::NvHaltCl,
+        TmKind::Trinity,
+        TmKind::Spht,
+    ];
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TmKind::NvHalt => "nv-halt",
+            TmKind::NvHaltSp => "nv-halt-sp",
+            TmKind::NvHaltCl => "nv-halt-cl",
+            TmKind::Trinity => "trinity",
+            TmKind::Spht => "spht",
+        }
+    }
+
+    /// Parse a `--tms` item.
+    pub fn parse(s: &str) -> Option<TmKind> {
+        Self::ALL.into_iter().find(|k| k.label() == s)
+    }
+}
+
+/// Which structure a cell runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Structure {
+    /// The (a,b)-tree (Figure 8 row 1).
+    AbTree,
+    /// The fixed-bucket hashmap (Figure 8 row 2).
+    HashMap,
+}
+
+impl Structure {
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Structure::AbTree => "abtree",
+            Structure::HashMap => "hashmap",
+        }
+    }
+}
+
+/// Figure 9 ablation configurations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Ablation {
+    /// All features enabled.
+    Base,
+    /// Overhead class 1 removed: flush/fence are no-ops.
+    NoFlushFence,
+    /// Classes 1–2 removed: memory behaves like DRAM.
+    NoNvram,
+    /// Classes 1–3 removed: additionally no synchronization for
+    /// persisting hardware transactions.
+    NoPersistHtx,
+}
+
+impl Ablation {
+    /// All configurations, most to least featureful.
+    pub const ALL: [Ablation; 4] = [
+        Ablation::Base,
+        Ablation::NoFlushFence,
+        Ablation::NoNvram,
+        Ablation::NoPersistHtx,
+    ];
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Ablation::Base => "BASE",
+            Ablation::NoFlushFence => "NO-FLUSH-FENCE",
+            Ablation::NoNvram => "NO-NVRAM",
+            Ablation::NoPersistHtx => "NO-PERSISTENT-HTX",
+        }
+    }
+
+    fn mode(self) -> PmemMode {
+        match self {
+            Ablation::Base => PmemMode::Nvram,
+            Ablation::NoFlushFence => PmemMode::NoFlushFence,
+            Ablation::NoNvram | Ablation::NoPersistHtx => PmemMode::Dram,
+        }
+    }
+
+    fn persist_hw(self) -> bool {
+        self != Ablation::NoPersistHtx
+    }
+}
+
+/// One benchmark cell's parameters.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// TM under test.
+    pub kind: TmKind,
+    /// Data structure.
+    pub structure: Structure,
+    /// Worker threads.
+    pub threads: usize,
+    /// Percentage of operations that update (insert/remove).
+    pub update_pct: u32,
+    /// Key range; the structure is prefilled to 50% of it.
+    pub keys: u64,
+    /// Measurement period in seconds.
+    pub seconds: f64,
+    /// Ablation configuration (Base for Figure 8).
+    pub ablation: Ablation,
+    /// RNG seed.
+    pub seed: u64,
+    /// Cost model: ns per instrumented software-path access (see
+    /// `NvHaltConfig::instr_ns`). The default models the instruction and
+    /// metadata-cache overhead of STM instrumentation; `--raw-costs`
+    /// zeroes it.
+    pub instr_ns: u32,
+    /// Cost model: ns per global-clock RMW (multi-socket contended line).
+    pub clock_ns: u32,
+    /// Key-distribution skew: 0.0 = uniform (the paper's setting);
+    /// 0 < θ < 1 selects a power-law approximation of a Zipfian
+    /// distribution with parameter θ (extension for contention studies).
+    pub zipf_theta: f64,
+}
+
+/// Default calibrated cost model (documented in EXPERIMENTS.md).
+pub const DEFAULT_INSTR_NS: u32 = 20;
+/// Default calibrated global-clock RMW cost.
+pub const DEFAULT_CLOCK_NS: u32 = 80;
+
+impl Cell {
+    /// Default cell: small enough for smoke runs.
+    pub fn new(kind: TmKind, structure: Structure) -> Cell {
+        Cell {
+            kind,
+            structure,
+            threads: 2,
+            update_pct: 10,
+            keys: 1 << 16,
+            seconds: 0.5,
+            ablation: Ablation::Base,
+            seed: 0xbe7c_5eed,
+            instr_ns: DEFAULT_INSTR_NS,
+            clock_ns: DEFAULT_CLOCK_NS,
+            zipf_theta: 0.0,
+        }
+    }
+}
+
+/// One cell's measured result.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// Committed operations during the measurement period.
+    pub ops: u64,
+    /// Actual measured seconds.
+    pub secs: f64,
+    /// Seconds spent replaying persistent logs after the period (SPHT).
+    pub replay_secs: f64,
+    /// TM statistics accumulated during the measurement period.
+    pub stats: StatsSnapshot,
+}
+
+impl CellResult {
+    /// Operations per second.
+    pub fn throughput(&self) -> f64 {
+        self.ops as f64 / self.secs
+    }
+}
+
+enum AnyStruct {
+    Tree(AbTree),
+    Map(HashMapTx),
+}
+
+impl AnyStruct {
+    fn get<T: Tm>(&self, tm: &T, tid: usize, k: u64) {
+        let _ = match self {
+            AnyStruct::Tree(t) => t.get(tm, tid, k),
+            AnyStruct::Map(m) => m.get(tm, tid, k),
+        };
+    }
+
+    fn insert<T: Tm>(&self, tm: &T, tid: usize, k: u64, v: u64) {
+        let _ = match self {
+            AnyStruct::Tree(t) => t.insert(tm, tid, k, v),
+            AnyStruct::Map(m) => m.insert(tm, tid, k, v),
+        };
+    }
+
+    fn remove<T: Tm>(&self, tm: &T, tid: usize, k: u64) {
+        let _ = match self {
+            AnyStruct::Tree(t) => t.remove(tm, tid, k),
+            AnyStruct::Map(m) => m.remove(tm, tid, k),
+        };
+    }
+}
+
+fn heap_words_for(structure: Structure, keys: u64) -> usize {
+    let per_key = match structure {
+        // ~40-word nodes at ~11 keys each, plus churn slack.
+        Structure::AbTree => 10,
+        // bucket word + up to one 4-word node per key, plus slack.
+        Structure::HashMap => 8,
+    };
+    ((keys as usize) * per_key).max(1 << 16)
+}
+
+/// Build, prefill and measure one cell. This is the harness's core; the
+/// `fig8`/`fig9` binaries and the Criterion benches all call it.
+pub fn run_cell(cell: &Cell) -> CellResult {
+    let heap_words = heap_words_for(cell.structure, cell.keys);
+    let lat = match cell.ablation.mode() {
+        PmemMode::Dram => LatencyModel::zero(),
+        _ => LatencyModel::optane(),
+    };
+    match cell.kind {
+        TmKind::NvHalt | TmKind::NvHaltSp | TmKind::NvHaltCl => {
+            let mut cfg = NvHaltConfig::test(heap_words, cell.threads);
+            cfg.progress = if cell.kind == TmKind::NvHaltSp {
+                Progress::Strong
+            } else {
+                Progress::Weak
+            };
+            cfg.locks = if cell.kind == TmKind::NvHaltCl {
+                LockStrategy::Colocated
+            } else {
+                LockStrategy::Table { locks_log2: 20 }
+            };
+            cfg.persist_hw = cell.ablation.persist_hw();
+            cfg.pm.mode = cell.ablation.mode();
+            cfg.pm.lat = lat;
+            cfg.htm = htm::HtmConfig::default();
+            cfg.instr_ns = cell.instr_ns;
+            cfg.clock_ns = cell.clock_ns;
+            let tm = NvHalt::new(cfg);
+            run_on(&tm, cell, |_| 0.0)
+        }
+        TmKind::Trinity => {
+            let mut cfg = TrinityConfig::test(heap_words, cell.threads);
+            cfg.locks_log2 = 20;
+            cfg.pm.mode = cell.ablation.mode();
+            cfg.pm.lat = lat;
+            cfg.instr_ns = cell.instr_ns;
+            cfg.clock_ns = cell.clock_ns;
+            let tm = Trinity::new(cfg);
+            run_on(&tm, cell, |_| 0.0)
+        }
+        TmKind::Spht => {
+            // SPHT's bump allocator never frees, so aborted transactions
+            // leak their allocations; give it extra headroom (the paper's
+            // SPHT sizes its per-thread pools generously for the same
+            // reason).
+            let mut cfg = SphtConfig::test(heap_words * 3, cell.threads);
+            cfg.log_words = 1 << 20;
+            cfg.persist_hw = cell.ablation.persist_hw();
+            cfg.pm.mode = cell.ablation.mode();
+            cfg.pm.lat = lat;
+            cfg.htm = htm::HtmConfig::default();
+            let tm = Spht::new(cfg);
+            // Following the paper: replay with 16 threads after the
+            // measurement period, timed separately.
+            run_on(&tm, cell, |t: &Spht| {
+                let start = Instant::now();
+                t.replay(16);
+                start.elapsed().as_secs_f64()
+            })
+        }
+    }
+}
+
+fn run_on<T: Tm>(tm: &T, cell: &Cell, epilogue: impl FnOnce(&T) -> f64) -> CellResult {
+    // Prefill to 50% of the key range (§5 methodology), striped over the
+    // worker threads so per-thread allocator arenas are warm.
+    let st = match cell.structure {
+        Structure::AbTree => AnyStruct::Tree(AbTree::create(tm, 0).unwrap()),
+        Structure::HashMap => {
+            AnyStruct::Map(HashMapTx::create(tm, 0, cell.keys as usize).unwrap())
+        }
+    };
+    std::thread::scope(|s| {
+        for t in 0..cell.threads {
+            let st = &st;
+            s.spawn(move || {
+                let mut k = t as u64;
+                while k < cell.keys {
+                    // Deterministic 50% subset.
+                    if k.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 63 == 0 {
+                        st.insert(tm, t, k, k + 1);
+                    }
+                    k += cell.threads as u64;
+                }
+            });
+        }
+    });
+
+    let stats_before = tm.stats();
+    let stop = AtomicBool::new(false);
+    let total_ops = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..cell.threads {
+            let st = &st;
+            let stop = &stop;
+            let total_ops = &total_ops;
+            s.spawn(move || {
+                let mut rng = cell.seed ^ (t as u64 + 1).wrapping_mul(0x2545_f491_4f6c_dd1d);
+                let mut ops = 0u64;
+                // Power-law exponent approximating Zipf(θ); 1.0 = uniform.
+                let zipf_exp = if cell.zipf_theta > 0.0 {
+                    1.0 / (1.0 - cell.zipf_theta.min(0.99))
+                } else {
+                    1.0
+                };
+                'outer: loop {
+                    for _ in 0..128 {
+                        rng ^= rng << 13;
+                        rng ^= rng >> 7;
+                        rng ^= rng << 17;
+                        let k = if zipf_exp == 1.0 {
+                            (rng >> 16) % cell.keys
+                        } else {
+                            let u = ((rng >> 11) & ((1 << 53) - 1)) as f64 / (1u64 << 53) as f64;
+                            ((cell.keys as f64 * u.powf(zipf_exp)) as u64).min(cell.keys - 1)
+                        };
+                        let roll = (rng & 0xffff) % 100;
+                        if (roll as u32) < cell.update_pct {
+                            if rng >> 63 == 0 {
+                                st.insert(tm, t, k, rng);
+                            } else {
+                                st.remove(tm, t, k);
+                            }
+                        } else {
+                            st.get(tm, t, k);
+                        }
+                        ops += 1;
+                    }
+                    if stop.load(Ordering::Relaxed) {
+                        break 'outer;
+                    }
+                }
+                total_ops.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        // Timer: the main thread ends the measurement period.
+        while start.elapsed().as_secs_f64() < cell.seconds {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let replay_secs = epilogue(tm);
+    CellResult {
+        ops: total_ops.load(Ordering::Relaxed),
+        secs,
+        replay_secs,
+        stats: tm.stats().since(&stats_before),
+    }
+}
+
+/// Human-readable workload name (`u10` = 10% updates = 90% read-only).
+pub fn workload_name(update_pct: u32) -> String {
+    format!("u{update_pct}")
+}
+
+/// Format a throughput in ops/sec compactly.
+pub fn fmt_tput(t: f64) -> String {
+    if t >= 1e6 {
+        format!("{:.2}M", t / 1e6)
+    } else if t >= 1e3 {
+        format!("{:.1}k", t / 1e3)
+    } else {
+        format!("{t:.0}")
+    }
+}
+
+/// Tiny argv parser for the figure binaries: `--key value` pairs.
+pub struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parse `std::env::args` (skipping the binary name).
+    pub fn parse() -> Args {
+        let raw: Vec<String> = std::env::args().skip(1).collect();
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let k = raw[i].trim_start_matches('-').to_string();
+            if i + 1 < raw.len() && !raw[i + 1].starts_with("--") {
+                pairs.push((k, raw[i + 1].clone()));
+                i += 2;
+            } else {
+                pairs.push((k, String::new()));
+                i += 1;
+            }
+        }
+        Args { pairs }
+    }
+
+    /// Look up a flag's value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Typed lookup with default.
+    pub fn get_or<V: std::str::FromStr>(&self, key: &str, default: V) -> V {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Comma-separated list lookup.
+    pub fn list(&self, key: &str) -> Option<Vec<String>> {
+        self.get(key)
+            .map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_cell_every_tm_kind() {
+        for kind in TmKind::ALL {
+            let cell = Cell {
+                keys: 1 << 10,
+                seconds: 0.05,
+                threads: 2,
+                update_pct: 50,
+                ..Cell::new(kind, Structure::HashMap)
+            };
+            let r = run_cell(&cell);
+            assert!(r.ops > 0, "{}: no ops", kind.label());
+            assert!(r.stats.commits() > 0, "{}: no commits", kind.label());
+        }
+    }
+
+    #[test]
+    fn smoke_cell_tree_ablation() {
+        for ab in Ablation::ALL {
+            let cell = Cell {
+                keys: 1 << 10,
+                seconds: 0.05,
+                ablation: ab,
+                ..Cell::new(TmKind::NvHaltCl, Structure::AbTree)
+            };
+            let r = run_cell(&cell);
+            assert!(r.ops > 0, "{}: no ops", ab.label());
+        }
+    }
+
+    #[test]
+    fn labels_parse_back() {
+        for k in TmKind::ALL {
+            assert_eq!(TmKind::parse(k.label()), Some(k));
+        }
+        assert_eq!(TmKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn fmt_tput_ranges() {
+        assert_eq!(fmt_tput(12.0), "12");
+        assert_eq!(fmt_tput(1_500.0), "1.5k");
+        assert_eq!(fmt_tput(2_500_000.0), "2.50M");
+    }
+}

@@ -1,0 +1,762 @@
+//! The NV-HALT transactional memory engine: hardware fast path with
+//! hardware-assisted locking (Figure 5), TL2-style software fallback with
+//! Trinity persistence (Figure 1), and the strongly progressive commit
+//! protocol (Figure 7).
+//!
+//! # Protocol summary
+//!
+//! Every transactional address is protected by a versioned lock
+//! ([`crate::lock::LockWord`]). The locks serve a dual purpose (§3.1):
+//! they guarantee consistency (threads synchronize on them before reading
+//! or modifying an address) *and* they enable durability (an address can
+//! be non-durable only while its lock is held).
+//!
+//! **Software path** (Figure 1): reads record the encounter-time lock word
+//! and revalidate the whole read set on every read; writes are buffered.
+//! At commit the write-set locks are acquired by CAS from the encounter
+//! value, the read set is validated, each write is persisted with the
+//! Trinity undo layout and written in place, the thread's persistent
+//! version number is bumped and persisted, and only then are the locks
+//! released — so no thread can ever read non-durable data (it would have
+//! to ignore a held lock to do so).
+//!
+//! **Hardware path** (Figure 5): reads check that the address's lock is
+//! free (or ours); writes *acquire* the lock inside the hardware
+//! transaction and log the old value in a thread-local append-only log.
+//! Because the transaction only ever acquires locks, the addresses remain
+//! locked after `xend` — which is the whole trick: flushes would abort the
+//! hardware transaction, so the write set is persisted *after* it
+//! completes, under the protection of locks that outlive it.
+//!
+//! **Strong progress** (Figure 7): commit of a software writer advances a
+//! global clock; if the CAS from the start-time value succeeds, no
+//! concurrent software writer committed in the interim and full validation
+//! can be replaced by a check that no *hardware* transaction bumped any
+//! read lock's `hver`.
+
+use crate::config::{NvHaltConfig, Progress};
+use crate::heap::Heap;
+use crate::lock::{LockWord, MAX_LOCK_THREADS};
+use crossbeam::utils::CachePadded;
+use htm::{Htm, HtmThread, HtmTxn, Xabort};
+use parking_lot::Mutex;
+use pmem::annot::AnnotLayout;
+use pmem::{AnnotPmem, Meta};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tm::policy::PathChoice;
+use tm::stats::{Counter, StatsSnapshot, TmStats};
+use tm::{Abort, AbortKind, Addr, Cancelled, Tm, TxResult, Txn, Word};
+use txalloc::{AllocConfig, TxAlloc, TxnLog};
+
+/// xabort code: observed a lock held by another thread.
+pub const CODE_LOCKED: u32 = 1;
+/// xabort code: the transaction body requested a retry.
+pub const CODE_USER_RETRY: u32 = 2;
+/// xabort code: the transaction body cancelled.
+pub const CODE_CANCEL: u32 = 3;
+
+struct RsEntry {
+    addr: u64,
+    enc: LockWord,
+}
+
+struct WsEntry {
+    addr: u64,
+    enc: LockWord,
+    val: u64,
+}
+
+pub(crate) struct ThreadState {
+    htm_th: HtmThread,
+    rset: Vec<RsEntry>,
+    wset: Vec<WsEntry>,
+    acquired: Vec<(u64, LockWord)>,
+    hlog: Vec<(u64, u64)>,
+    hlocks: Vec<u64>,
+    alloc_log: TxnLog,
+    pub(crate) pver: u64,
+    seed: u64,
+}
+
+/// The NV-HALT persistent hybrid transactional memory.
+pub struct NvHalt {
+    cfg: NvHaltConfig,
+    pub(crate) heap: Heap,
+    pub(crate) pmem: AnnotPmem,
+    htm: Htm,
+    pub(crate) alloc: TxAlloc,
+    gclock: AtomicU64,
+    stats: Arc<TmStats>,
+    pub(crate) threads: Vec<CachePadded<Mutex<ThreadState>>>,
+}
+
+enum Outcome<R> {
+    Committed(R),
+    Aborted(AbortKind),
+    Cancelled,
+}
+
+impl NvHalt {
+    /// Create a fresh NV-HALT instance.
+    pub fn new(cfg: NvHaltConfig) -> Self {
+        assert!(cfg.max_threads >= 1 && cfg.max_threads <= MAX_LOCK_THREADS);
+        assert!(cfg.heap_words >= 16);
+        let stats = Arc::new(TmStats::new(cfg.max_threads));
+        let layout = AnnotLayout {
+            heap_words: cfg.heap_words,
+            max_threads: cfg.max_threads,
+        };
+        let pmem = AnnotPmem::new(layout, &cfg.pm, Some(stats.clone()));
+        let htm = Htm::new(cfg.htm);
+        let heap = Heap::new(cfg.heap_words, cfg.locks);
+        let alloc = TxAlloc::new(AllocConfig::new(cfg.heap_words, cfg.max_threads));
+        let threads = Self::make_threads(&cfg, &htm, |_| 0);
+        NvHalt {
+            cfg,
+            heap,
+            pmem,
+            htm,
+            alloc,
+            gclock: AtomicU64::new(0),
+            stats,
+            threads,
+        }
+    }
+
+    pub(crate) fn make_threads(
+        cfg: &NvHaltConfig,
+        htm: &Htm,
+        pver: impl Fn(usize) -> u64,
+    ) -> Vec<CachePadded<Mutex<ThreadState>>> {
+        (0..cfg.max_threads)
+            .map(|t| {
+                CachePadded::new(Mutex::new(ThreadState {
+                    htm_th: HtmThread::new(htm, t),
+                    rset: Vec::with_capacity(256),
+                    wset: Vec::with_capacity(64),
+                    acquired: Vec::with_capacity(64),
+                    hlog: Vec::with_capacity(64),
+                    hlocks: Vec::with_capacity(64),
+                    alloc_log: TxnLog::new(),
+                    pver: pver(t),
+                    seed: 0xb0ff_0000 ^ (t as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                }))
+            })
+            .collect()
+    }
+
+    pub(crate) fn from_parts(
+        cfg: NvHaltConfig,
+        heap: Heap,
+        pmem: AnnotPmem,
+        alloc: TxAlloc,
+        stats: Arc<TmStats>,
+        pvers: &[u64],
+    ) -> Self {
+        let htm = Htm::new(cfg.htm);
+        let threads = Self::make_threads(&cfg, &htm, |t| pvers[t]);
+        NvHalt {
+            cfg,
+            heap,
+            pmem,
+            htm,
+            alloc,
+            gclock: AtomicU64::new(0),
+            stats,
+            threads,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NvHaltConfig {
+        &self.cfg
+    }
+
+    /// Access to the persistent pool (crash control, snapshots).
+    pub fn pmem(&self) -> &AnnotPmem {
+        &self.pmem
+    }
+
+    /// Simulate a power failure.
+    pub fn crash(&self) {
+        self.pmem.pool().crash();
+    }
+
+    /// Per-thread allocation outside transactions (setup code): allocate
+    /// and immediately commit.
+    pub fn alloc_raw(&self, tid: usize, words: usize) -> Addr {
+        let mut log = TxnLog::new();
+        let a = self
+            .alloc
+            .alloc(tid, words, &mut log)
+            .expect("transactional heap exhausted");
+        self.alloc.commit(tid, &mut log);
+        Addr(a)
+    }
+
+    #[inline]
+    fn check_addr(&self, a: Addr) -> Result<usize, Abort> {
+        // Out-of-range addresses can legitimately occur in doomed
+        // (zombie) hardware attempts; they surface as retries, matching
+        // real HTM's eager abort.
+        let idx = a.index();
+        if idx == 0 || !self.heap.in_range(idx) {
+            return Err(Abort::CONFLICT);
+        }
+        Ok(idx)
+    }
+
+    // ------------------------------------------------------------------
+    // Hardware path (Figure 5)
+    // ------------------------------------------------------------------
+
+    fn attempt_hw<R>(
+        &self,
+        ts: &mut ThreadState,
+        tid: usize,
+        attempt: usize,
+        body: &mut dyn FnMut(&mut dyn Txn) -> Result<R, Abort>,
+    ) -> Outcome<R> {
+        ts.hlog.clear();
+        ts.hlocks.clear();
+        debug_assert!(ts.alloc_log.is_empty());
+        let mut cancelled = false;
+        let mut oom = false;
+        let res = {
+            let hlog = &mut ts.hlog;
+            let hlocks = &mut ts.hlocks;
+            let alloc_log = &mut ts.alloc_log;
+            let htm_th = &mut ts.htm_th;
+            let oom = &mut oom;
+            let cancelled = &mut cancelled;
+            self.htm.execute(htm_th, |htx| {
+                let mut tx = HwTxn {
+                    tm: self,
+                    tid,
+                    attempt,
+                    htx,
+                    hlog,
+                    hlocks,
+                    alloc_log,
+                    oom,
+                    htm_aborted: false,
+                };
+                match body(&mut tx) {
+                    Ok(r) => Ok(r),
+                    Err(Abort::Retry(_)) if tx.htm_aborted => Err(Xabort),
+                    Err(Abort::Retry(_)) => Err(tx.htx.xabort(CODE_USER_RETRY)),
+                    Err(Abort::Cancel) => {
+                        *cancelled = true;
+                        Err(tx.htx.xabort(CODE_CANCEL))
+                    }
+                }
+            })
+        };
+        match res {
+            Ok(r) => {
+                // Committed in volatile memory; the written addresses are
+                // still locked (hardware-assisted locking), so persist
+                // them now and only then release (§3.4).
+                if self.cfg.persist_hw && !ts.hlog.is_empty() {
+                    self.persist_hw_commit(tid, ts);
+                }
+                self.alloc.commit(tid, &mut ts.alloc_log);
+                self.stats.bump(tid, Counter::HwCommit);
+                Outcome::Committed(r)
+            }
+            Err(kind) => {
+                self.alloc.abort(tid, &mut ts.alloc_log);
+                if oom {
+                    panic!("transactional heap exhausted (hardware path)");
+                }
+                if cancelled {
+                    self.stats.bump(tid, Counter::Cancelled);
+                    return Outcome::Cancelled;
+                }
+                let counter = match kind {
+                    AbortKind::Conflict => Counter::HwConflict,
+                    AbortKind::Capacity => Counter::HwCapacity,
+                    AbortKind::Spurious => Counter::HwSpurious,
+                    // Lock-observed and user-requested aborts are
+                    // conflict-justified in the paper's progress terms.
+                    AbortKind::Explicit(CODE_LOCKED | CODE_USER_RETRY) => Counter::HwConflict,
+                    AbortKind::Explicit(_) => Counter::HwExplicit,
+                };
+                self.stats.bump(tid, counter);
+                Outcome::Aborted(kind)
+            }
+        }
+    }
+
+    /// Persist a completed hardware transaction's write set, bump and
+    /// persist the thread's pver, then release the locks (Figure 5,
+    /// commit epilogue).
+    fn persist_hw_commit(&self, tid: usize, ts: &mut ThreadState) {
+        let meta = Meta::pack(tid, ts.pver);
+        for &(a, old) in &ts.hlog {
+            // Stable: the address is locked by us until release below.
+            let new = self.heap.data_cell(a as usize).load(Ordering::Acquire);
+            self.pmem.persist_entry(tid, a as usize, old, new, meta);
+        }
+        self.pmem.sfence(tid);
+        ts.pver += 1;
+        self.pmem.persist_pver(tid, ts.pver);
+        self.pmem.sfence(tid);
+        for &a in &ts.hlocks {
+            let cell = self.heap.lock_cell(a as usize);
+            let cur = LockWord(self.htm.nt_load(cell));
+            debug_assert!(cur.is_locked_by(tid), "releasing a lock we do not hold");
+            self.htm.nt_store(cell, cur.released().0);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Software path (Figures 1 and 7)
+    // ------------------------------------------------------------------
+
+    fn attempt_sw<R>(
+        &self,
+        ts: &mut ThreadState,
+        tid: usize,
+        attempt: usize,
+        body: &mut dyn FnMut(&mut dyn Txn) -> Result<R, Abort>,
+    ) -> Outcome<R> {
+        ts.rset.clear();
+        ts.wset.clear();
+        debug_assert!(ts.alloc_log.is_empty());
+        let rv = match self.cfg.progress {
+            Progress::Strong => self.gclock.load(Ordering::Acquire),
+            Progress::Weak => 0,
+        };
+        let mut oom = false;
+        let body_res = {
+            let mut tx = SwTxn {
+                tm: self,
+                tid,
+                attempt,
+                rset: &mut ts.rset,
+                wset: &mut ts.wset,
+                alloc_log: &mut ts.alloc_log,
+                oom: &mut oom,
+            };
+            body(&mut tx)
+        };
+        if oom {
+            self.alloc.abort(tid, &mut ts.alloc_log);
+            panic!("transactional heap exhausted (software path)");
+        }
+        match body_res {
+            Ok(r) => match self.sw_commit(tid, ts, rv) {
+                Ok(()) => {
+                    self.alloc.commit(tid, &mut ts.alloc_log);
+                    self.stats.bump(tid, Counter::SwCommit);
+                    Outcome::Committed(r)
+                }
+                Err(()) => {
+                    self.alloc.abort(tid, &mut ts.alloc_log);
+                    self.stats.bump(tid, Counter::SwAbort);
+                    Outcome::Aborted(AbortKind::Conflict)
+                }
+            },
+            Err(Abort::Retry(kind)) => {
+                self.alloc.abort(tid, &mut ts.alloc_log);
+                self.stats.bump(tid, Counter::SwAbort);
+                Outcome::Aborted(kind)
+            }
+            Err(Abort::Cancel) => {
+                self.alloc.abort(tid, &mut ts.alloc_log);
+                self.stats.bump(tid, Counter::Cancelled);
+                Outcome::Cancelled
+            }
+        }
+    }
+
+    /// Figure 1 TxCommit (plus the Figure 7 changes under `Strong`).
+    fn sw_commit(&self, tid: usize, ts: &mut ThreadState, rv: u64) -> Result<(), ()> {
+        if ts.wset.is_empty() {
+            // Read-only: incremental validation already established a
+            // consistent snapshot at the last read (Figure 1 line 12).
+            return Ok(());
+        }
+        if self.cfg.progress == Progress::Strong {
+            // Fixed acquisition order avoids write-write livelock (§3.6).
+            let heap = &self.heap;
+            ts.wset.sort_by_key(|e| {
+                (heap.lock_cell(e.addr as usize) as *const AtomicU64 as usize, e.addr)
+            });
+        }
+
+        // Acquire write-set locks by CAS from the encounter value.
+        ts.acquired.clear();
+        for e in &ts.wset {
+            let cell = self.heap.lock_cell(e.addr as usize);
+            if let Some(&(_, pre)) = ts
+                .acquired
+                .iter()
+                .find(|(a, _)| std::ptr::eq(self.heap.lock_cell(*a as usize), cell))
+            {
+                // Another address sharing this (table-mapped) lock: the
+                // encounter values must agree, else the lock cycled
+                // between the two encounters.
+                if pre != e.enc {
+                    self.sw_release(ts, false);
+                    return Err(());
+                }
+                continue;
+            }
+            match self
+                .htm
+                .nt_cas(cell, e.enc.0, e.enc.sw_acquired(tid).0)
+            {
+                Ok(_) => ts.acquired.push((e.addr, e.enc)),
+                Err(_) => {
+                    self.sw_release(ts, false);
+                    return Err(());
+                }
+            }
+        }
+
+        // Validate the read set — skippable under Strong when the global
+        // clock CAS shows no concurrent software writer committed, in
+        // which case only hardware-version checks are needed (Figure 7).
+        let mut skip_validation = false;
+        if self.cfg.progress == Progress::Strong {
+            pmem::latency::spin_ns(self.cfg.clock_ns);
+        }
+        if self.cfg.progress == Progress::Strong
+            && self
+                .gclock
+                .compare_exchange(rv, rv + 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        {
+            skip_validation = true;
+            for r in &ts.rset {
+                let cur = LockWord(self.htm.nt_load(self.heap.lock_cell(r.addr as usize)));
+                if cur.hver() != r.enc.hver() {
+                    self.sw_release(ts, false);
+                    return Err(());
+                }
+            }
+        }
+        if !skip_validation {
+            for r in &ts.rset {
+                let cur = LockWord(self.htm.nt_load(self.heap.lock_cell(r.addr as usize)));
+                if !LockWord::validates_against(cur, r.enc, tid) {
+                    self.sw_release(ts, false);
+                    return Err(());
+                }
+            }
+        }
+
+        // Guaranteed to commit: persist and apply the write set while the
+        // locks are held (Figure 1 lines 16–21).
+        let meta = Meta::pack(tid, ts.pver);
+        for e in &ts.wset {
+            let data = self.heap.data_cell(e.addr as usize);
+            let old = data.load(Ordering::Acquire);
+            self.pmem.persist_entry(tid, e.addr as usize, old, e.val, meta);
+            data.store(e.val, Ordering::Release);
+        }
+        self.pmem.sfence(tid);
+        ts.pver += 1;
+        self.pmem.persist_pver(tid, ts.pver);
+        self.pmem.sfence(tid);
+        self.sw_release(ts, true);
+        Ok(())
+    }
+
+    /// Release commit-time locks: on commit bump to the next even version;
+    /// on abort restore the pre-acquire word (nothing was written).
+    fn sw_release(&self, ts: &mut ThreadState, commit: bool) {
+        for &(a, pre) in &ts.acquired {
+            let cell = self.heap.lock_cell(a as usize);
+            let word = if commit {
+                // held = pre.sw_acquired(tid); released bumps sver again.
+                LockWord(self.htm.nt_load(cell)).released()
+            } else {
+                pre
+            };
+            self.htm.nt_store(cell, word.0);
+        }
+        ts.acquired.clear();
+    }
+
+    /// Aggregate statistics handle (shared with the pmem pool).
+    pub fn stats_handle(&self) -> Arc<TmStats> {
+        self.stats.clone()
+    }
+}
+
+impl Tm for NvHalt {
+    fn txn<R>(
+        &self,
+        tid: usize,
+        body: &mut dyn FnMut(&mut dyn Txn) -> Result<R, Abort>,
+    ) -> TxResult<R> {
+        assert!(tid < self.cfg.max_threads, "tid out of range");
+        let mut guard = self.threads[tid].lock();
+        let ts = &mut *guard;
+        let mut attempt = 0usize;
+        let mut capacity_aborts = 0usize;
+        loop {
+            self.pmem.pool().crash_point();
+            let choice = self.cfg.policy.choose(attempt, capacity_aborts);
+            let outcome = match choice {
+                PathChoice::Hw => self.attempt_hw(ts, tid, attempt, body),
+                PathChoice::Sw => self.attempt_sw(ts, tid, attempt, body),
+            };
+            match outcome {
+                Outcome::Committed(r) => return Ok(r),
+                Outcome::Cancelled => return Err(Cancelled),
+                Outcome::Aborted(kind) => {
+                    if kind == AbortKind::Capacity {
+                        capacity_aborts += 1;
+                    }
+                    if choice == PathChoice::Sw {
+                        ts.seed = ts.seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        self.cfg.policy.backoff(ts.seed, attempt);
+                    }
+                }
+            }
+            attempt += 1;
+        }
+    }
+
+    fn max_threads(&self) -> usize {
+        self.cfg.max_threads
+    }
+
+    fn read_raw(&self, a: Addr) -> Word {
+        self.heap.data_cell(a.index()).load(Ordering::Acquire)
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn name(&self) -> &'static str {
+        self.cfg.variant_name()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Hardware-path transaction wrapper
+// ----------------------------------------------------------------------
+
+struct HwTxn<'a, 'env, 't> {
+    tm: &'env NvHalt,
+    tid: usize,
+    attempt: usize,
+    htx: &'a mut HtmTxn<'env, 't>,
+    hlog: &'a mut Vec<(u64, u64)>,
+    hlocks: &'a mut Vec<u64>,
+    alloc_log: &'a mut TxnLog,
+    oom: &'a mut bool,
+    htm_aborted: bool,
+}
+
+impl<'a, 'env, 't> HwTxn<'a, 'env, 't> {
+    /// Map an HTM-level abort into the TM abort type, remembering that the
+    /// hardware attempt is already dead (so the driver must not xabort
+    /// again and overwrite the recorded kind).
+    #[inline]
+    fn lift<T>(&mut self, r: Result<T, Xabort>) -> Result<T, Abort> {
+        r.map_err(|Xabort| {
+            self.htm_aborted = true;
+            Abort::CONFLICT
+        })
+    }
+
+    #[inline]
+    fn xab(&mut self, code: u32) -> Abort {
+        let Xabort = self.htx.xabort(code);
+        self.htm_aborted = true;
+        Abort::CONFLICT
+    }
+}
+
+impl<'a, 'env, 't> Txn for HwTxn<'a, 'env, 't> {
+    fn read(&mut self, a: Addr) -> Result<Word, Abort> {
+        let idx = self.tm.check_addr(a)?;
+        let lock = self.tm.heap.lock_cell(idx);
+        // Colocated locks share the data word's cache line: the lock and
+        // the value arrive with one tracked line access (the CL layout's
+        // prefetching benefit, §4).
+        let (lv, val) = if self.tm.heap.is_colocated() {
+            let r = self.htx.read2(lock, self.tm.heap.data_cell(idx));
+            let (l, v) = self.lift(r)?;
+            (LockWord(l), v)
+        } else {
+            let r = self.htx.read(lock);
+            let l = LockWord(self.lift(r)?);
+            if l.is_locked() && l.owner() != self.tid {
+                return Err(self.xab(CODE_LOCKED));
+            }
+            let r = self.htx.read(self.tm.heap.data_cell(idx));
+            (l, self.lift(r)?)
+        };
+        if lv.is_locked() && lv.owner() != self.tid {
+            return Err(self.xab(CODE_LOCKED));
+        }
+        Ok(val)
+    }
+
+    fn write(&mut self, a: Addr, v: Word) -> Result<(), Abort> {
+        let idx = self.tm.check_addr(a)?;
+        let lock = self.tm.heap.lock_cell(idx);
+        let persist = self.tm.config().persist_hw;
+        if persist && self.tm.heap.is_colocated() {
+            // One tracked line carries the lock and the old value.
+            let r = self.htx.read2(lock, self.tm.heap.data_cell(idx));
+            let (l, old) = self.lift(r)?;
+            let lv = LockWord(l);
+            if lv.is_locked() && lv.owner() != self.tid {
+                return Err(self.xab(CODE_LOCKED));
+            }
+            if !lv.is_locked() {
+                let r = self.htx.write(lock, lv.hw_acquired(self.tid).0);
+                self.lift(r)?;
+                self.hlocks.push(a.0);
+                // Colocated: one lock per address, so a fresh acquisition
+                // means this address was not logged yet.
+                self.hlog.push((a.0, old));
+            }
+        } else {
+            let r = self.htx.read(lock);
+            let lv = LockWord(self.lift(r)?);
+            if lv.is_locked() && lv.owner() != self.tid {
+                return Err(self.xab(CODE_LOCKED));
+            }
+            if persist {
+                if !lv.is_locked() {
+                    let r = self.htx.write(lock, lv.hw_acquired(self.tid).0);
+                    self.lift(r)?;
+                    self.hlocks.push(a.0);
+                }
+                if !self.hlog.iter().any(|&(addr, _)| addr == a.0) {
+                    let r = self.htx.read(self.tm.heap.data_cell(idx));
+                    let old = self.lift(r)?;
+                    self.hlog.push((a.0, old));
+                }
+            }
+        }
+        let r = self.htx.write(self.tm.heap.data_cell(idx), v);
+        self.lift(r)
+    }
+
+    fn alloc(&mut self, words: usize) -> Result<Addr, Abort> {
+        match self.tm.alloc.alloc(self.tid, words, self.alloc_log) {
+            Some(a) => Ok(Addr(a)),
+            None => {
+                *self.oom = true;
+                Err(self.xab(CODE_USER_RETRY))
+            }
+        }
+    }
+
+    fn free(&mut self, a: Addr, words: usize) -> Result<(), Abort> {
+        self.tm.alloc.free(a.0, words, self.alloc_log);
+        Ok(())
+    }
+
+    fn is_hw(&self) -> bool {
+        true
+    }
+
+    fn attempt(&self) -> usize {
+        self.attempt
+    }
+}
+
+// ----------------------------------------------------------------------
+// Software-path transaction wrapper
+// ----------------------------------------------------------------------
+
+struct SwTxn<'a> {
+    tm: &'a NvHalt,
+    tid: usize,
+    attempt: usize,
+    rset: &'a mut Vec<RsEntry>,
+    wset: &'a mut Vec<WsEntry>,
+    alloc_log: &'a mut TxnLog,
+    oom: &'a mut bool,
+}
+
+impl<'a> SwTxn<'a> {
+    /// Figure 1's `validate(sRdSet)`: every read-set lock still carries
+    /// its encounter value (no commit-time self-locks exist during the
+    /// read phase, so plain equality suffices).
+    fn validate(&self) -> bool {
+        self.rset.iter().all(|r| {
+            let cur = LockWord(
+                self.tm
+                    .htm
+                    .nt_load(self.tm.heap.lock_cell(r.addr as usize)),
+            );
+            cur == r.enc
+        })
+    }
+}
+
+impl<'a> Txn for SwTxn<'a> {
+    fn read(&mut self, a: Addr) -> Result<Word, Abort> {
+        let idx = self.tm.check_addr(a)?;
+        pmem::latency::spin_ns(self.tm.cfg.instr_ns);
+        if let Some(e) = self.wset.iter().rev().find(|e| e.addr == a.0) {
+            return Ok(e.val);
+        }
+        let lv = LockWord(self.tm.htm.nt_load(self.tm.heap.lock_cell(idx)));
+        if lv.is_locked() {
+            return Err(Abort::CONFLICT);
+        }
+        let val = self.tm.heap.data_cell(idx).load(Ordering::Acquire);
+        self.rset.push(RsEntry { addr: a.0, enc: lv });
+        if !self.validate() {
+            return Err(Abort::CONFLICT);
+        }
+        Ok(val)
+    }
+
+    fn write(&mut self, a: Addr, v: Word) -> Result<(), Abort> {
+        let idx = self.tm.check_addr(a)?;
+        pmem::latency::spin_ns(self.tm.cfg.instr_ns);
+        if let Some(e) = self.wset.iter_mut().rev().find(|e| e.addr == a.0) {
+            e.val = v;
+            return Ok(());
+        }
+        let lv = LockWord(self.tm.htm.nt_load(self.tm.heap.lock_cell(idx)));
+        if lv.is_locked() {
+            return Err(Abort::CONFLICT);
+        }
+        self.wset.push(WsEntry {
+            addr: a.0,
+            enc: lv,
+            val: v,
+        });
+        Ok(())
+    }
+
+    fn alloc(&mut self, words: usize) -> Result<Addr, Abort> {
+        match self.tm.alloc.alloc(self.tid, words, self.alloc_log) {
+            Some(a) => Ok(Addr(a)),
+            None => {
+                *self.oom = true;
+                Err(Abort::CONFLICT)
+            }
+        }
+    }
+
+    fn free(&mut self, a: Addr, words: usize) -> Result<(), Abort> {
+        self.tm.alloc.free(a.0, words, self.alloc_log);
+        Ok(())
+    }
+
+    fn is_hw(&self) -> bool {
+        false
+    }
+
+    fn attempt(&self) -> usize {
+        self.attempt
+    }
+}

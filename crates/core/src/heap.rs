@@ -1,0 +1,157 @@
+//! The volatile heap and the two lock-mapping strategies (§4,
+//! "Fine-Grained Locks").
+//!
+//! NV-HALT protects every transactional address with a versioned lock.
+//! Two mappings are implemented, exactly as evaluated in the paper:
+//!
+//! * **Lock table** — a fixed-size table of locks; addresses hash to
+//!   table entries, so multiple addresses may share a lock, but the memory
+//!   layout of user data is unaffected. This is the default (plain
+//!   NV-HALT / NV-HALT-SP).
+//! * **Colocated** — every address has a unique lock placed in the
+//!   adjacent word (the heap is laid out with stride 2), so caching a data
+//!   word prefetches its lock. This is the NV-HALT-CL configuration.
+
+use std::sync::atomic::AtomicU64;
+
+/// Lock-mapping strategy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LockStrategy {
+    /// Fixed-size lock table with `1 << locks_log2` entries.
+    Table {
+        /// log2 of the number of locks.
+        locks_log2: u32,
+    },
+    /// One lock colocated next to each data word (NV-HALT-CL).
+    Colocated,
+}
+
+impl Default for LockStrategy {
+    fn default() -> Self {
+        LockStrategy::Table { locks_log2: 20 }
+    }
+}
+
+/// The volatile (DRAM) heap: user words plus their locks.
+pub struct Heap {
+    vol: Box<[AtomicU64]>,
+    table: Box<[AtomicU64]>,
+    mask: usize,
+    colocated: bool,
+    heap_words: usize,
+}
+
+impl Heap {
+    /// Create a zeroed heap of `heap_words` user words.
+    pub fn new(heap_words: usize, strategy: LockStrategy) -> Self {
+        let (vol_len, table_len, colocated) = match strategy {
+            LockStrategy::Table { locks_log2 } => (heap_words, 1usize << locks_log2, false),
+            LockStrategy::Colocated => (heap_words * 2, 1, true),
+        };
+        Heap {
+            vol: (0..vol_len).map(|_| AtomicU64::new(0)).collect(),
+            table: (0..table_len).map(|_| AtomicU64::new(0)).collect(),
+            mask: table_len - 1,
+            colocated,
+            heap_words,
+        }
+    }
+
+    /// Number of user words.
+    #[inline]
+    pub fn heap_words(&self) -> usize {
+        self.heap_words
+    }
+
+    /// True if a user address is in range.
+    #[inline]
+    pub fn in_range(&self, a: usize) -> bool {
+        a < self.heap_words
+    }
+
+    /// The data word cell for address `a`.
+    #[inline]
+    pub fn data_cell(&self, a: usize) -> &AtomicU64 {
+        if self.colocated {
+            &self.vol[a * 2]
+        } else {
+            &self.vol[a]
+        }
+    }
+
+    /// The lock cell protecting address `a`. The table mapping follows
+    /// TL2's: consecutive addresses use consecutive table entries, so the
+    /// locks of one object share cache lines (addresses a table-length
+    /// apart collide).
+    #[inline]
+    pub fn lock_cell(&self, a: usize) -> &AtomicU64 {
+        if self.colocated {
+            &self.vol[a * 2 + 1]
+        } else {
+            &self.table[a & self.mask]
+        }
+    }
+
+    /// True if addresses `a` and `b` share a lock.
+    pub fn same_lock(&self, a: usize, b: usize) -> bool {
+        std::ptr::eq(self.lock_cell(a), self.lock_cell(b))
+    }
+
+    /// True in colocated-lock mode (each lock shares a cache line with
+    /// its data word).
+    #[inline]
+    pub fn is_colocated(&self) -> bool {
+        self.colocated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn table_strategy_shares_locks_but_not_data() {
+        let h = Heap::new(1 << 12, LockStrategy::Table { locks_log2: 4 });
+        assert_eq!(h.heap_words(), 1 << 12);
+        // With 16 locks and 4096 addresses, collisions must exist.
+        let mut shared = false;
+        for a in 1..4096 {
+            assert!(!std::ptr::eq(h.data_cell(0), h.data_cell(a)));
+            if h.same_lock(0, a) {
+                shared = true;
+            }
+        }
+        assert!(shared, "hash table of 16 locks must collide");
+    }
+
+    #[test]
+    fn colocated_strategy_gives_unique_adjacent_locks() {
+        let h = Heap::new(64, LockStrategy::Colocated);
+        for a in 0..64 {
+            for b in 0..64 {
+                assert_eq!(h.same_lock(a, b), a == b);
+            }
+            // Lock is the adjacent word.
+            let d = h.data_cell(a) as *const AtomicU64 as usize;
+            let l = h.lock_cell(a) as *const AtomicU64 as usize;
+            assert_eq!(l - d, 8);
+        }
+    }
+
+    #[test]
+    fn data_and_locks_start_zeroed_and_independent() {
+        let h = Heap::new(8, LockStrategy::Colocated);
+        h.data_cell(3).store(77, Ordering::Relaxed);
+        assert_eq!(h.data_cell(3).load(Ordering::Relaxed), 77);
+        assert_eq!(h.lock_cell(3).load(Ordering::Relaxed), 0);
+        assert_eq!(h.data_cell(4).load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn in_range_bounds() {
+        let h = Heap::new(10, LockStrategy::default());
+        assert!(h.in_range(9));
+        assert!(!h.in_range(10));
+    }
+}

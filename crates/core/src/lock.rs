@@ -1,0 +1,228 @@
+//! The dual-version fine-grained locks at the heart of NV-HALT (§3.1, §3.6).
+//!
+//! Each lock is one 64-bit word packing:
+//!
+//! ```text
+//! [ hver : 16 ][ owner : 8 ][ sver : 40 ]
+//! ```
+//!
+//! * `sver` — the software version, incremented on every acquisition *and*
+//!   release (TL2-style: odd means locked). 40 bits wrap after 2^39
+//!   acquisitions of one lock; far beyond any run.
+//! * `owner` — the holder's thread id while locked (supports the "locked
+//!   by the current thread" checks of Figures 1 and 5). 8 bits limit the
+//!   TM to 256 threads.
+//! * `hver` — the hardware version of the strongly progressive variant
+//!   (Figure 7): incremented only when a *hardware* transaction acquires
+//!   the lock, letting software transactions detect conflicts with
+//!   concurrent hardware transactions after a successful global-clock
+//!   advance. 16 bits wrap after 65536 hardware acquisitions; a software
+//!   transaction would have to stay open across that many conflicting
+//!   hardware commits on one lock to alias, at which point a spurious
+//!   *validation success* would require the count to match exactly — the
+//!   same wrap-around exposure TL2-family TMs accept.
+//!
+//! The weakly progressive variant uses the same layout (hardware
+//! acquisitions still bump `hver`; it is simply never read).
+
+/// A decoded lock word. Lock words live in `AtomicU64` cells; this type is
+/// the pure value logic so it can be tested exhaustively.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LockWord(pub u64);
+
+const SVER_BITS: u32 = 40;
+const OWNER_BITS: u32 = 8;
+const SVER_MASK: u64 = (1 << SVER_BITS) - 1;
+const OWNER_MASK: u64 = (1 << OWNER_BITS) - 1;
+
+/// Maximum thread id representable in a lock word.
+pub const MAX_LOCK_THREADS: usize = 1 << OWNER_BITS;
+
+impl LockWord {
+    /// The initial (unlocked, version 0) lock word.
+    pub const INIT: LockWord = LockWord(0);
+
+    /// Software version (odd = locked).
+    #[inline]
+    pub fn sver(self) -> u64 {
+        self.0 & SVER_MASK
+    }
+
+    /// Owner thread id (meaningful only while locked).
+    #[inline]
+    pub fn owner(self) -> usize {
+        ((self.0 >> SVER_BITS) & OWNER_MASK) as usize
+    }
+
+    /// Hardware version.
+    #[inline]
+    pub fn hver(self) -> u64 {
+        self.0 >> (SVER_BITS + OWNER_BITS)
+    }
+
+    /// True if the lock is held.
+    #[inline]
+    pub fn is_locked(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// True if the lock is held by `tid`.
+    #[inline]
+    pub fn is_locked_by(self, tid: usize) -> bool {
+        self.is_locked() && self.owner() == tid
+    }
+
+    #[inline]
+    fn pack(sver: u64, owner: usize, hver: u64) -> LockWord {
+        LockWord(
+            (sver & SVER_MASK)
+                | (((owner as u64) & OWNER_MASK) << SVER_BITS)
+                | ((hver & 0xffff) << (SVER_BITS + OWNER_BITS)),
+        )
+    }
+
+    /// The word a *software* transaction installs to acquire this lock
+    /// (CAS from the unlocked encounter value). `sver` becomes odd; `hver`
+    /// is untouched.
+    #[inline]
+    pub fn sw_acquired(self, tid: usize) -> LockWord {
+        debug_assert!(!self.is_locked());
+        Self::pack((self.sver() + 1) & SVER_MASK, tid, self.hver())
+    }
+
+    /// The word a *hardware* transaction writes to acquire this lock
+    /// (inside the transaction). Bumps `sver` (odd) and `hver` — Figure 7
+    /// line 5 (`lk.sLockVer++; lk.hLockVer++`).
+    #[inline]
+    pub fn hw_acquired(self, tid: usize) -> LockWord {
+        debug_assert!(!self.is_locked());
+        Self::pack(
+            (self.sver() + 1) & SVER_MASK,
+            tid,
+            (self.hver() + 1) & 0xffff,
+        )
+    }
+
+    /// The word stored to release a held lock: `sver` bumps to the next
+    /// even value, owner cleared, `hver` untouched.
+    #[inline]
+    pub fn released(self) -> LockWord {
+        debug_assert!(self.is_locked());
+        Self::pack((self.sver() + 1) & SVER_MASK, 0, self.hver())
+    }
+
+    /// Read-set validation (Figure 1): `current` is consistent with the
+    /// `encounter` value recorded at first access iff the lock word is
+    /// unchanged, or the only change is that *this* thread now holds it
+    /// (commit-time locking locks one's own write set before validating).
+    #[inline]
+    pub fn validates_against(current: LockWord, encounter: LockWord, tid: usize) -> bool {
+        current == encounter
+            || (current.is_locked_by(tid) && current == encounter.sw_acquired(tid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_is_unlocked_zero() {
+        let l = LockWord::INIT;
+        assert!(!l.is_locked());
+        assert_eq!(l.sver(), 0);
+        assert_eq!(l.owner(), 0);
+        assert_eq!(l.hver(), 0);
+    }
+
+    #[test]
+    fn sw_acquire_release_cycle() {
+        let l = LockWord::INIT;
+        let held = l.sw_acquired(7);
+        assert!(held.is_locked());
+        assert!(held.is_locked_by(7));
+        assert!(!held.is_locked_by(3));
+        assert_eq!(held.sver(), 1);
+        assert_eq!(held.hver(), 0);
+        let rel = held.released();
+        assert!(!rel.is_locked());
+        assert_eq!(rel.sver(), 2);
+        assert_eq!(rel.owner(), 0);
+        assert_eq!(rel.hver(), 0);
+    }
+
+    #[test]
+    fn hw_acquire_bumps_both_versions() {
+        let l = LockWord::INIT;
+        let held = l.hw_acquired(3);
+        assert!(held.is_locked_by(3));
+        assert_eq!(held.sver(), 1);
+        assert_eq!(held.hver(), 1);
+        let rel = held.released();
+        assert_eq!(rel.sver(), 2);
+        assert_eq!(rel.hver(), 1, "release leaves hver");
+    }
+
+    #[test]
+    fn validation_accepts_unchanged_and_self_locked() {
+        let enc = LockWord::INIT.sw_acquired(1).released(); // sver = 2
+        assert!(LockWord::validates_against(enc, enc, 5));
+        let self_locked = enc.sw_acquired(5);
+        assert!(LockWord::validates_against(self_locked, enc, 5));
+        assert!(
+            !LockWord::validates_against(self_locked, enc, 6),
+            "someone else's lock does not validate"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_version_change() {
+        let enc = LockWord::INIT;
+        let changed = enc.sw_acquired(2).released();
+        assert!(!LockWord::validates_against(changed, enc, 1));
+        // Same sver but hver changed (hardware write cycle) also rejects:
+        let hw_cycle = enc.hw_acquired(2).released();
+        assert_eq!(hw_cycle.sver(), enc.sver() + 2);
+        assert!(!LockWord::validates_against(hw_cycle, enc, 1));
+    }
+
+    #[test]
+    fn hver_distinguishes_hw_from_sw_cycles() {
+        let enc = LockWord::INIT;
+        let sw_cycle = enc.sw_acquired(2).released();
+        let hw_cycle = enc.hw_acquired(2).released();
+        assert_eq!(sw_cycle.hver(), enc.hver());
+        assert_eq!(hw_cycle.hver(), enc.hver() + 1);
+    }
+
+    #[test]
+    fn owner_field_range() {
+        let held = LockWord::INIT.sw_acquired(MAX_LOCK_THREADS - 1);
+        assert_eq!(held.owner(), MAX_LOCK_THREADS - 1);
+    }
+
+    #[test]
+    fn hver_wraps_at_16_bits() {
+        let mut l = LockWord::INIT;
+        for _ in 0..(1 << 16) {
+            l = l.hw_acquired(0).released();
+        }
+        assert_eq!(l.hver(), 0, "wrapped");
+        assert!(!l.is_locked());
+    }
+
+    #[test]
+    fn sver_parity_is_lock_bit() {
+        let mut l = LockWord::INIT;
+        for i in 0..100 {
+            assert!(!l.is_locked());
+            l = if i % 2 == 0 {
+                l.sw_acquired(i % 7)
+            } else {
+                l.hw_acquired(i % 7)
+            };
+            assert!(l.is_locked());
+            l = l.released();
+        }
+    }
+}

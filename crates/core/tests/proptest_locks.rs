@@ -1,0 +1,85 @@
+//! Property-based tests of the dual-version lock word: any sequence of
+//! acquire/release cycles preserves the packing invariants, and
+//! validation accepts exactly the states it should.
+
+use nvhalt::LockWord;
+use proptest::prelude::*;
+
+#[derive(Clone, Copy, Debug)]
+enum Cycle {
+    Sw(usize),
+    Hw(usize),
+}
+
+fn cycle_strategy() -> impl Strategy<Value = Cycle> {
+    prop_oneof![
+        (0usize..256).prop_map(Cycle::Sw),
+        (0usize..256).prop_map(Cycle::Hw),
+    ]
+}
+
+proptest! {
+    /// Acquire/release cycles keep sver even when free, track owners
+    /// while held, and bump hver exactly on hardware acquisitions.
+    #[test]
+    fn cycles_preserve_invariants(cycles in proptest::collection::vec(cycle_strategy(), 1..200)) {
+        let mut lock = LockWord::INIT;
+        let mut expected_sver = 0u64;
+        let mut expected_hver = 0u64;
+        for c in &cycles {
+            prop_assert!(!lock.is_locked());
+            let held = match *c {
+                Cycle::Sw(tid) => {
+                    let h = lock.sw_acquired(tid);
+                    prop_assert!(h.is_locked_by(tid));
+                    h
+                }
+                Cycle::Hw(tid) => {
+                    expected_hver = (expected_hver + 1) & 0xffff;
+                    let h = lock.hw_acquired(tid);
+                    prop_assert!(h.is_locked_by(tid));
+                    h
+                }
+            };
+            expected_sver = (expected_sver + 2) & ((1 << 40) - 1);
+            prop_assert_eq!(held.hver(), expected_hver);
+            lock = held.released();
+            prop_assert_eq!(lock.sver(), expected_sver);
+            prop_assert_eq!(lock.hver(), expected_hver);
+            prop_assert_eq!(lock.owner(), 0);
+        }
+    }
+
+    /// Validation: unchanged words validate for everyone; a self-held
+    /// lock validates only for its holder; any completed write cycle
+    /// invalidates.
+    #[test]
+    fn validation_is_precise(
+        pre_cycles in 0usize..50,
+        tid in 0usize..256,
+        other in 0usize..256,
+    ) {
+        let mut enc = LockWord::INIT;
+        for i in 0..pre_cycles {
+            enc = if i % 2 == 0 {
+                enc.sw_acquired(i % 7).released()
+            } else {
+                enc.hw_acquired(i % 7).released()
+            };
+        }
+        // Unchanged: validates for any tid.
+        prop_assert!(LockWord::validates_against(enc, enc, tid));
+        // Self-locked: validates only for the holder.
+        let held = enc.sw_acquired(tid);
+        prop_assert!(LockWord::validates_against(held, enc, tid));
+        if other != tid {
+            prop_assert!(!LockWord::validates_against(held, enc, other));
+        }
+        // A completed software cycle invalidates for everyone.
+        let cycled = enc.sw_acquired(other).released();
+        prop_assert!(!LockWord::validates_against(cycled, enc, tid));
+        // A completed hardware cycle invalidates too (sver moved).
+        let hw_cycled = enc.hw_acquired(other).released();
+        prop_assert!(!LockWord::validates_against(hw_cycled, enc, tid));
+    }
+}

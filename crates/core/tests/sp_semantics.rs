@@ -1,0 +1,229 @@
+//! Targeted tests of the strongly progressive commit protocol (Figure 7):
+//! the global-clock validation skip, the `hver` hardware-conflict check,
+//! and the C-abortable fallback machinery (capacity overflow, heavy
+//! spurious aborts).
+
+use nvhalt::{LockStrategy, NvHalt, NvHaltConfig, Progress};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use tm::policy::HybridPolicy;
+use tm::stats::Counter;
+use tm::{txn, Abort, Addr, Tm};
+
+fn sp_config() -> NvHaltConfig {
+    let mut cfg = NvHaltConfig::test(1 << 12, 2);
+    cfg.progress = Progress::Strong;
+    cfg
+}
+
+/// A software committer whose read was invalidated by a concurrent
+/// *hardware* transaction must abort: the global-clock CAS succeeds (no
+/// software writer committed), so only the `hver` check can catch it.
+#[test]
+fn sp_detects_hardware_conflict_via_hver() {
+    let mut cfg = sp_config();
+    cfg.policy = HybridPolicy::stm_only(); // thread 0 stays on software
+    let tmem = NvHalt::new(cfg);
+    // Thread 1 keeps its default hybrid policy? Same TM instance, same
+    // policy — run its conflicting write on the hardware path by using a
+    // second TM handle is impossible; instead flip the policy per call is
+    // not supported. So: build the TM with the hybrid default and force
+    // thread 0's transaction onto the software path by overflowing the
+    // hardware attempts with user retries on hardware attempts.
+    drop(tmem);
+
+    let cfg = sp_config(); // default policy: 10 hardware attempts
+    let tmem = NvHalt::new(cfg);
+    let x = Addr(1);
+    let y = Addr(2);
+    let start = Barrier::new(2);
+    let read_done = AtomicBool::new(false);
+    let hw_done = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        // Thread 0: software transaction reading X then writing Y.
+        let t0 = s.spawn(|| {
+            start.wait();
+            let mut sw_attempts = 0u32;
+            txn(&tmem, 0, |tx| {
+                if tx.is_hw() {
+                    // Push ourselves onto the software path.
+                    return Err(Abort::CONFLICT);
+                }
+                sw_attempts += 1;
+                let _ = tx.read(x)?;
+                if sw_attempts == 1 {
+                    // First software attempt: let the hardware writer hit
+                    // X between our read and our commit.
+                    read_done.store(true, Ordering::Release);
+                    while !hw_done.load(Ordering::Acquire) {
+                        std::hint::spin_loop();
+                    }
+                }
+                tx.write(y, 1)?;
+                Ok(())
+            })
+            .unwrap();
+            sw_attempts
+        });
+        // Thread 1: hardware transaction writing X.
+        let t1 = s.spawn(|| {
+            start.wait();
+            while !read_done.load(Ordering::Acquire) {
+                std::hint::spin_loop();
+            }
+            txn(&tmem, 1, |tx| tx.write(x, 99)).unwrap();
+            hw_done.store(true, Ordering::Release);
+        });
+        t1.join().unwrap();
+        let sw_attempts = t0.join().unwrap();
+        assert!(
+            sw_attempts >= 2,
+            "the first software attempt must have failed hver validation \
+             (got {sw_attempts} attempts)"
+        );
+    });
+    assert_eq!(tmem.read_raw(x), 99);
+    assert_eq!(tmem.read_raw(y), 1);
+    let stats = tmem.stats();
+    assert!(stats.get(Counter::SwAbort) >= 1, "{stats}");
+    assert!(stats.get(Counter::HwCommit) >= 1, "{stats}");
+}
+
+/// Disjoint software writers do not abort each other: the loser of the
+/// clock CAS falls back to full validation, which passes.
+#[test]
+fn sp_disjoint_software_writers_both_commit() {
+    let mut cfg = sp_config();
+    cfg.policy = HybridPolicy {
+        hw_attempts: 0,
+        max_backoff_spins: 0,
+        ..HybridPolicy::default()
+    };
+    let tmem = NvHalt::new(cfg);
+    std::thread::scope(|s| {
+        for t in 0..2usize {
+            let tmem = &tmem;
+            s.spawn(move || {
+                for i in 0..3_000u64 {
+                    // Fully disjoint address sets.
+                    txn(tmem, t, |tx| {
+                        let a = Addr(10 + t as u64 * 8);
+                        let v = tx.read(a)?;
+                        tx.write(a, v + 1)?;
+                        let _ = i;
+                        Ok(())
+                    })
+                    .unwrap();
+                }
+            });
+        }
+    });
+    assert_eq!(tmem.read_raw(Addr(10)), 3_000);
+    assert_eq!(tmem.read_raw(Addr(18)), 3_000);
+    let stats = tmem.stats();
+    assert_eq!(
+        stats.get(Counter::SwAbort),
+        0,
+        "disjoint writers never conflict under SP: {stats}"
+    );
+}
+
+/// A transaction whose write set overflows the HTM capacity falls back
+/// to the software path and still commits (C-abortable progress with a
+/// capacity-triggered fallback).
+#[test]
+fn capacity_overflow_falls_back_to_software() {
+    let mut cfg = NvHaltConfig::test(1 << 14, 1);
+    cfg.htm.max_write_entries = 32;
+    let tmem = NvHalt::new(cfg);
+    txn(&tmem, 0, |tx| {
+        for a in 1..=2_000u64 {
+            tx.write(Addr(a), a)?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    for a in 1..=2_000u64 {
+        assert_eq!(tmem.read_raw(Addr(a)), a);
+    }
+    let stats = tmem.stats();
+    assert_eq!(stats.get(Counter::HwCapacity), 1, "{stats}");
+    assert_eq!(stats.get(Counter::SwCommit), 1, "{stats}");
+}
+
+/// Heavy spurious aborts cannot affect correctness, only the path mix.
+#[test]
+fn heavy_spurious_aborts_preserve_exactness() {
+    let mut cfg = NvHaltConfig::test(1 << 12, 2);
+    cfg.htm.spurious_log2 = 6; // ~1.6% per access
+    cfg.policy = HybridPolicy {
+        hw_attempts: 1, // a single spurious abort sends us to software
+        ..HybridPolicy::default()
+    };
+    let tmem = NvHalt::new(cfg);
+    std::thread::scope(|s| {
+        for t in 0..2usize {
+            let tmem = &tmem;
+            s.spawn(move || {
+                for _ in 0..2_000 {
+                    txn(tmem, t, |tx| {
+                        let v = tx.read(Addr(1))?;
+                        tx.write(Addr(1), v + 1)
+                    })
+                    .unwrap();
+                }
+            });
+        }
+    });
+    assert_eq!(tmem.read_raw(Addr(1)), 4_000);
+    let stats = tmem.stats();
+    assert!(stats.get(Counter::HwSpurious) > 0, "{stats}");
+    assert!(stats.get(Counter::SwCommit) > 0, "fallback engaged: {stats}");
+}
+
+/// The NO-PERSISTENT-HTX ablation really removes hardware-transaction
+/// persistence: committed hardware writes are volatile-only.
+#[test]
+fn ablation_no_persist_htx_loses_hw_writes_on_crash() {
+    let mut cfg = NvHaltConfig::test(1 << 10, 1);
+    cfg.persist_hw = false;
+    let tmem = NvHalt::new(cfg.clone());
+    txn(&tmem, 0, |tx| tx.write(Addr(3), 7)).unwrap();
+    assert_eq!(tmem.read_raw(Addr(3)), 7, "volatile commit intact");
+    assert_eq!(tmem.stats().get(Counter::HwCommit), 1);
+    tmem.crash();
+    let rec = NvHalt::recover(cfg, &tmem.crash_image(), []);
+    assert_eq!(
+        rec.read_raw(Addr(3)),
+        0,
+        "without hardware-path persistence the write must not survive"
+    );
+}
+
+/// Colocated and table lock strategies agree on semantics under the SP
+/// protocol (cross-variant differential smoke).
+#[test]
+fn sp_semantics_identical_across_lock_strategies() {
+    for locks in [LockStrategy::Table { locks_log2: 8 }, LockStrategy::Colocated] {
+        let mut cfg = sp_config();
+        cfg.locks = locks;
+        let tmem = NvHalt::new(cfg);
+        std::thread::scope(|s| {
+            for t in 0..2usize {
+                let tmem = &tmem;
+                s.spawn(move || {
+                    for i in 0..2_000u64 {
+                        txn(tmem, t, |tx| {
+                            let v = tx.read(Addr(1))?;
+                            tx.write(Addr(1), v + 1)?;
+                            tx.write(Addr(2 + (i % 64)), v)
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(tmem.read_raw(Addr(1)), 4_000, "{:?}", locks);
+    }
+}

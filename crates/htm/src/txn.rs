@@ -1,0 +1,614 @@
+//! Hardware-transaction execution: speculative tracking sets, commit-time
+//! slot locking, validation, and program-order publication.
+//!
+//! One call to [`crate::Htm::execute`] is one `xbegin`/`xend` attempt.
+//! The body runs speculatively: reads are validated against their slot at
+//! access time (per-location consistency) and again, all together, at
+//! commit; writes are buffered in the thread's write set and published only
+//! if commit succeeds. Any failure discards all speculative state and
+//! reports the abort kind — exactly the control flow of RTM, where an
+//! aborted transaction transfers control back to `xbegin` with a status
+//! code.
+//!
+//! A panic inside the body that is not a crash signal is converted into a
+//! conflict abort: with lazy conflict detection, a doomed transaction can
+//! observe an inconsistent snapshot before it is caught at commit, and the
+//! well-defined failure mode for such zombies in this simulator is a Rust
+//! panic (e.g. a bounds check). Real RTM would have aborted the
+//! transaction eagerly via coherence; converting the panic reproduces that
+//! outcome. Crash signals are re-raised untouched.
+
+use crate::Htm;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use tm::AbortKind;
+
+/// Zero-sized marker returned by transactional operations when the attempt
+/// has aborted; the actual abort kind lives in the thread context. Must be
+/// propagated out of the body (with `?`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Xabort;
+
+struct ReadEntry {
+    slot: u32,
+    ver: u64,
+}
+
+struct WriteEntry {
+    cell: *const AtomicU64,
+    val: u64,
+    slot: u32,
+}
+
+/// Per-thread reusable transaction state (tracking sets, RNG).
+pub struct HtmThread {
+    reads: Vec<ReadEntry>,
+    writes: Vec<WriteEntry>,
+    locked: Vec<(u32, u64)>,
+    rng: u64,
+    abort_kind: AbortKind,
+}
+
+// The raw cell pointers stored in the write set are only dereferenced
+// inside `execute`, under the `'env` bound that guarantees the cells
+// outlive the call; the buffers are cleared before `execute` returns.
+unsafe impl Send for HtmThread {}
+
+impl HtmThread {
+    /// Create a thread context. `tid` seeds this thread's RNG stream.
+    pub fn new(htm: &Htm, tid: usize) -> Self {
+        HtmThread {
+            reads: Vec::with_capacity(htm.cfg.max_read_entries.min(1 << 12)),
+            writes: Vec::with_capacity(htm.cfg.max_write_entries.min(1 << 9)),
+            locked: Vec::with_capacity(64),
+            rng: htm.cfg.seed ^ (tid as u64 + 1).wrapping_mul(0x2545_f491_4f6c_dd1d) | 1,
+            abort_kind: AbortKind::Conflict,
+        }
+    }
+
+    #[inline]
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+}
+
+/// An ongoing hardware transaction attempt. `'env` is the lifetime of the
+/// memory the transaction may access; `'t` borrows the thread context.
+pub struct HtmTxn<'env, 't> {
+    htm: &'t Htm,
+    th: &'t mut HtmThread,
+    _env: std::marker::PhantomData<&'env ()>,
+}
+
+impl<'env, 't> HtmTxn<'env, 't> {
+    #[cold]
+    fn fail(&mut self, kind: AbortKind) -> Xabort {
+        self.th.abort_kind = kind;
+        Xabort
+    }
+
+    #[inline]
+    fn spurious_check(&mut self) -> Result<(), Xabort> {
+        let bits = self.htm.cfg.spurious_log2;
+        if bits != 0 && self.th.next_rand() & ((1 << bits) - 1) == 0 {
+            return Err(self.fail(AbortKind::Spurious));
+        }
+        Ok(())
+    }
+
+    /// Transactionally read `cell` (entering its line into the read set).
+    ///
+    /// The cost model matters here: real RTM tracks reads for free in the
+    /// L1 cache, so the simulator keeps this path as close to a plain
+    /// load as it can — one slot load, one value load, and a tracking
+    /// push that is skipped when the previous read hit the same line
+    /// (sequential scans record one entry per line, as the hardware
+    /// would). Consistency is enforced at commit; mid-transaction zombies
+    /// are handled by the panic safety net (see module docs).
+    pub fn read(&mut self, cell: &'env AtomicU64) -> Result<u64, Xabort> {
+        // Read-own-writes: the most recent buffered value wins.
+        if !self.th.writes.is_empty() {
+            let ptr = cell as *const AtomicU64;
+            if let Some(w) = self.th.writes.iter().rev().find(|w| w.cell == ptr) {
+                return Ok(w.val);
+            }
+        }
+        let idx = self.htm.slot_of(cell);
+        let v1 = self.htm.slot(idx).load(Ordering::Acquire);
+        if v1 & 1 == 1 {
+            return Err(self.fail(AbortKind::Conflict));
+        }
+        let val = cell.load(Ordering::Acquire);
+        // Line-dedupe against the two most recent entries: protocols that
+        // interleave metadata and data reads (lock line / data line /
+        // lock line / ...) still record one entry per line touched.
+        let n = self.th.reads.len();
+        for e in &self.th.reads[n.saturating_sub(2)..] {
+            if e.slot == idx as u32 {
+                if e.ver == v1 {
+                    return Ok(val);
+                }
+                // The line changed since this very transaction read it.
+                return Err(self.fail(AbortKind::Conflict));
+            }
+        }
+        self.spurious_check()?;
+        if self.th.reads.len() >= self.htm.cfg.max_read_entries {
+            return Err(self.fail(AbortKind::Capacity));
+        }
+        self.th.reads.push(ReadEntry {
+            slot: idx as u32,
+            ver: v1,
+        });
+        Ok(val)
+    }
+
+    /// Transactionally read two cells that live on the **same cache
+    /// line** with a single tracking check — the hardware fetches the
+    /// line once, so colocated metadata (e.g. a lock next to its data
+    /// word, NV-HALT-CL) is tracked and validated together. Falls back to
+    /// two independent reads when the cells are on different lines.
+    pub fn read2(
+        &mut self,
+        a: &'env AtomicU64,
+        b: &'env AtomicU64,
+    ) -> Result<(u64, u64), Xabort> {
+        let idx = self.htm.slot_of(a);
+        if idx != self.htm.slot_of(b) || !self.th.writes.is_empty() {
+            return Ok((self.read(a)?, self.read(b)?));
+        }
+        let v1 = self.htm.slot(idx).load(Ordering::Acquire);
+        if v1 & 1 == 1 {
+            return Err(self.fail(AbortKind::Conflict));
+        }
+        let va = a.load(Ordering::Acquire);
+        let vb = b.load(Ordering::Acquire);
+        let n = self.th.reads.len();
+        for e in &self.th.reads[n.saturating_sub(2)..] {
+            if e.slot == idx as u32 {
+                if e.ver == v1 {
+                    return Ok((va, vb));
+                }
+                return Err(self.fail(AbortKind::Conflict));
+            }
+        }
+        self.spurious_check()?;
+        if self.th.reads.len() >= self.htm.cfg.max_read_entries {
+            return Err(self.fail(AbortKind::Capacity));
+        }
+        self.th.reads.push(ReadEntry {
+            slot: idx as u32,
+            ver: v1,
+        });
+        Ok((va, vb))
+    }
+
+    /// Transactionally write `v` to `cell` (buffered until commit).
+    pub fn write(&mut self, cell: &'env AtomicU64, v: u64) -> Result<(), Xabort> {
+        let ptr = cell as *const AtomicU64;
+        if let Some(w) = self.th.writes.iter_mut().rev().find(|w| w.cell == ptr) {
+            w.val = v;
+            return Ok(());
+        }
+        self.spurious_check()?;
+        if self.th.writes.len() >= self.htm.cfg.max_write_entries {
+            return Err(self.fail(AbortKind::Capacity));
+        }
+        let idx = self.htm.slot_of(cell);
+        self.th.writes.push(WriteEntry {
+            cell: ptr,
+            val: v,
+            slot: idx as u32,
+        });
+        Ok(())
+    }
+
+    /// Explicitly abort (`xabort`) with a user code.
+    pub fn xabort(&mut self, code: u32) -> Xabort {
+        self.fail(AbortKind::Explicit(code))
+    }
+
+    /// `rdtsc` inside the transaction: monotone, does not enter any
+    /// tracking set.
+    #[inline]
+    pub fn rdtsc(&self) -> u64 {
+        self.htm.rdtsc()
+    }
+
+    /// Current write-set size (entries). Lets TMs bound their logs.
+    pub fn write_set_len(&self) -> usize {
+        self.th.writes.len()
+    }
+}
+
+fn clear(th: &mut HtmThread) {
+    th.reads.clear();
+    th.writes.clear();
+    th.locked.clear();
+}
+
+/// Release commit-time slot locks, restoring (`abort`) or advancing
+/// (`commit`) their versions.
+fn release_slots(htm: &Htm, locked: &[(u32, u64)], commit: bool) {
+    for &(slot, pre) in locked {
+        let v = if commit { pre + 2 } else { pre };
+        htm.slot(slot as usize).store(v, Ordering::Release);
+    }
+}
+
+fn try_commit(htm: &Htm, th: &mut HtmThread) -> Result<(), AbortKind> {
+    if th.writes.is_empty() {
+        // Read-only: validate the whole read set; success means every read
+        // is still current, i.e. the transaction's snapshot is the memory
+        // state right now — a valid serialization point.
+        for r in &th.reads {
+            if htm.slot(r.slot as usize).load(Ordering::Acquire) != r.ver {
+                return Err(AbortKind::Conflict);
+            }
+        }
+        return Ok(());
+    }
+
+    // Lock written slots in sorted unique order (no deadlock among
+    // committers).
+    let mut slots: Vec<u32> = th.writes.iter().map(|w| w.slot).collect();
+    slots.sort_unstable();
+    slots.dedup();
+    for &slot in &slots {
+        let cell = htm.slot(slot as usize);
+        let cur = cell.load(Ordering::Relaxed);
+        if cur & 1 == 1
+            || cell
+                .compare_exchange(cur, cur + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+        {
+            release_slots(htm, &th.locked, false);
+            return Err(AbortKind::Conflict);
+        }
+        th.locked.push((slot, cur));
+    }
+
+    // Validate the read set: each slot unchanged, or locked by us with its
+    // pre-lock version matching what we read.
+    for r in &th.reads {
+        let cur = htm.slot(r.slot as usize).load(Ordering::Acquire);
+        if cur == r.ver {
+            continue;
+        }
+        let ours = th
+            .locked
+            .binary_search_by(|&(s, _)| s.cmp(&r.slot))
+            .is_ok_and(|i| th.locked[i].1 == r.ver);
+        if !ours {
+            release_slots(htm, &th.locked, false);
+            return Err(AbortKind::Conflict);
+        }
+    }
+
+    // Publish in program order (see crate docs), then release.
+    for w in &th.writes {
+        // SAFETY: `'env` on the transaction ops guarantees the cell
+        // outlives this `execute` call.
+        unsafe { (*w.cell).store(w.val, Ordering::Release) };
+    }
+    release_slots(htm, &th.locked, true);
+    Ok(())
+}
+
+pub(crate) fn execute<'env, R>(
+    htm: &Htm,
+    th: &mut HtmThread,
+    f: impl FnOnce(&mut HtmTxn<'env, '_>) -> Result<R, Xabort>,
+) -> Result<R, AbortKind> {
+    clear(th);
+    th.abort_kind = AbortKind::Conflict;
+    let body = catch_unwind(AssertUnwindSafe(|| {
+        let mut tx = HtmTxn {
+            htm,
+            th,
+            _env: std::marker::PhantomData,
+        };
+        f(&mut tx)
+    }));
+    let outcome = match body {
+        Ok(Ok(r)) => match try_commit(htm, th) {
+            Ok(()) => Ok(r),
+            Err(kind) => Err(kind),
+        },
+        Ok(Err(Xabort)) => Err(th.abort_kind),
+        Err(payload) => {
+            if tm::crash::is_crash(&*payload) {
+                clear(th);
+                resume_unwind(payload);
+            }
+            // A zombie transaction tripped a safety net; real hardware
+            // would have aborted it eagerly.
+            Err(AbortKind::Conflict)
+        }
+    };
+    clear(th);
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HtmConfig;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    fn htm() -> Htm {
+        Htm::new(HtmConfig::test())
+    }
+
+    #[test]
+    fn empty_txn_commits() {
+        let h = htm();
+        let mut th = HtmThread::new(&h, 0);
+        assert_eq!(h.execute(&mut th, |_tx| Ok(42)), Ok(42));
+    }
+
+    #[test]
+    fn writes_publish_on_commit_only() {
+        let h = htm();
+        let mut th = HtmThread::new(&h, 0);
+        let cell = AtomicU64::new(1);
+        let r = h.execute(&mut th, |tx| {
+            tx.write(&cell, 9)?;
+            assert_eq!(cell.load(Ordering::Relaxed), 1, "buffered, not in place");
+            Ok(())
+        });
+        assert_eq!(r, Ok(()));
+        assert_eq!(cell.load(Ordering::Relaxed), 9);
+    }
+
+    #[test]
+    fn read_own_writes() {
+        let h = htm();
+        let mut th = HtmThread::new(&h, 0);
+        let cell = AtomicU64::new(1);
+        let r = h.execute(&mut th, |tx| {
+            tx.write(&cell, 5)?;
+            let v = tx.read(&cell)?;
+            tx.write(&cell, v + 1)?;
+            tx.read(&cell)
+        });
+        assert_eq!(r, Ok(6));
+        assert_eq!(cell.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn explicit_abort_discards_writes() {
+        let h = htm();
+        let mut th = HtmThread::new(&h, 0);
+        let cell = AtomicU64::new(1);
+        let r: Result<(), AbortKind> = h.execute(&mut th, |tx| {
+            tx.write(&cell, 9)?;
+            Err(tx.xabort(3))
+        });
+        assert_eq!(r, Err(AbortKind::Explicit(3)));
+        assert_eq!(cell.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn capacity_abort_on_write_set_overflow() {
+        let h = Htm::new(HtmConfig {
+            max_write_entries: 4,
+            ..HtmConfig::test()
+        });
+        let mut th = HtmThread::new(&h, 0);
+        let cells: Vec<AtomicU64> = (0..8).map(AtomicU64::new).collect();
+        let r: Result<(), AbortKind> = h.execute(&mut th, |tx| {
+            for c in &cells {
+                tx.write(c, 0)?;
+            }
+            Ok(())
+        });
+        assert_eq!(r, Err(AbortKind::Capacity));
+    }
+
+    #[test]
+    fn capacity_abort_on_read_set_overflow() {
+        let h = Htm::new(HtmConfig {
+            max_read_entries: 4,
+            ..HtmConfig::test()
+        });
+        let mut th = HtmThread::new(&h, 0);
+        // Tracking is line-granular: only reads of distinct lines occupy
+        // entries, so the cells must live on separate lines.
+        let cells: Vec<crossbeam::utils::CachePadded<AtomicU64>> =
+            (0..8).map(|i| crossbeam::utils::CachePadded::new(AtomicU64::new(i))).collect();
+        let r: Result<(), AbortKind> = h.execute(&mut th, |tx| {
+            for c in &cells {
+                tx.read(c)?;
+            }
+            Ok(())
+        });
+        assert_eq!(r, Err(AbortKind::Capacity));
+    }
+
+    #[test]
+    fn same_line_reads_share_one_tracking_entry() {
+        let h = Htm::new(HtmConfig {
+            max_read_entries: 2,
+            ..HtmConfig::test()
+        });
+        let mut th = HtmThread::new(&h, 0);
+        // 16 words on (at most) two lines: must fit in two entries.
+        #[repr(align(64))]
+        struct Lines([AtomicU64; 16]);
+        let lines = Lines(std::array::from_fn(|i| AtomicU64::new(i as u64)));
+        let r = h.execute(&mut th, |tx| {
+            let mut s = 0;
+            for c in &lines.0 {
+                s += tx.read(c)?;
+            }
+            Ok(s)
+        });
+        assert_eq!(r, Ok(120));
+    }
+
+    #[test]
+    fn nt_store_aborts_reader() {
+        let h = htm();
+        let mut th = HtmThread::new(&h, 0);
+        let cell = AtomicU64::new(1);
+        let r: Result<u64, AbortKind> = h.execute(&mut th, |tx| {
+            let v = tx.read(&cell)?;
+            // A concurrent non-transactional write lands mid-transaction.
+            h.nt_store(&cell, 99);
+            Ok(v)
+        });
+        assert_eq!(r, Err(AbortKind::Conflict));
+    }
+
+    #[test]
+    fn spurious_aborts_fire_with_config() {
+        let h = Htm::new(HtmConfig {
+            spurious_log2: 2,
+            ..HtmConfig::test()
+        });
+        let mut th = HtmThread::new(&h, 0);
+        let cell = AtomicU64::new(0);
+        let mut spurious = 0;
+        for _ in 0..200 {
+            if h.execute(&mut th, |tx| tx.read(&cell)) == Err(AbortKind::Spurious) {
+                spurious += 1;
+            }
+        }
+        assert!(spurious > 10, "got {spurious}");
+    }
+
+    #[test]
+    fn zombie_panic_becomes_conflict_abort() {
+        let h = htm();
+        let mut th = HtmThread::new(&h, 0);
+        let r: Result<(), AbortKind> = h.execute(&mut th, |_tx| {
+            let v: Vec<u32> = vec![];
+            let _ = v[1]; // out-of-bounds: the zombie safety net
+            Ok(())
+        });
+        assert_eq!(r, Err(AbortKind::Conflict));
+    }
+
+    #[test]
+    fn crash_signal_propagates_out() {
+        let h = htm();
+        let mut th = HtmThread::new(&h, 0);
+        let r = tm::crash::run_crashable(|| {
+            h.execute(&mut th, |_tx| -> Result<(), Xabort> {
+                tm::crash::crash_unwind()
+            })
+        });
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn conflicting_writers_one_aborts_counter_stays_exact() {
+        let h = Arc::new(htm());
+        let counter = Arc::new(AtomicU64::new(0));
+        let total = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let h = h.clone();
+            let counter = counter.clone();
+            let total = total.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut th = HtmThread::new(&h, t);
+                let mut committed = 0u64;
+                for _ in 0..20_000 {
+                    let r = h.execute(&mut th, |tx| {
+                        let v = tx.read(&counter)?;
+                        tx.write(&counter, v + 1)?;
+                        Ok(())
+                    });
+                    if r.is_ok() {
+                        committed += 1;
+                    }
+                }
+                total.fetch_add(committed, Ordering::SeqCst);
+            }));
+        }
+        for hdl in handles {
+            hdl.join().unwrap();
+        }
+        assert_eq!(
+            counter.load(Ordering::SeqCst),
+            total.load(Ordering::SeqCst),
+            "each committed increment is reflected exactly once"
+        );
+    }
+
+    #[test]
+    fn transactions_are_atomic_to_transactional_readers() {
+        // Writer txns keep x == y; reader txns must never observe x != y.
+        let h = Arc::new(htm());
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let violated = Arc::new(AtomicBool::new(false));
+
+        let writer = {
+            let (h, x, y, stop) = (h.clone(), x.clone(), y.clone(), stop.clone());
+            std::thread::spawn(move || {
+                let mut th = HtmThread::new(&h, 0);
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    i += 1;
+                    let _ = h.execute(&mut th, |tx| {
+                        tx.write(&x, i)?;
+                        tx.write(&y, i)?;
+                        Ok(())
+                    });
+                }
+            })
+        };
+        let reader = {
+            let (h, x, y, stop, violated) =
+                (h.clone(), x.clone(), y.clone(), stop.clone(), violated.clone());
+            std::thread::spawn(move || {
+                let mut th = HtmThread::new(&h, 1);
+                for _ in 0..30_000 {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let r = h.execute(&mut th, |tx| {
+                        let a = tx.read(&x)?;
+                        let b = tx.read(&y)?;
+                        Ok((a, b))
+                    });
+                    if let Ok((a, b)) = r {
+                        if a != b {
+                            violated.store(true, Ordering::Relaxed);
+                        }
+                    }
+                }
+                stop.store(true, Ordering::Relaxed);
+            })
+        };
+        reader.join().unwrap();
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+        assert!(!violated.load(Ordering::Relaxed), "opacity violated");
+    }
+
+    #[test]
+    fn write_set_len_reports_entries() {
+        let h = htm();
+        let mut th = HtmThread::new(&h, 0);
+        let a = AtomicU64::new(0);
+        let b = AtomicU64::new(0);
+        let r = h.execute(&mut th, |tx| {
+            tx.write(&a, 1)?;
+            tx.write(&a, 2)?; // dedup
+            tx.write(&b, 3)?;
+            Ok(tx.write_set_len())
+        });
+        assert_eq!(r, Ok(2));
+    }
+}

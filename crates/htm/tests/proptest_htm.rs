@@ -1,0 +1,117 @@
+//! Property-based tests of the HTM simulator: committed transactions are
+//! exactly sequential, interleaved with non-transactional operations.
+
+use htm::{Htm, HtmConfig, HtmThread};
+use proptest::prelude::*;
+use std::sync::atomic::AtomicU64;
+
+#[derive(Clone, Debug)]
+enum HtmOp {
+    TxnReadWrite(Vec<(usize, Option<u64>)>), // per cell: read (None) or write (Some)
+    NtStore(usize, u64),
+    NtCas(usize, u64, u64),
+}
+
+fn txn_strategy(cells: usize) -> impl Strategy<Value = HtmOp> {
+    prop_oneof![
+        proptest::collection::vec((0..cells, proptest::option::of(any::<u64>())), 1..8)
+            .prop_map(HtmOp::TxnReadWrite),
+        (0..cells, any::<u64>()).prop_map(|(c, v)| HtmOp::NtStore(c, v)),
+        (0..cells, 0u64..4, any::<u64>()).prop_map(|(c, e, v)| HtmOp::NtCas(c, e, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Single-threaded: every committed transaction and nt op applies
+    /// exactly as in a sequential model (reads see the model's values,
+    /// writes update it).
+    #[test]
+    fn sequential_equivalence(ops in proptest::collection::vec(txn_strategy(8), 1..120)) {
+        let htm = Htm::new(HtmConfig::test());
+        let cells: Vec<AtomicU64> = (0..8).map(|_| AtomicU64::new(0)).collect();
+        let mut model = [0u64; 8];
+        let mut th = HtmThread::new(&htm, 0);
+        for op in &ops {
+            match op {
+                HtmOp::TxnReadWrite(accesses) => {
+                    let model_snapshot = model;
+                    let mut expected = model_snapshot;
+                    let r = htm.execute(&mut th, |tx| {
+                        let mut seen = Vec::new();
+                        for &(c, w) in accesses {
+                            match w {
+                                None => seen.push(tx.read(&cells[c])?),
+                                Some(v) => tx.write(&cells[c], v)?,
+                            }
+                        }
+                        Ok(seen)
+                    });
+                    // Uncontended transactions must commit.
+                    let seen = r.expect("no concurrent conflicts exist");
+                    let mut it = seen.into_iter();
+                    for &(c, w) in accesses {
+                        match w {
+                            None => prop_assert_eq!(it.next().unwrap(), expected[c]),
+                            Some(v) => expected[c] = v,
+                        }
+                    }
+                    model = expected;
+                }
+                HtmOp::NtStore(c, v) => {
+                    htm.nt_store(&cells[*c], *v);
+                    model[*c] = *v;
+                }
+                HtmOp::NtCas(c, e, v) => {
+                    let r = htm.nt_cas(&cells[*c], *e, *v);
+                    if model[*c] == *e {
+                        prop_assert!(r.is_ok());
+                        model[*c] = *v;
+                    } else {
+                        prop_assert_eq!(r, Err(model[*c]));
+                    }
+                }
+            }
+        }
+        for (c, cell) in cells.iter().enumerate() {
+            prop_assert_eq!(htm.nt_load(cell), model[c]);
+        }
+    }
+
+    /// read2 on same-line cells is equivalent to two reads.
+    #[test]
+    fn read2_equivalence(vals in proptest::collection::vec(any::<u64>(), 8)) {
+        #[repr(align(64))]
+        struct Line([AtomicU64; 8]);
+        let line = Line(std::array::from_fn(|i| AtomicU64::new(vals[i])));
+        let htm = Htm::new(HtmConfig::test());
+        let mut th = HtmThread::new(&htm, 0);
+        for i in 0..7 {
+            let r = htm.execute(&mut th, |tx| tx.read2(&line.0[i], &line.0[i + 1]));
+            prop_assert_eq!(r, Ok((vals[i], vals[i + 1])));
+        }
+    }
+
+    /// Aborted transactions (explicit) never leak writes, whatever the
+    /// buffered state was.
+    #[test]
+    fn aborts_leak_nothing(
+        writes in proptest::collection::vec((0usize..8, any::<u64>()), 1..20),
+        code in 0u32..16,
+    ) {
+        let htm = Htm::new(HtmConfig::test());
+        let cells: Vec<AtomicU64> = (0..8).map(|i| AtomicU64::new(i as u64)).collect();
+        let mut th = HtmThread::new(&htm, 0);
+        let r: Result<(), _> = htm.execute(&mut th, |tx| {
+            for &(c, v) in &writes {
+                tx.write(&cells[c], v)?;
+            }
+            Err(tx.xabort(code))
+        });
+        prop_assert!(r.is_err());
+        for (i, cell) in cells.iter().enumerate() {
+            prop_assert_eq!(htm.nt_load(cell), i as u64);
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Trinity's colocated-undo persistent layout (§2.1.2, used by NV-HALT §3.2).
+//!
+//! Every transactional word is augmented, *in persistent memory only*, with
+//! an adjacent replica word (`back`) and a sequence word (`meta`), all
+//! within one cache line. Volatile memory holds just the user word; the
+//! annotated entry exists purely for recovery (the optimisation Trinity
+//! describes and NV-HALT adopts).
+//!
+//! Persisting a write stores `back = old value`, then `meta = {tid, pver}`,
+//! then `data = new value`, and flushes the line — in that order, so any
+//! store-order-consistent prefix that reaches the media is recoverable:
+//!
+//! * `meta` old → `data` is old too (kept as is);
+//! * `meta` new → `back` is definitely the pre-transaction value, and the
+//!   word is reverted to it iff the owning thread's durable persistent
+//!   version number says transaction `pver` did not fully persist.
+//!
+//! The pool region is laid out as one line per thread for the persistent
+//! version numbers (avoiding line-lock contention between threads),
+//! followed by a 4-word entry per user word (two entries per line):
+//!
+//! ```text
+//! [ pver line, thread 0 ][ pver line, thread 1 ] ... [ entries: {data, back, meta, pad} per word ]
+//! ```
+
+use crate::pool::{DurableImage, PmemConfig, PmemPool, LINE_WORDS};
+use std::sync::Arc;
+use tm::stats::TmStats;
+
+/// Words per annotated entry (`{data, back, meta, pad}`).
+pub const ENTRY_WORDS: usize = 4;
+
+const F_DATA: usize = 0;
+const F_BACK: usize = 1;
+const F_META: usize = 2;
+
+/// The `{tid, pver}` tuple stored in an entry's sequence word. Thread id in
+/// the top 16 bits, persistent version number in the low 48 (the paper
+/// combines them because different threads may share version values).
+///
+/// Version wrap-around would take 2^48 committed writing transactions per
+/// thread; out of reach in any run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Meta(pub u64);
+
+impl Meta {
+    /// Pack a thread id and version.
+    #[inline]
+    pub fn pack(tid: usize, ver: u64) -> Meta {
+        debug_assert!(tid < (1 << 16));
+        debug_assert!(ver < (1 << 48));
+        Meta(((tid as u64) << 48) | ver)
+    }
+
+    /// Owning thread id.
+    #[inline]
+    pub fn tid(self) -> usize {
+        (self.0 >> 48) as usize
+    }
+
+    /// Persistent version number.
+    #[inline]
+    pub fn ver(self) -> u64 {
+        self.0 & ((1 << 48) - 1)
+    }
+}
+
+/// Geometry of the annotated region: pure arithmetic, usable against both a
+/// live pool and a crash image.
+#[derive(Clone, Copy, Debug)]
+pub struct AnnotLayout {
+    /// Number of user words.
+    pub heap_words: usize,
+    /// Number of thread slots (one pver line each).
+    pub max_threads: usize,
+}
+
+impl AnnotLayout {
+    /// Total pool words this layout needs.
+    pub fn total_words(&self) -> usize {
+        self.max_threads * LINE_WORDS + self.heap_words * ENTRY_WORDS
+    }
+
+    /// Pool word holding thread `tid`'s persistent version number.
+    #[inline]
+    pub fn pver_word(&self, tid: usize) -> usize {
+        debug_assert!(tid < self.max_threads);
+        tid * LINE_WORDS
+    }
+
+    /// Pool word where user word `a`'s entry begins.
+    #[inline]
+    pub fn entry_base(&self, a: usize) -> usize {
+        debug_assert!(a < self.heap_words);
+        self.max_threads * LINE_WORDS + a * ENTRY_WORDS
+    }
+
+    /// Read an entry `{data, back, meta}` from a crash image.
+    pub fn image_entry(&self, img: &DurableImage, a: usize) -> (u64, u64, Meta) {
+        let base = self.entry_base(a);
+        (
+            img.word(base + F_DATA),
+            img.word(base + F_BACK),
+            Meta(img.word(base + F_META)),
+        )
+    }
+
+    /// Read thread `tid`'s durable pver from a crash image.
+    pub fn image_pver(&self, img: &DurableImage, tid: usize) -> u64 {
+        img.word(self.pver_word(tid))
+    }
+}
+
+/// A [`PmemPool`] wrapped in the annotated layout.
+pub struct AnnotPmem {
+    layout: AnnotLayout,
+    pool: PmemPool,
+}
+
+impl AnnotPmem {
+    /// Create a fresh annotated pool. `template.words` is ignored; the size
+    /// is computed from `layout`.
+    pub fn new(layout: AnnotLayout, template: &PmemConfig, stats: Option<Arc<TmStats>>) -> Self {
+        let cfg = PmemConfig {
+            words: layout.total_words(),
+            max_threads: layout.max_threads,
+            ..template.clone()
+        };
+        AnnotPmem {
+            layout,
+            pool: PmemPool::new(&cfg, stats),
+        }
+    }
+
+    /// Rebuild an annotated pool from a crash image (recovery).
+    pub fn from_image(
+        layout: AnnotLayout,
+        template: &PmemConfig,
+        image: &DurableImage,
+        stats: Option<Arc<TmStats>>,
+    ) -> Self {
+        let cfg = PmemConfig {
+            words: layout.total_words(),
+            max_threads: layout.max_threads,
+            ..template.clone()
+        };
+        AnnotPmem {
+            layout,
+            pool: PmemPool::from_durable(&cfg, image, stats),
+        }
+    }
+
+    /// The layout geometry.
+    pub fn layout(&self) -> AnnotLayout {
+        self.layout
+    }
+
+    /// The underlying pool (crash control, snapshots).
+    pub fn pool(&self) -> &PmemPool {
+        &self.pool
+    }
+
+    /// Persist one write-set entry: `back = old`, `meta`, `data = new`,
+    /// then flush the entry's line — Figure 1 lines 17–19.
+    pub fn persist_entry(&self, tid: usize, a: usize, old: u64, new: u64, meta: Meta) {
+        let base = self.layout.entry_base(a);
+        self.pool.write(tid, base + F_BACK, old);
+        self.pool.write(tid, base + F_META, meta.0);
+        self.pool.write(tid, base + F_DATA, new);
+        self.pool.flush_line(tid, base);
+    }
+
+    /// Write the recovered value of user word `a` during recovery
+    /// (both layers already equal; this refreshes an entry whose data word
+    /// was reverted). Flushes so the revert itself is durable.
+    pub fn recovery_store(&self, a: usize, v: u64) {
+        let base = self.layout.entry_base(a);
+        self.pool.write(0, base + F_DATA, v);
+        self.pool.flush_line(0, base);
+    }
+
+    /// Persist thread `tid`'s new persistent version number (Figure 1
+    /// line 21): store + flush. The caller orders it with a fence.
+    pub fn persist_pver(&self, tid: usize, ver: u64) {
+        let w = self.layout.pver_word(tid);
+        self.pool.write(tid, w, ver);
+        self.pool.flush_line(tid, w);
+    }
+
+    /// `sfence` for thread `tid`.
+    pub fn sfence(&self, tid: usize) {
+        self.pool.sfence(tid);
+    }
+
+    /// Entry `{data, back, meta}` as currently durable (quiescent).
+    pub fn durable_entry(&self, a: usize) -> (u64, u64, Meta) {
+        let base = self.layout.entry_base(a);
+        (
+            self.pool.durable_word(base + F_DATA),
+            self.pool.durable_word(base + F_BACK),
+            Meta(self.pool.durable_word(base + F_META)),
+        )
+    }
+
+    /// Entry `{data, back, meta}` in the cache layer (quiescent).
+    pub fn cache_entry(&self, a: usize) -> (u64, u64, Meta) {
+        let base = self.layout.entry_base(a);
+        (
+            self.pool.cache_word(base + F_DATA),
+            self.pool.cache_word(base + F_BACK),
+            Meta(self.pool.cache_word(base + F_META)),
+        )
+    }
+
+    /// Thread `tid`'s durable pver (quiescent).
+    pub fn durable_pver(&self, tid: usize) -> u64 {
+        self.pool.durable_word(self.layout.pver_word(tid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{FlushPolicy, PmemMode};
+    use crate::EvictionPolicy;
+    use crate::LatencyModel;
+
+    fn settings() -> PmemConfig {
+        PmemConfig {
+            words: 0,
+            max_threads: 0,
+            mode: PmemMode::Nvram,
+            lat: LatencyModel::zero(),
+            flush: FlushPolicy::Eager,
+            eviction: EvictionPolicy::None,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn meta_pack_roundtrip() {
+        let m = Meta::pack(12, 0x1234_5678_9abc);
+        assert_eq!(m.tid(), 12);
+        assert_eq!(m.ver(), 0x1234_5678_9abc);
+        let zero = Meta(0);
+        assert_eq!(zero.tid(), 0);
+        assert_eq!(zero.ver(), 0);
+    }
+
+    #[test]
+    fn layout_geometry() {
+        let l = AnnotLayout {
+            heap_words: 10,
+            max_threads: 3,
+        };
+        assert_eq!(l.pver_word(0), 0);
+        assert_eq!(l.pver_word(2), 16);
+        assert_eq!(l.entry_base(0), 3 * LINE_WORDS);
+        assert_eq!(l.entry_base(1), 3 * LINE_WORDS + ENTRY_WORDS);
+        assert_eq!(l.total_words(), 3 * LINE_WORDS + 10 * ENTRY_WORDS);
+    }
+
+    #[test]
+    fn persist_entry_becomes_durable() {
+        let l = AnnotLayout {
+            heap_words: 4,
+            max_threads: 2,
+        };
+        let ap = AnnotPmem::new(l, &settings(), None);
+        ap.persist_entry(1, 2, 10, 20, Meta::pack(1, 5));
+        let (data, back, meta) = ap.durable_entry(2);
+        assert_eq!((data, back), (20, 10));
+        assert_eq!(meta, Meta::pack(1, 5));
+    }
+
+    #[test]
+    fn pver_persists_per_thread() {
+        let l = AnnotLayout {
+            heap_words: 1,
+            max_threads: 2,
+        };
+        let ap = AnnotPmem::new(l, &settings(), None);
+        ap.persist_pver(0, 3);
+        ap.persist_pver(1, 9);
+        ap.sfence(0);
+        ap.sfence(1);
+        assert_eq!(ap.durable_pver(0), 3);
+        assert_eq!(ap.durable_pver(1), 9);
+    }
+
+    #[test]
+    fn image_accessors_match_pool_accessors() {
+        let l = AnnotLayout {
+            heap_words: 4,
+            max_threads: 1,
+        };
+        let ap = AnnotPmem::new(l, &settings(), None);
+        ap.persist_entry(0, 3, 1, 2, Meta::pack(0, 7));
+        ap.persist_pver(0, 8);
+        ap.pool().crash();
+        let img = ap.pool().snapshot_durable();
+        assert_eq!(l.image_entry(&img, 3), ap.durable_entry(3));
+        assert_eq!(l.image_pver(&img, 0), 8);
+    }
+
+    #[test]
+    fn eviction_prefix_is_recoverable() {
+        // Simulate the adversarial eviction the module docs discuss: the
+        // line is written back after `back` and `meta` stores but before
+        // `data`. Recovery must still see a revertible state.
+        let l = AnnotLayout {
+            heap_words: 2,
+            max_threads: 1,
+        };
+        let ap = AnnotPmem::new(l, &settings(), None);
+        // Initial committed value 5 for word 0 (fully persisted, pver -> 2).
+        ap.persist_entry(0, 0, 0, 5, Meta::pack(0, 1));
+        ap.sfence(0);
+        ap.persist_pver(0, 2);
+        ap.sfence(0);
+        // A new transaction (pver 2) starts persisting 5 -> 6 but the pool
+        // only sees `back` and `meta` hit the media (forced eviction),
+        // never the data store or the flush.
+        let base = l.entry_base(0);
+        ap.pool().write(0, base + 1, 5); // back = old
+        ap.pool().write(0, base + 2, Meta::pack(0, 2).0); // meta = {0, 2}
+        ap.pool().force_evict(base);
+        // data store happens in cache only, then crash.
+        ap.pool().write(0, base, 6);
+        ap.pool().crash();
+        let img = ap.pool().snapshot_durable();
+        let (data, back, meta) = l.image_entry(&img, 0);
+        assert_eq!(data, 5, "new data never reached the media");
+        assert_eq!(back, 5);
+        assert_eq!(meta, Meta::pack(0, 2));
+        // Recovery logic (meta.ver >= durable pver) reverts to back = 5:
+        // the committed pre-crash value. Either way the word reads 5.
+        assert!(meta.ver() >= l.image_pver(&img, 0));
+    }
+
+    #[test]
+    fn recovery_store_updates_data_durably() {
+        let l = AnnotLayout {
+            heap_words: 1,
+            max_threads: 1,
+        };
+        let ap = AnnotPmem::new(l, &settings(), None);
+        ap.persist_entry(0, 0, 0, 9, Meta::pack(0, 1));
+        ap.recovery_store(0, 4);
+        assert_eq!(ap.durable_entry(0).0, 4);
+    }
+}

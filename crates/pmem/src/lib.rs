@@ -1,0 +1,42 @@
+//! A simulator for byte-addressable non-volatile main memory (NVM).
+//!
+//! The paper targets Intel Optane DC persistent memory on an ADR platform:
+//! NVM exists only as main memory, writes take effect in the volatile CPU
+//! cache first, `clflushopt` asynchronously writes a cache line back,
+//! `sfence` blocks until previously initiated flushes complete, and the
+//! processor may also write any line back *at any time* on its own. On a
+//! power failure, exactly the lines that reached the media survive.
+//!
+//! [`PmemPool`] reproduces that model in software with two word arrays per
+//! pool — a *cache layer* (volatile) and a *durable layer* (the media) —
+//! plus per-line spinlocks that make every line write-back a point-in-time
+//! snapshot (hardware lines write back atomically; see `pool.rs`).
+//!
+//! What the model preserves, and why it is a faithful substitute:
+//!
+//! * **Durability boundary.** Data becomes durable only at `flush_line` /
+//!   `sfence` (policy-dependent) or through arbitrary eviction, at line
+//!   granularity, preserving intra-line store order — the exact guarantees
+//!   Trinity's colocated-undo scheme (§2.1.2) and NV-HALT's persistence
+//!   mechanism (§3) rely on.
+//! * **Crash semantics.** [`PmemPool::crash`] poisons the pool: every later
+//!   operation unwinds its thread via [`tm::crash`], and the durable layer
+//!   at that instant is the recovery image — the full-system-crash model of
+//!   §2.
+//! * **Cost structure.** A spin-based [`LatencyModel`] charges NVM reads,
+//!   writes, flushes and fences, so the ablation of Figure 9 (overhead
+//!   classes 1 and 2) is reproducible via [`PmemMode`].
+//!
+//! The [`annot`] module implements the Trinity persistent line layout
+//! (`{data, back, {tid, pver}}` colocated in one line) shared by NV-HALT
+//! and the Trinity baseline.
+
+pub mod annot;
+pub mod latency;
+pub mod pool;
+
+pub use annot::{AnnotPmem, Meta, ENTRY_WORDS};
+pub use latency::LatencyModel;
+pub use pool::{
+    DurableImage, EvictionPolicy, FlushPolicy, PmemConfig, PmemMode, PmemPool, LINE_WORDS,
+};

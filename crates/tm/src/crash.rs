@@ -1,0 +1,69 @@
+//! Crash signalling for full-system-crash simulation.
+//!
+//! The persistent-memory simulator models a power failure by poisoning the
+//! pool: every subsequent operation on shared state panics with a
+//! [`CrashSignal`] payload, which unwinds the worker thread at whatever
+//! point of its transaction it had reached — exactly the "system can crash
+//! at any time, all processes crash simultaneously" model of §2.
+//!
+//! Workers run their workload under [`run_crashable`], which converts the
+//! crash unwind into `None` while letting every other panic (a genuine bug)
+//! propagate.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Panic payload used to simulate a power failure tearing down a thread.
+#[derive(Clone, Copy, Debug)]
+pub struct CrashSignal;
+
+/// Unwind the current thread as if the power failed now.
+///
+/// Never returns. Must only be called from code running under
+/// [`run_crashable`] (or another handler that understands [`CrashSignal`]).
+pub fn crash_unwind() -> ! {
+    std::panic::panic_any(CrashSignal)
+}
+
+/// True if a caught panic payload is a [`CrashSignal`].
+pub fn is_crash(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.is::<CrashSignal>()
+}
+
+/// Run `f`; return `Some(result)` normally, `None` if it was torn down by a
+/// simulated crash. Any other panic is propagated unchanged.
+pub fn run_crashable<R>(f: impl FnOnce() -> R) -> Option<R> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => Some(r),
+        Err(payload) if is_crash(&*payload) => None,
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_completion_passes_through() {
+        assert_eq!(run_crashable(|| 42), Some(42));
+    }
+
+    #[test]
+    fn crash_unwind_is_caught() {
+        assert_eq!(run_crashable(|| -> u32 { crash_unwind() }), None);
+    }
+
+    #[test]
+    fn other_panics_propagate() {
+        let r = catch_unwind(|| run_crashable(|| -> u32 { panic!("real bug") }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn is_crash_distinguishes_payloads() {
+        let caught = catch_unwind(|| crash_unwind()).unwrap_err();
+        assert!(is_crash(&*caught));
+        let other = catch_unwind(|| panic!("x")).unwrap_err();
+        assert!(!is_crash(&*other));
+    }
+}

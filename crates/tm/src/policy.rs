@@ -1,0 +1,130 @@
+//! Hybrid retry policy: the paper's *C-abortable* progress notion, executable.
+//!
+//! §2 defines a TM as *C-abortable (weak/strong) progressive* if every
+//! transaction can abort unconditionally at most `C` times, after which all
+//! further aborts must be justified by conflicts. NV-HALT realises this by
+//! attempting each transaction a fixed number of times on the hardware path
+//! before falling back to a progressive software path. [`HybridPolicy`]
+//! encodes that schedule, plus bounded randomized backoff to damp conflict
+//! storms on the fallback path.
+
+/// Which path the next attempt should run on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PathChoice {
+    /// Attempt on the hardware fast path.
+    Hw,
+    /// Attempt on the software fallback path.
+    Sw,
+}
+
+/// Attempt schedule for a hybrid TM.
+#[derive(Clone, Copy, Debug)]
+pub struct HybridPolicy {
+    /// Maximum attempts on the hardware path before falling back — the `C`
+    /// of C-abortable progressiveness. `0` disables the hardware path.
+    pub hw_attempts: usize,
+    /// If true, a capacity abort falls back to software immediately (no
+    /// point retrying an overflowing transaction in hardware).
+    pub capacity_falls_back: bool,
+    /// Upper bound (in spin iterations) for randomized backoff after a
+    /// software-path conflict abort. `0` disables backoff.
+    pub max_backoff_spins: u32,
+}
+
+impl Default for HybridPolicy {
+    fn default() -> Self {
+        HybridPolicy {
+            hw_attempts: 10,
+            capacity_falls_back: true,
+            max_backoff_spins: 1 << 10,
+        }
+    }
+}
+
+impl HybridPolicy {
+    /// A policy with no hardware path (pure STM execution).
+    pub fn stm_only() -> Self {
+        HybridPolicy {
+            hw_attempts: 0,
+            ..Default::default()
+        }
+    }
+
+    /// Decide the path for attempt number `attempt` (0-based), given how
+    /// many hardware attempts already ended in a capacity abort.
+    #[inline]
+    pub fn choose(&self, attempt: usize, capacity_aborts: usize) -> PathChoice {
+        if attempt < self.hw_attempts && !(self.capacity_falls_back && capacity_aborts > 0) {
+            PathChoice::Hw
+        } else {
+            PathChoice::Sw
+        }
+    }
+
+    /// Spin for a bounded pseudo-random interval derived from `seed` and the
+    /// attempt number. Called after software-path conflicts.
+    #[inline]
+    pub fn backoff(&self, seed: u64, attempt: usize) {
+        if self.max_backoff_spins == 0 {
+            return;
+        }
+        // xorshift over (seed, attempt); bounded exponential window.
+        let mut x = seed ^ (attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let window = (1u64 << (attempt.min(10) as u32 + 4)).min(self.max_backoff_spins as u64);
+        let spins = x % window;
+        for _ in 0..spins {
+            std::hint::spin_loop();
+        }
+        if spins > 256 {
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_schedule_is_c_abortable() {
+        let p = HybridPolicy::default();
+        for a in 0..p.hw_attempts {
+            assert_eq!(p.choose(a, 0), PathChoice::Hw);
+        }
+        assert_eq!(p.choose(p.hw_attempts, 0), PathChoice::Sw);
+        assert_eq!(p.choose(p.hw_attempts + 100, 0), PathChoice::Sw);
+    }
+
+    #[test]
+    fn capacity_abort_falls_back_immediately() {
+        let p = HybridPolicy::default();
+        assert_eq!(p.choose(1, 1), PathChoice::Sw);
+        let keep = HybridPolicy {
+            capacity_falls_back: false,
+            ..Default::default()
+        };
+        assert_eq!(keep.choose(1, 1), PathChoice::Hw);
+    }
+
+    #[test]
+    fn stm_only_never_uses_hardware() {
+        let p = HybridPolicy::stm_only();
+        assert_eq!(p.choose(0, 0), PathChoice::Sw);
+    }
+
+    #[test]
+    fn backoff_terminates() {
+        let p = HybridPolicy::default();
+        for a in 0..20 {
+            p.backoff(0xdead_beef, a);
+        }
+        let none = HybridPolicy {
+            max_backoff_spins: 0,
+            ..Default::default()
+        };
+        none.backoff(1, 1);
+    }
+}

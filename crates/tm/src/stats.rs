@@ -1,0 +1,279 @@
+//! Cache-padded per-thread statistics for transactional memories.
+//!
+//! Counters are sharded per thread (each shard on its own cache line) so
+//! that statistics collection never introduces inter-thread coherence
+//! traffic that would distort the benchmarks. Snapshots sum the shards.
+
+use crossbeam::utils::CachePadded;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Everything a TM counts, one slot per variant.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(usize)]
+pub enum Counter {
+    /// Committed hardware-path attempts.
+    HwCommit = 0,
+    /// Hardware attempts aborted by a data conflict.
+    HwConflict,
+    /// Hardware attempts aborted by tracking-set capacity.
+    HwCapacity,
+    /// Hardware attempts aborted spuriously.
+    HwSpurious,
+    /// Hardware attempts aborted explicitly (xabort).
+    HwExplicit,
+    /// Committed software-path attempts.
+    SwCommit,
+    /// Software attempts aborted (always conflict-justified).
+    SwAbort,
+    /// Transactions that ended in a voluntary cancel.
+    Cancelled,
+    /// Cache-line flushes issued.
+    Flush,
+    /// Persist fences issued.
+    Fence,
+    /// Words written back to persistent memory.
+    PmWords,
+    /// Time (ns) spent blocked in commit-ordering waits (SPHT).
+    OrderWaitNs,
+    /// Redo-log entries replayed (SPHT).
+    Replayed,
+}
+
+impl Counter {
+    /// Number of counter slots.
+    pub const COUNT: usize = Counter::Replayed as usize + 1;
+
+    /// All counters in slot order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::HwCommit,
+        Counter::HwConflict,
+        Counter::HwCapacity,
+        Counter::HwSpurious,
+        Counter::HwExplicit,
+        Counter::SwCommit,
+        Counter::SwAbort,
+        Counter::Cancelled,
+        Counter::Flush,
+        Counter::Fence,
+        Counter::PmWords,
+        Counter::OrderWaitNs,
+        Counter::Replayed,
+    ];
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Counter::HwCommit => "hw_commit",
+            Counter::HwConflict => "hw_conflict",
+            Counter::HwCapacity => "hw_capacity",
+            Counter::HwSpurious => "hw_spurious",
+            Counter::HwExplicit => "hw_explicit",
+            Counter::SwCommit => "sw_commit",
+            Counter::SwAbort => "sw_abort",
+            Counter::Cancelled => "cancelled",
+            Counter::Flush => "flush",
+            Counter::Fence => "fence",
+            Counter::PmWords => "pm_words",
+            Counter::OrderWaitNs => "order_wait_ns",
+            Counter::Replayed => "replayed",
+        }
+    }
+}
+
+struct Shard {
+    slots: [AtomicU64; Counter::COUNT],
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            slots: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Per-thread sharded statistics.
+pub struct TmStats {
+    shards: Vec<CachePadded<Shard>>,
+}
+
+impl TmStats {
+    /// Create statistics with one shard per thread slot.
+    pub fn new(max_threads: usize) -> Self {
+        TmStats {
+            shards: (0..max_threads)
+                .map(|_| CachePadded::new(Shard::new()))
+                .collect(),
+        }
+    }
+
+    /// Bump `c` by one for thread `tid`.
+    #[inline]
+    pub fn bump(&self, tid: usize, c: Counter) {
+        self.shards[tid].slots[c as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n` to `c` for thread `tid`.
+    #[inline]
+    pub fn add(&self, tid: usize, c: Counter, n: u64) {
+        self.shards[tid].slots[c as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sum all shards into a snapshot.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut totals = [0u64; Counter::COUNT];
+        for shard in &self.shards {
+            for (i, t) in totals.iter_mut().enumerate() {
+                *t += shard.slots[i].load(Ordering::Relaxed);
+            }
+        }
+        StatsSnapshot { totals }
+    }
+
+    /// Zero every counter.
+    pub fn reset(&self) {
+        for shard in &self.shards {
+            for slot in &shard.slots {
+                slot.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// A point-in-time sum of all shards.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StatsSnapshot {
+    totals: [u64; Counter::COUNT],
+}
+
+impl StatsSnapshot {
+    /// Value of one counter.
+    #[inline]
+    pub fn get(&self, c: Counter) -> u64 {
+        self.totals[c as usize]
+    }
+
+    /// Total committed transactions (both paths).
+    pub fn commits(&self) -> u64 {
+        self.get(Counter::HwCommit) + self.get(Counter::SwCommit)
+    }
+
+    /// Total aborted attempts (both paths).
+    pub fn aborts(&self) -> u64 {
+        self.get(Counter::HwConflict)
+            + self.get(Counter::HwCapacity)
+            + self.get(Counter::HwSpurious)
+            + self.get(Counter::HwExplicit)
+            + self.get(Counter::SwAbort)
+    }
+
+    /// Fraction of commits that happened on the hardware path.
+    pub fn hw_commit_ratio(&self) -> f64 {
+        let c = self.commits();
+        if c == 0 {
+            0.0
+        } else {
+            self.get(Counter::HwCommit) as f64 / c as f64
+        }
+    }
+
+    /// Difference against an earlier snapshot (for measurement windows).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        let mut totals = [0u64; Counter::COUNT];
+        for (i, t) in totals.iter_mut().enumerate() {
+            *t = self.totals[i].wrapping_sub(earlier.totals[i]);
+        }
+        StatsSnapshot { totals }
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for c in Counter::ALL {
+            let v = self.get(c);
+            if v != 0 {
+                if !first {
+                    write!(f, " ")?;
+                }
+                write!(f, "{}={}", c.label(), v)?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "(empty)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_snapshot() {
+        let s = TmStats::new(2);
+        s.bump(0, Counter::HwCommit);
+        s.bump(1, Counter::HwCommit);
+        s.add(1, Counter::Flush, 10);
+        let snap = s.snapshot();
+        assert_eq!(snap.get(Counter::HwCommit), 2);
+        assert_eq!(snap.get(Counter::Flush), 10);
+        assert_eq!(snap.commits(), 2);
+    }
+
+    #[test]
+    fn ratios_and_aborts() {
+        let s = TmStats::new(1);
+        s.bump(0, Counter::HwCommit);
+        s.bump(0, Counter::SwCommit);
+        s.bump(0, Counter::SwAbort);
+        s.bump(0, Counter::HwSpurious);
+        let snap = s.snapshot();
+        assert_eq!(snap.commits(), 2);
+        assert_eq!(snap.aborts(), 2);
+        assert!((snap.hw_commit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let s = TmStats::new(1);
+        s.bump(0, Counter::SwCommit);
+        let a = s.snapshot();
+        s.bump(0, Counter::SwCommit);
+        s.bump(0, Counter::SwCommit);
+        let b = s.snapshot();
+        assert_eq!(b.since(&a).get(Counter::SwCommit), 2);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = TmStats::new(1);
+        s.bump(0, Counter::Fence);
+        s.reset();
+        assert_eq!(s.snapshot().get(Counter::Fence), 0);
+    }
+
+    #[test]
+    fn display_lists_nonzero() {
+        let s = TmStats::new(1);
+        assert_eq!(format!("{}", s.snapshot()), "(empty)");
+        s.bump(0, Counter::HwCommit);
+        assert!(format!("{}", s.snapshot()).contains("hw_commit=1"));
+    }
+
+    #[test]
+    fn all_labels_distinct() {
+        let labels: std::collections::HashSet<_> =
+            Counter::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), Counter::COUNT);
+    }
+
+    #[test]
+    fn hw_ratio_empty_is_zero() {
+        let s = TmStats::new(1);
+        assert_eq!(s.snapshot().hw_commit_ratio(), 0.0);
+    }
+}

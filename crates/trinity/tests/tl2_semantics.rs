@@ -1,0 +1,175 @@
+//! Targeted tests of TrinityVR-TL2's distinguishing mechanisms: the
+//! global version clock, snapshot staleness aborts, the validation-skip
+//! optimisation, and persistence ordering.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use tm::policy::HybridPolicy;
+use tm::stats::Counter;
+use tm::{txn, Abort, Addr, Tm};
+use trinity::{Trinity, TrinityConfig};
+
+/// A reader that started before a writer committed must not observe the
+/// writer's value (TL2's rv check), even though the write is already in
+/// volatile memory when the reader reaches it.
+#[test]
+fn stale_snapshot_rejects_newer_versions() {
+    let tmem = Trinity::new(TrinityConfig::test(1 << 10, 2));
+    txn(&tmem, 0, |tx| tx.write(Addr(1), 10)).unwrap();
+    let wrote = AtomicBool::new(false);
+    let mut first_attempt_aborted = false;
+    std::thread::scope(|s| {
+        let reader = s.spawn(|| {
+            let mut attempts = 0;
+            let v = txn(&tmem, 0, |tx| {
+                attempts += 1;
+                if attempts == 1 {
+                    // Stall after TxStart so the writer commits under us.
+                    wrote.store(true, Ordering::Release);
+                    let t0 = std::time::Instant::now();
+                    while t0.elapsed() < std::time::Duration::from_millis(20) {
+                        std::thread::yield_now();
+                    }
+                }
+                tx.read(Addr(1))
+            })
+            .unwrap();
+            (v, attempts)
+        });
+        s.spawn(|| {
+            while !wrote.load(Ordering::Acquire) {
+                std::hint::spin_loop();
+            }
+            txn(&tmem, 1, |tx| tx.write(Addr(1), 20)).unwrap();
+        });
+        let (v, attempts) = reader.join().unwrap();
+        // The first attempt saw ver > rv and retried; the retry reads 20.
+        first_attempt_aborted = attempts > 1;
+        assert_eq!(v, 20);
+    });
+    assert!(
+        first_attempt_aborted,
+        "TL2 must reject the read of a version newer than rv"
+    );
+    assert!(tmem.stats().get(Counter::SwAbort) >= 1);
+}
+
+/// The validation-skip path (clock moved by exactly one) commits without
+/// re-validating; interleaved independent writers still serialize
+/// correctly.
+#[test]
+fn validation_skip_is_sound_under_interleaving() {
+    let tmem = Trinity::new(TrinityConfig::test(1 << 10, 2));
+    std::thread::scope(|s| {
+        for t in 0..2usize {
+            let tmem = &tmem;
+            s.spawn(move || {
+                for i in 0..3_000u64 {
+                    txn(tmem, t, |tx| {
+                        // Read both counters, bump our own: classic
+                        // snapshot-dependent write.
+                        let mine = tx.read(Addr(1 + t as u64))?;
+                        let theirs = tx.read(Addr(2 - t as u64))?;
+                        let _ = theirs;
+                        tx.write(Addr(1 + t as u64), mine + 1)?;
+                        let _ = i;
+                        Ok(())
+                    })
+                    .unwrap();
+                }
+            });
+        }
+    });
+    assert_eq!(tmem.read_raw(Addr(1)), 3_000);
+    assert_eq!(tmem.read_raw(Addr(2)), 3_000);
+}
+
+/// Locks are held across the persist phase: a concurrent reader can
+/// never observe a committed-but-not-yet-durable value (Trinity's
+/// correctness argument, inherited by NV-HALT's software path).
+#[test]
+fn readers_never_see_non_durable_data() {
+    let mut cfg = TrinityConfig::test(1 << 10, 2);
+    cfg.pm.lat.fence_base_ns = 5_000_000; // stretch the persist window
+    let tmem = Trinity::new(cfg);
+    std::thread::scope(|s| {
+        let writer = s.spawn(|| {
+            for i in 1..=20u64 {
+                txn(&tmem, 0, |tx| {
+                    tx.write(Addr(1), i)?;
+                    tx.write(Addr(2), i)
+                })
+                .unwrap();
+            }
+        });
+        // The reader retries while the writer holds its locks; any
+        // committed snapshot must be pair-consistent AND durable.
+        for _ in 0..50 {
+            let (a, b) = txn(&tmem, 1, |tx| {
+                let a = tx.read(Addr(1))?;
+                let b = tx.read(Addr(2))?;
+                Ok((a, b))
+            })
+            .unwrap();
+            assert_eq!(a, b, "torn pair");
+            let (durable_a, _, _) = tmem.pmem().durable_entry(1);
+            assert!(
+                durable_a >= a || a == 0,
+                "observed value {a} ahead of durable {durable_a}"
+            );
+        }
+        writer.join().unwrap();
+    });
+}
+
+/// Cancelling has no effect on the clock (no ghost versions).
+#[test]
+fn cancelled_writers_do_not_advance_the_clock() {
+    let tmem = Trinity::new(TrinityConfig::test(1 << 10, 1));
+    for _ in 0..10 {
+        let _ = txn(&tmem, 0, |tx| {
+            tx.write(Addr(1), 1)?;
+            Err::<(), _>(Abort::Cancel)
+        });
+    }
+    // A later reader-writer pair behaves as if nothing happened.
+    txn(&tmem, 0, |tx| tx.write(Addr(1), 5)).unwrap();
+    assert_eq!(txn(&tmem, 0, |tx| tx.read(Addr(1))).unwrap(), 5);
+    assert_eq!(tmem.stats().get(Counter::Cancelled), 10);
+}
+
+/// Crash between two transactions of one thread: recovery restores the
+/// first and drops nothing (thread pver bookkeeping).
+#[test]
+fn recovery_respects_thread_pver_chain() {
+    let cfg = TrinityConfig::test(1 << 10, 1);
+    let tmem = Trinity::new(cfg.clone());
+    for i in 1..=7u64 {
+        txn(&tmem, 0, |tx| tx.write(Addr(i), i * 11)).unwrap();
+    }
+    tmem.crash();
+    let rec = Trinity::recover(cfg.clone(), &tmem.crash_image(), []);
+    for i in 1..=7u64 {
+        assert_eq!(rec.read_raw(Addr(i)), i * 11);
+    }
+    assert_eq!(rec.thread_pver(0), 7);
+    // And the recovered instance keeps committing durably.
+    txn(&rec, 0, |tx| tx.write(Addr(8), 88)).unwrap();
+    rec.crash();
+    let rec2 = Trinity::recover(cfg, &rec.crash_image(), []);
+    assert_eq!(rec2.read_raw(Addr(8)), 88);
+    assert_eq!(rec2.read_raw(Addr(7)), 77);
+}
+
+/// STM-only policy flag is honoured (Trinity never uses hardware).
+#[test]
+fn trinity_is_pure_software() {
+    let mut cfg = TrinityConfig::test(1 << 10, 1);
+    cfg.policy = HybridPolicy::default(); // even with hw_attempts > 0
+    let tmem = Trinity::new(cfg);
+    for _ in 0..50 {
+        txn(&tmem, 0, |tx| tx.write(Addr(1), 1)).unwrap();
+    }
+    let s = tmem.stats();
+    assert_eq!(s.get(Counter::HwCommit), 0);
+    assert_eq!(s.get(Counter::SwCommit), 50);
+}

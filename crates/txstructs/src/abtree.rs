@@ -1,0 +1,623 @@
+//! A transactional (a,b)-tree with a = 4, b = 16 — the tree micro-benchmark
+//! of §5 (Figure 8, row 1).
+//!
+//! The tree is a B+-tree over `u64 → u64`: internal nodes hold up to 15
+//! separator keys (16 children, at least 4), leaves hold up to 16 key/value
+//! pairs (at least 4). All operations run inside a single transaction and
+//! use *preemptive* restructuring — full children are split and minimal
+//! children are fixed (borrow/merge) on the way down — so no parent stack
+//! is needed and every operation touches one root-to-leaf path. Updates
+//! therefore involve the "expensive rebalancing operations" the paper
+//! credits for the tree's larger transaction footprints.
+//!
+//! Node layout (34 words):
+//!
+//! ```text
+//! word 0      header: (is_leaf << 8) | count
+//! words 1..17  keys[16]   (internal nodes use at most 15)
+//! words 17..34 slots[17]  (leaf: values aligned with keys; internal: children)
+//! ```
+//!
+//! Traversals carry *fuel*: a doomed hardware transaction can observe an
+//! inconsistent snapshot and wander, so loops are bounded and bail out
+//! with a retry (real HTM would have aborted the zombie eagerly).
+
+use tm::{Abort, Addr, Tm, TxResult, Txn};
+
+/// Maximum keys in a leaf / children in an internal node (the paper's b).
+pub const B: usize = 16;
+/// Minimum children of a non-root internal node (the paper's a).
+pub const A: usize = 4;
+
+const MAX_IKEYS: usize = B - 1;
+const MIN_LEAF: usize = A;
+const MIN_IKEYS: usize = A - 1;
+
+/// Words per node.
+pub const NODE_WORDS: usize = 34;
+
+const K_OFF: u64 = 1;
+const P_OFF: u64 = 17;
+
+/// Traversal fuel: well past any legitimate path length.
+const FUEL: usize = 1 << 12;
+
+/// A handle to a transactional (a,b)-tree. The handle itself is plain data
+/// (an address); clones refer to the same tree.
+#[derive(Clone, Copy, Debug)]
+pub struct AbTree {
+    root_slot: Addr,
+}
+
+type TxRef<'a> = &'a mut dyn Txn;
+type EmitFn<'a> = &'a mut dyn FnMut(&mut Vec<(u64, u64)>, u64, u64);
+
+fn hdr(tx: TxRef, node: Addr) -> Result<(bool, usize), Abort> {
+    let h = tx.read(node)?;
+    let count = (h & 0xff) as usize;
+    // Defensive decode: a zombie can read garbage; clamp instead of
+    // indexing out of bounds.
+    if count > B {
+        return Err(Abort::CONFLICT);
+    }
+    Ok((h >> 8 & 1 == 1, count))
+}
+
+fn set_hdr(tx: TxRef, node: Addr, leaf: bool, count: usize) -> Result<(), Abort> {
+    tx.write(node, ((leaf as u64) << 8) | count as u64)
+}
+
+fn key(tx: TxRef, node: Addr, i: usize) -> Result<u64, Abort> {
+    tx.read(node.offset(K_OFF + i as u64))
+}
+
+fn set_key(tx: TxRef, node: Addr, i: usize, k: u64) -> Result<(), Abort> {
+    tx.write(node.offset(K_OFF + i as u64), k)
+}
+
+/// Leaf value or internal child at slot `i`.
+fn slot(tx: TxRef, node: Addr, i: usize) -> Result<u64, Abort> {
+    tx.read(node.offset(P_OFF + i as u64))
+}
+
+fn set_slot(tx: TxRef, node: Addr, i: usize, v: u64) -> Result<(), Abort> {
+    tx.write(node.offset(P_OFF + i as u64), v)
+}
+
+fn new_node(tx: TxRef, leaf: bool) -> Result<Addr, Abort> {
+    let n = tx.alloc(NODE_WORDS)?;
+    set_hdr(tx, n, leaf, 0)?;
+    Ok(n)
+}
+
+/// Child index for `k`: the first separator greater than `k` (child `i`
+/// covers keys `< keys[i]`, the last child covers the rest).
+fn child_index(tx: TxRef, node: Addr, n: usize, k: u64) -> Result<usize, Abort> {
+    for i in 0..n {
+        if k < key(tx, node, i)? {
+            return Ok(i);
+        }
+    }
+    Ok(n)
+}
+
+/// Position of `k` in a leaf: `Ok(i)` if present, `Err(i)` = insert point.
+fn leaf_search(tx: TxRef, leaf: Addr, n: usize, k: u64) -> Result<Result<usize, usize>, Abort> {
+    for i in 0..n {
+        let ki = key(tx, leaf, i)?;
+        if ki == k {
+            return Ok(Ok(i));
+        }
+        if ki > k {
+            return Ok(Err(i));
+        }
+    }
+    Ok(Err(n))
+}
+
+fn is_full(leaf: bool, count: usize) -> bool {
+    if leaf {
+        count >= B
+    } else {
+        count >= MAX_IKEYS
+    }
+}
+
+/// Split the full child at `parent`'s slot `i`. The parent must have room
+/// (guaranteed preemptively).
+fn split_child(tx: TxRef, parent: Addr, i: usize, pcount: usize) -> Result<(), Abort> {
+    let child = Addr(slot(tx, parent, i)?);
+    let (cleaf, cn) = hdr(tx, child)?;
+    let right = new_node(tx, cleaf)?;
+    let sep;
+    if cleaf {
+        // 16 keys: keep 8, move 8; separator is the right half's first key.
+        let keep = cn / 2;
+        let moved = cn - keep;
+        for j in 0..moved {
+            let kk = key(tx, child, keep + j)?;
+            set_key(tx, right, j, kk)?;
+            let vv = slot(tx, child, keep + j)?;
+            set_slot(tx, right, j, vv)?;
+        }
+        set_hdr(tx, right, true, moved)?;
+        set_hdr(tx, child, true, keep)?;
+        sep = key(tx, right, 0)?;
+    } else {
+        // 15 keys / 16 children: key[7] moves up; left keeps keys 0..7 and
+        // children 0..=7; right takes keys 8..15 and children 8..=15.
+        let mid = cn / 2;
+        sep = key(tx, child, mid)?;
+        let moved = cn - mid - 1;
+        for j in 0..moved {
+            let kk = key(tx, child, mid + 1 + j)?;
+            set_key(tx, right, j, kk)?;
+        }
+        for j in 0..=moved {
+            let cc = slot(tx, child, mid + 1 + j)?;
+            set_slot(tx, right, j, cc)?;
+        }
+        set_hdr(tx, right, false, moved)?;
+        set_hdr(tx, child, false, mid)?;
+    }
+    // Shift the parent's keys and children right of slot i.
+    for j in (i..pcount).rev() {
+        let k = key(tx, parent, j)?;
+        set_key(tx, parent, j + 1, k)?;
+    }
+    for j in (i + 1..=pcount).rev() {
+        let c = slot(tx, parent, j)?;
+        set_slot(tx, parent, j + 1, c)?;
+    }
+    set_key(tx, parent, i, sep)?;
+    set_slot(tx, parent, i + 1, right.0)?;
+    set_hdr(tx, parent, false, pcount + 1)?;
+    Ok(())
+}
+
+impl AbTree {
+    /// Create an empty tree on a fresh TM. The root slot is the tree's
+    /// stable identity; keep it (or [`AbTree::root_slot`]) for
+    /// [`AbTree::attach`] after recovery.
+    pub fn create<T: Tm + ?Sized>(tm: &T, tid: usize) -> TxResult<AbTree> {
+        let root_slot = tm::txn(tm, tid, |tx| {
+            let slot_addr = tx.alloc(1)?;
+            let leaf = new_node(tx, true)?;
+            tx.write(slot_addr, leaf.0)?;
+            Ok(slot_addr)
+        })?;
+        Ok(AbTree { root_slot })
+    }
+
+    /// Re-attach to an existing tree (e.g. after crash recovery).
+    pub fn attach(root_slot: Addr) -> AbTree {
+        AbTree { root_slot }
+    }
+
+    /// The tree's stable root-slot address.
+    pub fn root_slot(&self) -> Addr {
+        self.root_slot
+    }
+
+    /// Look up `k`.
+    pub fn get<T: Tm + ?Sized>(&self, tm: &T, tid: usize, k: u64) -> TxResult<Option<u64>> {
+        tm::txn(tm, tid, |tx| {
+            let mut cur = Addr(tx.read(self.root_slot)?);
+            for _ in 0..FUEL {
+                if cur.is_null() {
+                    return Err(Abort::CONFLICT);
+                }
+                let (leaf, n) = hdr(tx, cur)?;
+                if leaf {
+                    return match leaf_search(tx, cur, n, k)? {
+                        Ok(i) => Ok(Some(slot(tx, cur, i)?)),
+                        Err(_) => Ok(None),
+                    };
+                }
+                let i = child_index(tx, cur, n, k)?;
+                cur = Addr(slot(tx, cur, i)?);
+            }
+            Err(Abort::CONFLICT)
+        })
+    }
+
+    /// Insert or update; returns the previous value if any.
+    pub fn insert<T: Tm + ?Sized>(
+        &self,
+        tm: &T,
+        tid: usize,
+        k: u64,
+        v: u64,
+    ) -> TxResult<Option<u64>> {
+        tm::txn(tm, tid, |tx| {
+            let mut root = Addr(tx.read(self.root_slot)?);
+            if root.is_null() {
+                return Err(Abort::CONFLICT);
+            }
+            let (rleaf, rn) = hdr(tx, root)?;
+            if is_full(rleaf, rn) {
+                let new_root = new_node(tx, false)?;
+                set_slot(tx, new_root, 0, root.0)?;
+                set_hdr(tx, new_root, false, 0)?;
+                split_child(tx, new_root, 0, 0)?;
+                tx.write(self.root_slot, new_root.0)?;
+                root = new_root;
+            }
+            let mut cur = root;
+            for _ in 0..FUEL {
+                let (leaf, n) = hdr(tx, cur)?;
+                if leaf {
+                    return match leaf_search(tx, cur, n, k)? {
+                        Ok(i) => {
+                            let old = slot(tx, cur, i)?;
+                            set_slot(tx, cur, i, v)?;
+                            Ok(Some(old))
+                        }
+                        Err(i) => {
+                            for j in (i..n).rev() {
+                                let kk = key(tx, cur, j)?;
+                                set_key(tx, cur, j + 1, kk)?;
+                                let vv = slot(tx, cur, j)?;
+                                set_slot(tx, cur, j + 1, vv)?;
+                            }
+                            set_key(tx, cur, i, k)?;
+                            set_slot(tx, cur, i, v)?;
+                            set_hdr(tx, cur, true, n + 1)?;
+                            Ok(None)
+                        }
+                    };
+                }
+                let mut i = child_index(tx, cur, n, k)?;
+                let child = Addr(slot(tx, cur, i)?);
+                if child.is_null() {
+                    return Err(Abort::CONFLICT);
+                }
+                let (cleaf, cn) = hdr(tx, child)?;
+                if is_full(cleaf, cn) {
+                    split_child(tx, cur, i, n)?;
+                    if k >= key(tx, cur, i)? {
+                        i += 1;
+                    }
+                }
+                cur = Addr(slot(tx, cur, i)?);
+            }
+            Err(Abort::CONFLICT)
+        })
+    }
+
+    /// Remove `k`; returns its value if it was present.
+    pub fn remove<T: Tm + ?Sized>(&self, tm: &T, tid: usize, k: u64) -> TxResult<Option<u64>> {
+        tm::txn(tm, tid, |tx| {
+            let mut cur = Addr(tx.read(self.root_slot)?);
+            if cur.is_null() {
+                return Err(Abort::CONFLICT);
+            }
+            for _ in 0..FUEL {
+                let (leaf, n) = hdr(tx, cur)?;
+                if leaf {
+                    return match leaf_search(tx, cur, n, k)? {
+                        Ok(i) => {
+                            let old = slot(tx, cur, i)?;
+                            for j in i + 1..n {
+                                let kk = key(tx, cur, j)?;
+                                set_key(tx, cur, j - 1, kk)?;
+                                let vv = slot(tx, cur, j)?;
+                                set_slot(tx, cur, j - 1, vv)?;
+                            }
+                            set_hdr(tx, cur, true, n - 1)?;
+                            Ok(Some(old))
+                        }
+                        Err(_) => Ok(None),
+                    };
+                }
+                let i = child_index(tx, cur, n, k)?;
+                let child = Addr(slot(tx, cur, i)?);
+                if child.is_null() {
+                    return Err(Abort::CONFLICT);
+                }
+                let (cleaf, cn) = hdr(tx, child)?;
+                let min = if cleaf { MIN_LEAF } else { MIN_IKEYS };
+                if cn > min {
+                    cur = child;
+                    continue;
+                }
+                // Child is minimal: borrow from a sibling or merge, then
+                // re-descend from `cur` (indices may have shifted).
+                self.fix_minimal_child(tx, cur, n, i, child, cleaf)?;
+                // The root can shrink: if it lost its last key, collapse.
+                let (_, n2) = hdr(tx, cur)?;
+                if n2 == 0 && cur == Addr(tx.read(self.root_slot)?) {
+                    let only = Addr(slot(tx, cur, 0)?);
+                    tx.write(self.root_slot, only.0)?;
+                    tx.free(cur, NODE_WORDS)?;
+                    cur = only;
+                }
+            }
+            Err(Abort::CONFLICT)
+        })
+    }
+
+    /// Ensure `child` (at index `i` of `parent` with `n` keys) has more
+    /// than the minimum, by rotation or merge.
+    fn fix_minimal_child(
+        &self,
+        tx: TxRef,
+        parent: Addr,
+        n: usize,
+        i: usize,
+        child: Addr,
+        cleaf: bool,
+    ) -> Result<(), Abort> {
+        let (_, cn) = hdr(tx, child)?;
+        let min = if cleaf { MIN_LEAF } else { MIN_IKEYS };
+        // Try borrowing from the left sibling.
+        if i > 0 {
+            let left = Addr(slot(tx, parent, i - 1)?);
+            let (_, ln) = hdr(tx, left)?;
+            if ln > min {
+                if cleaf {
+                    // Move left's last pair to child's front.
+                    let mk = key(tx, left, ln - 1)?;
+                    let mv = slot(tx, left, ln - 1)?;
+                    for j in (0..cn).rev() {
+                        let kk = key(tx, child, j)?;
+                        set_key(tx, child, j + 1, kk)?;
+                        let vv = slot(tx, child, j)?;
+                        set_slot(tx, child, j + 1, vv)?;
+                    }
+                    set_key(tx, child, 0, mk)?;
+                    set_slot(tx, child, 0, mv)?;
+                    set_hdr(tx, child, true, cn + 1)?;
+                    set_hdr(tx, left, true, ln - 1)?;
+                    set_key(tx, parent, i - 1, mk)?;
+                } else {
+                    // Rotate through the separator.
+                    let sep = key(tx, parent, i - 1)?;
+                    for j in (0..cn).rev() {
+                        let kk = key(tx, child, j)?;
+                        set_key(tx, child, j + 1, kk)?;
+                    }
+                    for j in (0..=cn).rev() {
+                        let cc = slot(tx, child, j)?;
+                        set_slot(tx, child, j + 1, cc)?;
+                    }
+                    set_key(tx, child, 0, sep)?;
+                    let moved = slot(tx, left, ln)?;
+                    set_slot(tx, child, 0, moved)?;
+                    set_hdr(tx, child, false, cn + 1)?;
+                    let up = key(tx, left, ln - 1)?;
+                    set_key(tx, parent, i - 1, up)?;
+                    set_hdr(tx, left, false, ln - 1)?;
+                }
+                return Ok(());
+            }
+        }
+        // Try borrowing from the right sibling.
+        if i < n {
+            let right = Addr(slot(tx, parent, i + 1)?);
+            let (_, rn) = hdr(tx, right)?;
+            if rn > min {
+                if cleaf {
+                    let mk = key(tx, right, 0)?;
+                    let mv = slot(tx, right, 0)?;
+                    set_key(tx, child, cn, mk)?;
+                    set_slot(tx, child, cn, mv)?;
+                    set_hdr(tx, child, true, cn + 1)?;
+                    for j in 1..rn {
+                        let kk = key(tx, right, j)?;
+                        set_key(tx, right, j - 1, kk)?;
+                        let vv = slot(tx, right, j)?;
+                        set_slot(tx, right, j - 1, vv)?;
+                    }
+                    set_hdr(tx, right, true, rn - 1)?;
+                    let newsep = key(tx, right, 0)?;
+                    set_key(tx, parent, i, newsep)?;
+                } else {
+                    let sep = key(tx, parent, i)?;
+                    set_key(tx, child, cn, sep)?;
+                    let moved = slot(tx, right, 0)?;
+                    set_slot(tx, child, cn + 1, moved)?;
+                    set_hdr(tx, child, false, cn + 1)?;
+                    let up = key(tx, right, 0)?;
+                    set_key(tx, parent, i, up)?;
+                    for j in 1..rn {
+                        let kk = key(tx, right, j)?;
+                        set_key(tx, right, j - 1, kk)?;
+                    }
+                    for j in 1..=rn {
+                        let cc = slot(tx, right, j)?;
+                        set_slot(tx, right, j - 1, cc)?;
+                    }
+                    set_hdr(tx, right, false, rn - 1)?;
+                }
+                return Ok(());
+            }
+        }
+        // Merge with a sibling (the merged node is `left`; `right` is
+        // freed and the separator removed from the parent).
+        let (li, left, right) = if i > 0 {
+            (i - 1, Addr(slot(tx, parent, i - 1)?), child)
+        } else {
+            (i, child, Addr(slot(tx, parent, i + 1)?))
+        };
+        let (_, ln) = hdr(tx, left)?;
+        let (_, rn) = hdr(tx, right)?;
+        if cleaf {
+            for j in 0..rn {
+                let kk = key(tx, right, j)?;
+                set_key(tx, left, ln + j, kk)?;
+                let vv = slot(tx, right, j)?;
+                set_slot(tx, left, ln + j, vv)?;
+            }
+            set_hdr(tx, left, true, ln + rn)?;
+        } else {
+            let sep = key(tx, parent, li)?;
+            set_key(tx, left, ln, sep)?;
+            for j in 0..rn {
+                let kk = key(tx, right, j)?;
+                set_key(tx, left, ln + 1 + j, kk)?;
+            }
+            for j in 0..=rn {
+                let cc = slot(tx, right, j)?;
+                set_slot(tx, left, ln + 1 + j, cc)?;
+            }
+            set_hdr(tx, left, false, ln + 1 + rn)?;
+        }
+        // Remove separator li and child li+1 from the parent.
+        for j in li + 1..n {
+            let kk = key(tx, parent, j)?;
+            set_key(tx, parent, j - 1, kk)?;
+        }
+        for j in li + 2..=n {
+            let cc = slot(tx, parent, j)?;
+            set_slot(tx, parent, j - 1, cc)?;
+        }
+        set_hdr(tx, parent, false, n - 1)?;
+        tx.free(right, NODE_WORDS)?;
+        Ok(())
+    }
+
+    /// Quiescent full scan via `read_raw` (verification and recovery).
+    pub fn collect_raw<T: Tm + ?Sized>(&self, tm: &T) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let root = tm.read_raw(self.root_slot);
+        if root != 0 {
+            self.walk_raw(tm, Addr(root), &mut out, &mut |out, k, v| out.push((k, v)));
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn walk_raw<T: Tm + ?Sized>(
+        &self,
+        tm: &T,
+        node: Addr,
+        out: &mut Vec<(u64, u64)>,
+        emit: EmitFn,
+    ) {
+        let h = tm.read_raw(node);
+        let leaf = h >> 8 & 1 == 1;
+        let n = (h & 0xff) as usize;
+        if leaf {
+            for i in 0..n {
+                emit(
+                    out,
+                    tm.read_raw(node.offset(K_OFF + i as u64)),
+                    tm.read_raw(node.offset(P_OFF + i as u64)),
+                );
+            }
+        } else {
+            for i in 0..=n {
+                let c = tm.read_raw(node.offset(P_OFF + i as u64));
+                if c != 0 {
+                    self.walk_raw(tm, Addr(c), out, emit);
+                }
+            }
+        }
+    }
+
+    /// Quiescent walk enumerating every allocated block `(addr, words)` —
+    /// the allocator-rebuild iterator required after recovery (§4).
+    pub fn used_blocks<T: Tm + ?Sized>(&self, tm: &T) -> Vec<(u64, usize)> {
+        let mut blocks = vec![(self.root_slot.0, 1)];
+        let root = tm.read_raw(self.root_slot);
+        if root != 0 {
+            self.blocks_raw(tm, Addr(root), &mut blocks);
+        }
+        blocks
+    }
+
+    fn blocks_raw<T: Tm + ?Sized>(&self, tm: &T, node: Addr, out: &mut Vec<(u64, usize)>) {
+        out.push((node.0, NODE_WORDS));
+        let h = tm.read_raw(node);
+        if h >> 8 & 1 == 0 {
+            let n = (h & 0xff) as usize;
+            for i in 0..=n {
+                let c = tm.read_raw(node.offset(P_OFF + i as u64));
+                if c != 0 {
+                    self.blocks_raw(tm, Addr(c), out);
+                }
+            }
+        }
+    }
+
+    /// Structural invariant check (tests): sortedness, separator bounds,
+    /// occupancy bounds, uniform leaf depth. Quiescent.
+    pub fn check_invariants<T: Tm + ?Sized>(&self, tm: &T) -> Result<usize, String> {
+        let root = tm.read_raw(self.root_slot);
+        if root == 0 {
+            return Err("null root".into());
+        }
+        let mut leaf_depth = None;
+        let count =
+            self.check_node(tm, Addr(root), 0, None, None, true, &mut leaf_depth)?;
+        Ok(count)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check_node<T: Tm + ?Sized>(
+        &self,
+        tm: &T,
+        node: Addr,
+        depth: usize,
+        lo: Option<u64>,
+        hi: Option<u64>,
+        is_root: bool,
+        leaf_depth: &mut Option<usize>,
+    ) -> Result<usize, String> {
+        let h = tm.read_raw(node);
+        let leaf = h >> 8 & 1 == 1;
+        let n = (h & 0xff) as usize;
+        let keys: Vec<u64> = (0..n)
+            .map(|i| tm.read_raw(node.offset(K_OFF + i as u64)))
+            .collect();
+        if keys.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(format!("unsorted keys at {node}: {keys:?}"));
+        }
+        for &k in &keys {
+            if lo.is_some_and(|l| k < l) || hi.is_some_and(|h| k >= h) {
+                return Err(format!("key {k} out of [{lo:?},{hi:?}) at {node}"));
+            }
+        }
+        if leaf {
+            if !is_root && n < MIN_LEAF {
+                return Err(format!("leaf underflow at {node}: {n}"));
+            }
+            if n > B {
+                return Err(format!("leaf overflow at {node}: {n}"));
+            }
+            match *leaf_depth {
+                None => *leaf_depth = Some(depth),
+                Some(d) if d != depth => {
+                    return Err(format!("ragged leaves: {d} vs {depth}"))
+                }
+                _ => {}
+            }
+            Ok(n)
+        } else {
+            if !is_root && n < MIN_IKEYS {
+                return Err(format!("internal underflow at {node}: {n}"));
+            }
+            if n > MAX_IKEYS {
+                return Err(format!("internal overflow at {node}: {n}"));
+            }
+            let mut total = 0;
+            for i in 0..=n {
+                let c = tm.read_raw(node.offset(P_OFF + i as u64));
+                if c == 0 {
+                    return Err(format!("null child {i} at {node}"));
+                }
+                let clo = if i == 0 { lo } else { Some(keys[i - 1]) };
+                let chi = if i == n { hi } else { Some(keys[i]) };
+                total +=
+                    self.check_node(tm, Addr(c), depth + 1, clo, chi, false, leaf_depth)?;
+            }
+            Ok(total)
+        }
+    }
+}
+
+/// Non-transactional helper: number of pairs via a raw scan.
+pub fn raw_len<T: Tm + ?Sized>(tree: &AbTree, tm: &T) -> usize {
+    tree.collect_raw(tm).len()
+}

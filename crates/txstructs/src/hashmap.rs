@@ -1,0 +1,204 @@
+//! A transactional fixed-bucket hashmap — the hashmap micro-benchmark of
+//! §5 (Figure 8, row 2).
+//!
+//! The map has a fixed number of buckets (1 million in the paper) with
+//! chained nodes of four words `{key, val, next, state}`. Following the
+//! paper's methodology, *remove marks nodes as empty rather than freeing
+//! them* (so the comparison with SPHT, whose allocator cannot free, is
+//! fair); insert reuses an empty node on the key's chain when one exists.
+//! Transactions here have small read and write sets, which is why the
+//! hashmap is the workload where hardware-path conflicts are rare.
+
+use tm::{Abort, Addr, Tm, TxResult};
+
+/// Words per chain node.
+pub const NODE_WORDS: usize = 4;
+
+const N_KEY: u64 = 0;
+const N_VAL: u64 = 1;
+const N_NEXT: u64 = 2;
+const N_STATE: u64 = 3;
+
+const FULL: u64 = 1;
+const EMPTY: u64 = 0;
+
+/// Chain-walk fuel (zombie guard).
+const FUEL: usize = 1 << 12;
+
+/// Handle to a transactional hashmap; plain data, clones alias.
+#[derive(Clone, Copy, Debug)]
+pub struct HashMapTx {
+    buckets: Addr,
+    nbuckets: usize,
+}
+
+#[inline]
+fn bucket_of(k: u64, n: usize) -> u64 {
+    (k.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 17) % n as u64
+}
+
+impl HashMapTx {
+    /// Create a map with `nbuckets` buckets on a *fresh* TM (the bucket
+    /// array must come from never-allocated, zeroed heap).
+    pub fn create<T: Tm + ?Sized>(tm: &T, tid: usize, nbuckets: usize) -> TxResult<HashMapTx> {
+        let buckets = tm::txn(tm, tid, |tx| tx.alloc(nbuckets))?;
+        Ok(HashMapTx { buckets, nbuckets })
+    }
+
+    /// Re-attach after recovery.
+    pub fn attach(buckets: Addr, nbuckets: usize) -> HashMapTx {
+        HashMapTx { buckets, nbuckets }
+    }
+
+    /// The bucket array's address (stable identity).
+    pub fn buckets_addr(&self) -> Addr {
+        self.buckets
+    }
+
+    /// Number of buckets.
+    pub fn nbuckets(&self) -> usize {
+        self.nbuckets
+    }
+
+    #[inline]
+    fn bucket_addr(&self, k: u64) -> Addr {
+        self.buckets.offset(bucket_of(k, self.nbuckets))
+    }
+
+    /// Look up `k`.
+    pub fn get<T: Tm + ?Sized>(&self, tm: &T, tid: usize, k: u64) -> TxResult<Option<u64>> {
+        tm::txn(tm, tid, |tx| {
+            let mut cur = tx.read(self.bucket_addr(k))?;
+            for _ in 0..FUEL {
+                if cur == 0 {
+                    return Ok(None);
+                }
+                let node = Addr(cur);
+                if tx.read(node.offset(N_KEY))? == k {
+                    if tx.read(node.offset(N_STATE))? == FULL {
+                        return Ok(Some(tx.read(node.offset(N_VAL))?));
+                    }
+                    return Ok(None);
+                }
+                cur = tx.read(node.offset(N_NEXT))?;
+            }
+            Err(Abort::CONFLICT)
+        })
+    }
+
+    /// Insert or update; returns the previous value if any.
+    pub fn insert<T: Tm + ?Sized>(
+        &self,
+        tm: &T,
+        tid: usize,
+        k: u64,
+        v: u64,
+    ) -> TxResult<Option<u64>> {
+        tm::txn(tm, tid, |tx| {
+            let head_addr = self.bucket_addr(k);
+            let head = tx.read(head_addr)?;
+            let mut cur = head;
+            let mut empty_slot = Addr::NULL;
+            for _ in 0..FUEL {
+                if cur == 0 {
+                    return if !empty_slot.is_null() {
+                        // Reuse a marked-empty node on this chain.
+                        tx.write(empty_slot.offset(N_KEY), k)?;
+                        tx.write(empty_slot.offset(N_VAL), v)?;
+                        tx.write(empty_slot.offset(N_STATE), FULL)?;
+                        Ok(None)
+                    } else {
+                        let node = tx.alloc(NODE_WORDS)?;
+                        tx.write(node.offset(N_KEY), k)?;
+                        tx.write(node.offset(N_VAL), v)?;
+                        tx.write(node.offset(N_NEXT), head)?;
+                        tx.write(node.offset(N_STATE), FULL)?;
+                        tx.write(head_addr, node.0)?;
+                        Ok(None)
+                    };
+                }
+                let node = Addr(cur);
+                let state = tx.read(node.offset(N_STATE))?;
+                if state == FULL {
+                    if tx.read(node.offset(N_KEY))? == k {
+                        let old = tx.read(node.offset(N_VAL))?;
+                        tx.write(node.offset(N_VAL), v)?;
+                        return Ok(Some(old));
+                    }
+                } else if state == EMPTY {
+                    if tx.read(node.offset(N_KEY))? == k {
+                        // The key's own tombstone: revive it in place.
+                        tx.write(node.offset(N_VAL), v)?;
+                        tx.write(node.offset(N_STATE), FULL)?;
+                        return Ok(None);
+                    }
+                    if empty_slot.is_null() {
+                        empty_slot = node;
+                    }
+                } else {
+                    // Garbage state: zombie read.
+                    return Err(Abort::CONFLICT);
+                }
+                cur = tx.read(node.offset(N_NEXT))?;
+            }
+            Err(Abort::CONFLICT)
+        })
+    }
+
+    /// Remove `k` (marking its node empty); returns its value if present.
+    pub fn remove<T: Tm + ?Sized>(&self, tm: &T, tid: usize, k: u64) -> TxResult<Option<u64>> {
+        tm::txn(tm, tid, |tx| {
+            let mut cur = tx.read(self.bucket_addr(k))?;
+            for _ in 0..FUEL {
+                if cur == 0 {
+                    return Ok(None);
+                }
+                let node = Addr(cur);
+                if tx.read(node.offset(N_KEY))? == k {
+                    if tx.read(node.offset(N_STATE))? == FULL {
+                        let old = tx.read(node.offset(N_VAL))?;
+                        tx.write(node.offset(N_STATE), EMPTY)?;
+                        return Ok(Some(old));
+                    }
+                    return Ok(None);
+                }
+                cur = tx.read(node.offset(N_NEXT))?;
+            }
+            Err(Abort::CONFLICT)
+        })
+    }
+
+    /// Quiescent full scan via `read_raw`.
+    pub fn collect_raw<T: Tm + ?Sized>(&self, tm: &T) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for b in 0..self.nbuckets {
+            let mut cur = tm.read_raw(self.buckets.offset(b as u64));
+            while cur != 0 {
+                let node = Addr(cur);
+                if tm.read_raw(node.offset(N_STATE)) == FULL {
+                    out.push((
+                        tm.read_raw(node.offset(N_KEY)),
+                        tm.read_raw(node.offset(N_VAL)),
+                    ));
+                }
+                cur = tm.read_raw(node.offset(N_NEXT));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Quiescent allocator-rebuild iterator: the bucket array plus every
+    /// chain node (including empty-marked ones — they are still owned).
+    pub fn used_blocks<T: Tm + ?Sized>(&self, tm: &T) -> Vec<(u64, usize)> {
+        let mut blocks = vec![(self.buckets.0, self.nbuckets)];
+        for b in 0..self.nbuckets {
+            let mut cur = tm.read_raw(self.buckets.offset(b as u64));
+            while cur != 0 {
+                blocks.push((cur, NODE_WORDS));
+                cur = tm.read_raw(Addr(cur).offset(N_NEXT));
+            }
+        }
+        blocks
+    }
+}

@@ -1,0 +1,358 @@
+//! Transactional data structures over the generic [`tm::Tm`] API — the two
+//! micro-benchmark structures of the paper's evaluation (§5):
+//!
+//! * [`AbTree`] — an (a,b)-tree with a = 4, b = 16 (Figure 8, row 1);
+//! * [`HashMapTx`] — a fixed-bucket hashmap whose removes mark nodes
+//!   empty instead of freeing (Figure 8, row 2).
+//!
+//! Because both are written against the `Tm` trait, the same structure
+//! code runs unchanged over all three NV-HALT variants, Trinity and SPHT,
+//! which is what makes the throughput comparisons apples-to-apples.
+
+pub mod abtree;
+pub mod hashmap;
+pub mod list;
+
+pub use abtree::AbTree;
+pub use hashmap::HashMapTx;
+pub use list::SortedList;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvhalt::{NvHalt, NvHaltConfig};
+    use spht::{Spht, SphtConfig};
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+    use tm::Tm;
+    use trinity::{Trinity, TrinityConfig};
+
+    fn nv(words: usize, threads: usize) -> NvHalt {
+        NvHalt::new(NvHaltConfig::test(words, threads))
+    }
+
+    // ------------------------------------------------------------------
+    // (a,b)-tree
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn tree_insert_get_remove_roundtrip() {
+        let tm = nv(1 << 14, 1);
+        let t = AbTree::create(&tm, 0).unwrap();
+        assert_eq!(t.get(&tm, 0, 5).unwrap(), None);
+        assert_eq!(t.insert(&tm, 0, 5, 50).unwrap(), None);
+        assert_eq!(t.get(&tm, 0, 5).unwrap(), Some(50));
+        assert_eq!(t.insert(&tm, 0, 5, 55).unwrap(), Some(50));
+        assert_eq!(t.remove(&tm, 0, 5).unwrap(), Some(55));
+        assert_eq!(t.get(&tm, 0, 5).unwrap(), None);
+        assert_eq!(t.remove(&tm, 0, 5).unwrap(), None);
+    }
+
+    #[test]
+    fn tree_grows_through_many_splits() {
+        let tm = nv(1 << 18, 1);
+        let t = AbTree::create(&tm, 0).unwrap();
+        for k in 0..2_000u64 {
+            assert_eq!(t.insert(&tm, 0, k * 7 % 2_000, k).unwrap_or(None), {
+                // first time each key appears
+                None
+            });
+        }
+        let n = t.check_invariants(&tm).expect("invariants");
+        assert_eq!(n, 2_000);
+        for k in 0..2_000u64 {
+            assert!(t.get(&tm, 0, k).unwrap().is_some(), "missing {k}");
+        }
+    }
+
+    #[test]
+    fn tree_matches_btreemap_oracle_on_mixed_ops() {
+        let tm = nv(1 << 18, 1);
+        let t = AbTree::create(&tm, 0).unwrap();
+        let mut oracle = BTreeMap::new();
+        let mut rng = 0x1234_5678_u64;
+        for step in 0..8_000 {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            let k = rng % 512;
+            let v = rng >> 32;
+            match step % 3 {
+                0 | 1 => {
+                    let expect = oracle.insert(k, v);
+                    assert_eq!(t.insert(&tm, 0, k, v).unwrap(), expect, "insert {k}");
+                }
+                _ => {
+                    let expect = oracle.remove(&k);
+                    assert_eq!(t.remove(&tm, 0, k).unwrap(), expect, "remove {k}");
+                }
+            }
+            if step % 1000 == 0 {
+                t.check_invariants(&tm).expect("invariants");
+            }
+        }
+        let got = t.collect_raw(&tm);
+        let want: Vec<(u64, u64)> = oracle.into_iter().collect();
+        assert_eq!(got, want);
+        t.check_invariants(&tm).expect("final invariants");
+    }
+
+    #[test]
+    fn tree_remove_shrinks_back_to_empty() {
+        let tm = nv(1 << 18, 1);
+        let t = AbTree::create(&tm, 0).unwrap();
+        for k in 0..1_000u64 {
+            t.insert(&tm, 0, k, k).unwrap();
+        }
+        for k in 0..1_000u64 {
+            assert_eq!(t.remove(&tm, 0, k).unwrap(), Some(k), "remove {k}");
+            if k % 250 == 0 {
+                t.check_invariants(&tm).expect("invariants during drain");
+            }
+        }
+        assert_eq!(t.collect_raw(&tm), vec![]);
+    }
+
+    #[test]
+    fn tree_descending_and_alternating_inserts() {
+        let tm = nv(1 << 18, 1);
+        let t = AbTree::create(&tm, 0).unwrap();
+        for k in (0..500u64).rev() {
+            t.insert(&tm, 0, k, k + 1).unwrap();
+        }
+        for k in 500..1_000u64 {
+            let k = if k % 2 == 0 { k } else { 1_500 - k };
+            t.insert(&tm, 0, k, k + 1).unwrap();
+        }
+        assert_eq!(t.check_invariants(&tm).unwrap(), 1_000);
+    }
+
+    #[test]
+    fn tree_concurrent_disjoint_inserts_all_present() {
+        let tm = Arc::new(nv(1 << 20, 4));
+        let t = AbTree::create(&*tm, 0).unwrap();
+        let mut handles = Vec::new();
+        for tid in 0..4usize {
+            let tm = tm.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1_500u64 {
+                    let k = (i * 4) + tid as u64;
+                    t.insert(&*tm, tid, k, k * 10).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.check_invariants(&*tm).unwrap(), 6_000);
+        for k in 0..6_000u64 {
+            assert_eq!(t.get(&*tm, 0, k).unwrap(), Some(k * 10));
+        }
+    }
+
+    #[test]
+    fn tree_concurrent_mixed_ops_keep_invariants() {
+        let tm = Arc::new(nv(1 << 20, 4));
+        let t = AbTree::create(&*tm, 0).unwrap();
+        let mut handles = Vec::new();
+        for tid in 0..4usize {
+            let tm = tm.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut rng = (tid as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                for _ in 0..3_000 {
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    let k = rng % 400;
+                    match rng >> 60 & 3 {
+                        0 | 1 => {
+                            t.insert(&*tm, tid, k, rng).unwrap();
+                        }
+                        2 => {
+                            t.remove(&*tm, tid, k).unwrap();
+                        }
+                        _ => {
+                            t.get(&*tm, tid, k).unwrap();
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        t.check_invariants(&*tm).expect("invariants after contention");
+    }
+
+    #[test]
+    fn tree_works_on_trinity_and_spht() {
+        // Trinity
+        let tr = Trinity::new(TrinityConfig::test(1 << 16, 2));
+        let t = AbTree::create(&tr, 0).unwrap();
+        for k in 0..500u64 {
+            t.insert(&tr, 0, k, k).unwrap();
+        }
+        assert_eq!(t.check_invariants(&tr).unwrap(), 500);
+        assert_eq!(t.get(&tr, 1, 250).unwrap(), Some(250));
+
+        // SPHT
+        let sp = Spht::new(SphtConfig::test(1 << 16, 2));
+        let t = AbTree::create(&sp, 0).unwrap();
+        for k in 0..500u64 {
+            t.insert(&sp, 0, k, k).unwrap();
+        }
+        assert_eq!(t.check_invariants(&sp).unwrap(), 500);
+        assert_eq!(t.remove(&sp, 1, 250).unwrap(), Some(250));
+        assert_eq!(t.check_invariants(&sp).unwrap(), 499);
+    }
+
+    #[test]
+    fn tree_survives_crash_and_recovery() {
+        let cfg = NvHaltConfig::test(1 << 16, 2);
+        let tm = NvHalt::new(cfg.clone());
+        let t = AbTree::create(&tm, 0).unwrap();
+        for k in 0..800u64 {
+            t.insert(&tm, (k % 2) as usize, k, k * 3).unwrap();
+        }
+        let root_slot = t.root_slot();
+        tm.crash();
+        let img = tm.crash_image();
+        let rec = NvHalt::recover_with(cfg, &img);
+        let t2 = AbTree::attach(root_slot);
+        rec.rebuild_allocator(t2.used_blocks(&rec));
+        assert_eq!(t2.check_invariants(&rec).unwrap(), 800);
+        for k in 0..800u64 {
+            assert_eq!(t2.get(&rec, 0, k).unwrap(), Some(k * 3), "key {k}");
+        }
+        // The recovered tree keeps working (allocator rebuilt correctly).
+        for k in 800..1_200u64 {
+            t2.insert(&rec, 0, k, k).unwrap();
+        }
+        assert_eq!(t2.check_invariants(&rec).unwrap(), 1_200);
+    }
+
+    // ------------------------------------------------------------------
+    // hashmap
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn hashmap_insert_get_remove_roundtrip() {
+        let tm = nv(1 << 14, 1);
+        let m = HashMapTx::create(&tm, 0, 64).unwrap();
+        assert_eq!(m.get(&tm, 0, 9).unwrap(), None);
+        assert_eq!(m.insert(&tm, 0, 9, 90).unwrap(), None);
+        assert_eq!(m.get(&tm, 0, 9).unwrap(), Some(90));
+        assert_eq!(m.insert(&tm, 0, 9, 91).unwrap(), Some(90));
+        assert_eq!(m.remove(&tm, 0, 9).unwrap(), Some(91));
+        assert_eq!(m.get(&tm, 0, 9).unwrap(), None);
+        assert_eq!(m.remove(&tm, 0, 9).unwrap(), None);
+    }
+
+    #[test]
+    fn hashmap_remove_marks_empty_and_insert_reuses() {
+        let tm = nv(1 << 14, 1);
+        let m = HashMapTx::create(&tm, 0, 4).unwrap(); // force chains
+        for k in 0..64u64 {
+            m.insert(&tm, 0, k, k).unwrap();
+        }
+        let blocks_before = m.used_blocks(&tm).len();
+        for k in 0..32u64 {
+            m.remove(&tm, 0, k).unwrap();
+        }
+        // Nodes are marked, not freed: block count unchanged.
+        assert_eq!(m.used_blocks(&tm).len(), blocks_before);
+        // Re-inserting reuses empties: still no new blocks.
+        for k in 0..32u64 {
+            m.insert(&tm, 0, k, k + 1).unwrap();
+        }
+        assert_eq!(m.used_blocks(&tm).len(), blocks_before);
+        assert_eq!(m.get(&tm, 0, 5).unwrap(), Some(6));
+    }
+
+    #[test]
+    fn hashmap_matches_oracle_on_mixed_ops() {
+        let tm = nv(1 << 16, 1);
+        let m = HashMapTx::create(&tm, 0, 32).unwrap();
+        let mut oracle = BTreeMap::new();
+        let mut rng = 0xdead_beef_u64;
+        for step in 0..8_000 {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            let k = rng % 256;
+            let v = rng >> 32;
+            match step % 3 {
+                0 | 1 => assert_eq!(m.insert(&tm, 0, k, v).unwrap(), oracle.insert(k, v)),
+                _ => assert_eq!(m.remove(&tm, 0, k).unwrap(), oracle.remove(&k)),
+            }
+        }
+        assert_eq!(m.collect_raw(&tm), oracle.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hashmap_concurrent_disjoint_inserts() {
+        let tm = Arc::new(nv(1 << 18, 4));
+        let m = HashMapTx::create(&*tm, 0, 256).unwrap();
+        let mut handles = Vec::new();
+        for tid in 0..4usize {
+            let tm = tm.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2_000u64 {
+                    let k = i * 4 + tid as u64;
+                    m.insert(&*tm, tid, k, k + 1).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.collect_raw(&*tm).len(), 8_000);
+        for k in 0..8_000u64 {
+            assert_eq!(m.get(&*tm, 0, k).unwrap(), Some(k + 1));
+        }
+    }
+
+    fn hashmap_battery<T: Tm>(tm: &T) {
+        let m = HashMapTx::create(tm, 0, 16).unwrap();
+        for k in 0..200u64 {
+            m.insert(tm, 0, k, k * 2).unwrap();
+        }
+        for k in (0..200u64).step_by(2) {
+            m.remove(tm, 0, k).unwrap();
+        }
+        assert_eq!(m.collect_raw(tm).len(), 100, "{}", tm.name());
+        assert_eq!(m.get(tm, 0, 3).unwrap(), Some(6), "{}", tm.name());
+        assert_eq!(m.get(tm, 0, 4).unwrap(), None, "{}", tm.name());
+    }
+
+    #[test]
+    fn hashmap_works_on_all_tms() {
+        hashmap_battery(&nv(1 << 14, 1));
+        hashmap_battery(&Trinity::new(TrinityConfig::test(1 << 14, 1)));
+        hashmap_battery(&Spht::new(SphtConfig::test(1 << 14, 1)));
+    }
+
+    #[test]
+    fn hashmap_survives_crash_and_recovery() {
+        let cfg = NvHaltConfig::test(1 << 16, 2);
+        let tm = NvHalt::new(cfg.clone());
+        let m = HashMapTx::create(&tm, 0, 64).unwrap();
+        for k in 0..500u64 {
+            m.insert(&tm, (k % 2) as usize, k, k + 7).unwrap();
+        }
+        for k in 0..100u64 {
+            m.remove(&tm, 0, k).unwrap();
+        }
+        let (buckets, nb) = (m.buckets_addr(), m.nbuckets());
+        tm.crash();
+        let rec = NvHalt::recover_with(cfg, &tm.crash_image());
+        let m2 = HashMapTx::attach(buckets, nb);
+        rec.rebuild_allocator(m2.used_blocks(&rec));
+        assert_eq!(m2.collect_raw(&rec).len(), 400);
+        assert_eq!(m2.get(&rec, 0, 50).unwrap(), None);
+        assert_eq!(m2.get(&rec, 0, 450).unwrap(), Some(457));
+        // Keeps working post-recovery.
+        m2.insert(&rec, 0, 9999, 1).unwrap();
+        assert_eq!(m2.get(&rec, 0, 9999).unwrap(), Some(1));
+    }
+}

@@ -1,0 +1,180 @@
+//! A transactional sorted linked list — the classic TM microbenchmark
+//! (long read chains, single-point updates). Not part of the paper's
+//! Figure 8, but the standard third workload in the benchmark family the
+//! paper draws on; useful here because its long traversals stress HTM
+//! read-set capacity and the O(read set) software-path validation in a
+//! way the tree and hashmap do not.
+//!
+//! Node layout (4 words): `{key, val, next, pad}`. Keys are strictly
+//! increasing along the chain; the list head is a sentinel node stored at
+//! a stable address so the structure can be re-attached after recovery.
+
+use tm::{Abort, Addr, Tm, TxResult, Txn};
+
+/// Words per node.
+pub const NODE_WORDS: usize = 4;
+
+const N_KEY: u64 = 0;
+const N_VAL: u64 = 1;
+const N_NEXT: u64 = 2;
+
+/// Traversal fuel (zombie guard); also bounds the list length a single
+/// transaction can traverse — long lists are the point of this benchmark.
+const FUEL: usize = 1 << 14;
+
+/// Handle to a transactional sorted list; plain data, clones alias.
+#[derive(Clone, Copy, Debug)]
+pub struct SortedList {
+    head: Addr,
+}
+
+impl SortedList {
+    /// Create an empty list (the head sentinel is allocated fresh).
+    pub fn create<T: Tm + ?Sized>(tm: &T, tid: usize) -> TxResult<SortedList> {
+        let head = tm::txn(tm, tid, |tx| {
+            let head = tx.alloc(NODE_WORDS)?;
+            tx.write(head.offset(N_KEY), 0)?;
+            tx.write(head.offset(N_NEXT), 0)?;
+            Ok(head)
+        })?;
+        Ok(SortedList { head })
+    }
+
+    /// Re-attach after recovery.
+    pub fn attach(head: Addr) -> SortedList {
+        SortedList { head }
+    }
+
+    /// The sentinel address (stable identity).
+    pub fn head_addr(&self) -> Addr {
+        self.head
+    }
+
+    /// Find the node before the position of `k`: returns (prev, cur)
+    /// where cur is the first node with key >= k (or null).
+    fn locate(&self, tx: &mut dyn Txn, k: u64) -> Result<(Addr, u64), Abort> {
+        let mut prev = self.head;
+        let mut cur = tx.read(prev.offset(N_NEXT))?;
+        for _ in 0..FUEL {
+            if cur == 0 {
+                return Ok((prev, 0));
+            }
+            let node = Addr(cur);
+            let nk = tx.read(node.offset(N_KEY))?;
+            if nk >= k {
+                return Ok((prev, cur));
+            }
+            prev = node;
+            cur = tx.read(node.offset(N_NEXT))?;
+        }
+        Err(Abort::CONFLICT)
+    }
+
+    /// Look up `k`.
+    pub fn get<T: Tm + ?Sized>(&self, tm: &T, tid: usize, k: u64) -> TxResult<Option<u64>> {
+        tm::txn(tm, tid, |tx| {
+            let (_, cur) = self.locate(tx, k)?;
+            if cur != 0 && tx.read(Addr(cur).offset(N_KEY))? == k {
+                Ok(Some(tx.read(Addr(cur).offset(N_VAL))?))
+            } else {
+                Ok(None)
+            }
+        })
+    }
+
+    /// Insert or update; returns the previous value if any.
+    pub fn insert<T: Tm + ?Sized>(
+        &self,
+        tm: &T,
+        tid: usize,
+        k: u64,
+        v: u64,
+    ) -> TxResult<Option<u64>> {
+        assert!(k > 0, "key 0 is the sentinel");
+        tm::txn(tm, tid, |tx| {
+            let (prev, cur) = self.locate(tx, k)?;
+            if cur != 0 && tx.read(Addr(cur).offset(N_KEY))? == k {
+                let old = tx.read(Addr(cur).offset(N_VAL))?;
+                tx.write(Addr(cur).offset(N_VAL), v)?;
+                return Ok(Some(old));
+            }
+            let node = tx.alloc(NODE_WORDS)?;
+            tx.write(node.offset(N_KEY), k)?;
+            tx.write(node.offset(N_VAL), v)?;
+            tx.write(node.offset(N_NEXT), cur)?;
+            tx.write(prev.offset(N_NEXT), node.0)?;
+            Ok(None)
+        })
+    }
+
+    /// Remove `k`; returns its value if present. The node is freed
+    /// (deferred to commit by the allocator hooks).
+    pub fn remove<T: Tm + ?Sized>(&self, tm: &T, tid: usize, k: u64) -> TxResult<Option<u64>> {
+        tm::txn(tm, tid, |tx| {
+            let (prev, cur) = self.locate(tx, k)?;
+            if cur == 0 || tx.read(Addr(cur).offset(N_KEY))? != k {
+                return Ok(None);
+            }
+            let node = Addr(cur);
+            let old = tx.read(node.offset(N_VAL))?;
+            let next = tx.read(node.offset(N_NEXT))?;
+            tx.write(prev.offset(N_NEXT), next)?;
+            tx.free(node, NODE_WORDS)?;
+            Ok(Some(old))
+        })
+    }
+
+    /// Sum of all values in one transaction: a long read-only snapshot —
+    /// the op that stresses HTM capacity and incremental validation.
+    pub fn sum<T: Tm + ?Sized>(&self, tm: &T, tid: usize) -> TxResult<u64> {
+        tm::txn(tm, tid, |tx| {
+            let mut cur = tx.read(self.head.offset(N_NEXT))?;
+            let mut sum = 0u64;
+            for _ in 0..FUEL {
+                if cur == 0 {
+                    return Ok(sum);
+                }
+                sum = sum.wrapping_add(tx.read(Addr(cur).offset(N_VAL))?);
+                cur = tx.read(Addr(cur).offset(N_NEXT))?;
+            }
+            Err(Abort::CONFLICT)
+        })
+    }
+
+    /// Quiescent full scan via `read_raw`.
+    pub fn collect_raw<T: Tm + ?Sized>(&self, tm: &T) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cur = tm.read_raw(self.head.offset(N_NEXT));
+        while cur != 0 {
+            let node = Addr(cur);
+            out.push((
+                tm.read_raw(node.offset(N_KEY)),
+                tm.read_raw(node.offset(N_VAL)),
+            ));
+            cur = tm.read_raw(node.offset(N_NEXT));
+        }
+        out
+    }
+
+    /// Quiescent allocator-rebuild iterator (§4).
+    pub fn used_blocks<T: Tm + ?Sized>(&self, tm: &T) -> Vec<(u64, usize)> {
+        let mut blocks = vec![(self.head.0, NODE_WORDS)];
+        let mut cur = tm.read_raw(self.head.offset(N_NEXT));
+        while cur != 0 {
+            blocks.push((cur, NODE_WORDS));
+            cur = tm.read_raw(Addr(cur).offset(N_NEXT));
+        }
+        blocks
+    }
+
+    /// Check sortedness (tests). Quiescent.
+    pub fn check_sorted<T: Tm + ?Sized>(&self, tm: &T) -> Result<usize, String> {
+        let items = self.collect_raw(tm);
+        for w in items.windows(2) {
+            if w[0].0 >= w[1].0 {
+                return Err(format!("unsorted: {} before {}", w[0].0, w[1].0));
+            }
+        }
+        Ok(items.len())
+    }
+}

@@ -1,0 +1,181 @@
+//! Tests for the transactional sorted list: oracle equivalence,
+//! long-snapshot behaviour (HTM capacity pressure + software fallback),
+//! concurrency, and crash recovery.
+
+use nvhalt::{NvHalt, NvHaltConfig};
+use std::collections::BTreeMap;
+use tm::stats::Counter;
+use tm::Tm;
+use txstructs::SortedList;
+
+fn tm(words: usize, threads: usize) -> NvHalt {
+    NvHalt::new(NvHaltConfig::test(words, threads))
+}
+
+#[test]
+fn insert_get_remove_roundtrip() {
+    let tm = tm(1 << 12, 1);
+    let l = SortedList::create(&tm, 0).unwrap();
+    assert_eq!(l.get(&tm, 0, 5).unwrap(), None);
+    assert_eq!(l.insert(&tm, 0, 5, 50).unwrap(), None);
+    assert_eq!(l.insert(&tm, 0, 3, 30).unwrap(), None);
+    assert_eq!(l.insert(&tm, 0, 7, 70).unwrap(), None);
+    assert_eq!(l.get(&tm, 0, 5).unwrap(), Some(50));
+    assert_eq!(l.insert(&tm, 0, 5, 55).unwrap(), Some(50));
+    assert_eq!(l.collect_raw(&tm), vec![(3, 30), (5, 55), (7, 70)]);
+    assert_eq!(l.remove(&tm, 0, 5).unwrap(), Some(55));
+    assert_eq!(l.remove(&tm, 0, 5).unwrap(), None);
+    assert_eq!(l.check_sorted(&tm).unwrap(), 2);
+}
+
+#[test]
+fn matches_oracle_on_mixed_ops() {
+    let tm = tm(1 << 14, 1);
+    let l = SortedList::create(&tm, 0).unwrap();
+    let mut oracle = BTreeMap::new();
+    let mut rng = 0x1357_9bdf_u64;
+    for step in 0..4_000 {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        let k = 1 + rng % 128;
+        let v = rng >> 32;
+        match step % 3 {
+            0 | 1 => assert_eq!(l.insert(&tm, 0, k, v).unwrap(), oracle.insert(k, v)),
+            _ => assert_eq!(l.remove(&tm, 0, k).unwrap(), oracle.remove(&k)),
+        }
+    }
+    assert_eq!(l.collect_raw(&tm), oracle.into_iter().collect::<Vec<_>>());
+    l.check_sorted(&tm).unwrap();
+}
+
+#[test]
+fn long_snapshot_sum_is_consistent_under_writers() {
+    // Writers preserve the total sum; concurrent whole-list snapshots
+    // must always observe it.
+    let tm = tm(1 << 16, 3);
+    let l = SortedList::create(&tm, 0).unwrap();
+    const N: u64 = 150;
+    for k in 1..=N {
+        l.insert(&tm, 0, k, 100).unwrap();
+    }
+    let expected = N * 100;
+    std::thread::scope(|s| {
+        for t in 0..2usize {
+            let tm = &tm;
+            let l = &l;
+            s.spawn(move || {
+                let mut rng = (t as u64 + 1) * 0x9e37_79b9;
+                for _ in 0..400 {
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    // Move 10 units between two keys (sum-preserving).
+                    let a = 1 + rng % N;
+                    let b = 1 + (rng >> 16) % N;
+                    if a == b {
+                        continue;
+                    }
+                    let _ = tm::txn(tm, t, |tx| {
+                        let la = l;
+                        // Raw two-key update through the list API is two
+                        // txns; do it with one txn via get+insert
+                        // combination instead: read both, write both.
+                        let _ = la;
+                        let va = read_val(tx, l, a)?;
+                        let vb = read_val(tx, l, b)?;
+                        if va < 10 {
+                            return Err(tm::Abort::Cancel);
+                        }
+                        write_val(tx, l, a, va - 10)?;
+                        write_val(tx, l, b, vb + 10)
+                    });
+                }
+            });
+        }
+        let tm = &tm;
+        let l = &l;
+        s.spawn(move || {
+            for _ in 0..100 {
+                assert_eq!(l.sum(tm, 2).unwrap(), expected, "torn snapshot");
+            }
+        });
+    });
+    assert_eq!(l.sum(&tm, 0).unwrap(), expected);
+}
+
+/// In-transaction helpers for the sum-preserving test: locate a key's
+/// node and read/write its value within the caller's transaction.
+fn read_val(tx: &mut dyn tm::Txn, l: &SortedList, k: u64) -> Result<u64, tm::Abort> {
+    let mut cur = tx.read(l.head_addr().offset(2))?;
+    for _ in 0..4096 {
+        if cur == 0 {
+            return Err(tm::Abort::CONFLICT);
+        }
+        let node = tm::Addr(cur);
+        if tx.read(node)? == k {
+            return tx.read(node.offset(1));
+        }
+        cur = tx.read(node.offset(2))?;
+    }
+    Err(tm::Abort::CONFLICT)
+}
+
+fn write_val(tx: &mut dyn tm::Txn, l: &SortedList, k: u64, v: u64) -> Result<(), tm::Abort> {
+    let mut cur = tx.read(l.head_addr().offset(2))?;
+    for _ in 0..4096 {
+        if cur == 0 {
+            return Err(tm::Abort::CONFLICT);
+        }
+        let node = tm::Addr(cur);
+        if tx.read(node)? == k {
+            return tx.write(node.offset(1), v);
+        }
+        cur = tx.read(node.offset(2))?;
+    }
+    Err(tm::Abort::CONFLICT)
+}
+
+#[test]
+fn long_list_overflows_htm_and_falls_back() {
+    // A whole-list sum over a long list exceeds the HTM read capacity:
+    // the transaction must fall back to software and still succeed.
+    let mut cfg = NvHaltConfig::test(1 << 16, 1);
+    cfg.htm.max_read_entries = 64;
+    let tmem = NvHalt::new(cfg);
+    let l = SortedList::create(&tmem, 0).unwrap();
+    for k in 1..=500u64 {
+        l.insert(&tmem, 0, k, 1).unwrap();
+    }
+    let before_cap = tmem.stats().get(Counter::HwCapacity);
+    assert_eq!(l.sum(&tmem, 0).unwrap(), 500);
+    let s = tmem.stats();
+    assert!(
+        s.get(Counter::HwCapacity) > before_cap,
+        "expected a capacity abort: {s}"
+    );
+}
+
+#[test]
+fn survives_crash_and_recovery() {
+    let cfg = NvHaltConfig::test(1 << 14, 2);
+    let tmem = NvHalt::new(cfg.clone());
+    let l = SortedList::create(&tmem, 0).unwrap();
+    for k in 1..=200u64 {
+        l.insert(&tmem, (k % 2) as usize, k, k * 2).unwrap();
+    }
+    for k in (1..=200u64).step_by(3) {
+        l.remove(&tmem, 0, k).unwrap();
+    }
+    let expected = l.collect_raw(&tmem);
+    let head = l.head_addr();
+    tmem.crash();
+    let rec = NvHalt::recover_with(cfg, &tmem.crash_image());
+    let l2 = SortedList::attach(head);
+    rec.rebuild_allocator(l2.used_blocks(&rec));
+    assert_eq!(l2.collect_raw(&rec), expected);
+    l2.check_sorted(&rec).unwrap();
+    // Freed nodes were excluded from used_blocks: allocation still works.
+    l2.insert(&rec, 0, 1_000, 1).unwrap();
+    assert_eq!(l2.get(&rec, 0, 1_000).unwrap(), Some(1));
+}

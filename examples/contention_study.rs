@@ -1,0 +1,81 @@
+//! Contention study: watch the C-abortable hybrid schedule at work.
+//!
+//! The paper defines *C-abortable progressiveness* (§2): a transaction
+//! may abort unconditionally at most C times (the hardware attempts),
+//! after which every abort must be conflict-justified (the progressive
+//! software path). This example sweeps contention from disjoint counters
+//! to a single hot counter and reports, per level: throughput, the
+//! hardware/software commit split, and the abort breakdown — making the
+//! fallback visible.
+//!
+//! ```text
+//! cargo run --release --example contention_study
+//! ```
+
+use nv_halt::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use tm::stats::Counter;
+
+const THREADS: usize = 4;
+
+fn run_level(label: &str, shared_words: u64) {
+    let mut cfg = NvHaltConfig::test(1 << 12, THREADS);
+    cfg.htm = HtmConfig::default(); // spurious aborts on
+    let tm = NvHalt::new(cfg);
+    let stop = AtomicBool::new(false);
+    let ops = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let tm = &tm;
+            let stop = &stop;
+            let ops = &ops;
+            s.spawn(move || {
+                let mut rng = (t as u64 + 1) * 0x2545_f491_4f6c_dd1d;
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    // Contention knob: how many distinct words the
+                    // threads fight over.
+                    let addr = Addr(1 + rng % shared_words);
+                    tm::txn(tm, t, |tx| {
+                        let v = tx.read(addr)?;
+                        tx.write(addr, v + 1)
+                    })
+                    .unwrap();
+                    n += 1;
+                }
+                ops.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let s = tm.stats();
+    let total: u64 = (0..shared_words).map(|w| tm.read_raw(Addr(1 + w))).sum();
+    assert_eq!(total, ops.load(Ordering::Relaxed), "lost increments!");
+    println!(
+        "{label:<22} {:>9} ops | hw {:>5.1}% sw {:>5.1}% | aborts: conflict={} capacity={} spurious={}",
+        ops.load(Ordering::Relaxed),
+        100.0 * s.get(Counter::HwCommit) as f64 / s.commits() as f64,
+        100.0 * s.get(Counter::SwCommit) as f64 / s.commits() as f64,
+        s.get(Counter::HwConflict) + s.get(Counter::SwAbort),
+        s.get(Counter::HwCapacity),
+        s.get(Counter::HwSpurious),
+    );
+}
+
+fn main() {
+    println!("contention sweep, {THREADS} threads, 300 ms per level\n");
+    run_level("disjoint (1024 words)", 1024);
+    run_level("mild (64 words)", 64);
+    run_level("hot (8 words)", 8);
+    run_level("pathological (1 word)", 1);
+    println!(
+        "\nEvery increment was exact at every level — aborts are retried, \
+         and the software fallback bounds the unconditional-abort count."
+    );
+}

@@ -1,0 +1,62 @@
+//! # nv-halt — Persistent HyTM via Fast Path Fine-Grained Locking
+//!
+//! A full Rust reproduction of the SPAA 2025 paper *"Persistent HyTM via
+//! Fast Path Fine-Grained Locking"* (Coccimiglio, Brown, Ravi): the
+//! NV-HALT family of persistent hybrid transactional memories, the
+//! substrates they need (a persistent-memory simulator and an RTM-style
+//! best-effort HTM simulator), the baselines they are evaluated against
+//! (TrinityVR-TL2 and SPHT), the evaluation's data structures, and the
+//! benchmark harness regenerating every figure.
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`tm`] | the word-based `Tm`/`Txn` API, abort taxonomy, C-abortable retry policy, crash signalling, stats |
+//! | [`pmem`] | NVM simulator: cache/durable layers, flush/fence, eviction, crash, latency model, Trinity line layout |
+//! | [`htm`] | RTM-semantics HTM simulator: tracking sets, conflict/capacity/spurious/explicit aborts, nt ops |
+//! | [`txalloc`] | mimalloc-style transactional allocator with commit/abort hooks and recovery rebuild |
+//! | [`nvhalt`] | **the paper's contribution**: NV-HALT, NV-HALT-SP, NV-HALT-CL |
+//! | [`trinity`] | TrinityVR-TL2 persistent STM baseline |
+//! | [`spht`] | SPHT persistent HyTM baseline |
+//! | [`txstructs`] | (a,b)-tree and hashmap over the generic TM API |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nv_halt::prelude::*;
+//!
+//! // A small NV-HALT instance: 2^12-word heap, 2 thread slots.
+//! let tmem = NvHalt::new(NvHaltConfig::test(1 << 12, 2));
+//! let tree = AbTree::create(&tmem, 0).unwrap();
+//! tree.insert(&tmem, 0, 7, 700).unwrap();
+//!
+//! // Power failure — then recovery from the durable image.
+//! let root = tree.root_slot();
+//! tmem.crash();
+//! let image = tmem.crash_image();
+//! let recovered = NvHalt::recover_with(NvHaltConfig::test(1 << 12, 2), &image);
+//! let tree = AbTree::attach(root);
+//! recovered.rebuild_allocator(tree.used_blocks(&recovered));
+//! assert_eq!(tree.get(&recovered, 0, 7).unwrap(), Some(700));
+//! ```
+
+pub use htm;
+pub use nvhalt;
+pub use pmem;
+pub use spht;
+pub use tm;
+pub use trinity;
+pub use txalloc;
+pub use txstructs;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use htm::{Htm, HtmConfig};
+    pub use nvhalt::{LockStrategy, NvHalt, NvHaltConfig, Progress};
+    pub use pmem::{LatencyModel, PmemMode, PmemPool};
+    pub use spht::{Spht, SphtConfig};
+    pub use tm::{txn, Abort, Addr, Tm, Txn};
+    pub use trinity::{Trinity, TrinityConfig};
+    pub use txstructs::{AbTree, HashMapTx};
+}

@@ -1,0 +1,284 @@
+//! Durable-linearizability stress tests: concurrent workloads are torn
+//! down by simulated power failures at arbitrary points, recovered, and
+//! checked — every operation whose commit was observed before the crash
+//! must be reflected after recovery, atomically, for all three NV-HALT
+//! variants, Trinity, and SPHT, and under adversarial flush policies
+//! (deferred flushes, random eviction).
+
+use nv_halt::prelude::*;
+use nvhalt::NvHaltConfig;
+use pmem::{EvictionPolicy, FlushPolicy};
+use std::collections::HashMap as StdHashMap;
+use std::sync::Mutex;
+use tm::crash::run_crashable;
+
+const THREADS: usize = 3;
+
+fn check_slots(committed: &[(u64, u64)], read: impl Fn(u64) -> u64) {
+    let mut last: StdHashMap<u64, u64> = StdHashMap::new();
+    for &(slot, v) in committed {
+        let e = last.entry(slot).or_insert(0);
+        *e = (*e).max(v);
+    }
+    for (&slot, &v) in &last {
+        let got = read(slot);
+        assert!(
+            got >= v,
+            "slot {slot}: durable {got} older than committed {v}"
+        );
+    }
+}
+
+fn nv_cfg(flush: FlushPolicy, eviction: EvictionPolicy) -> NvHaltConfig {
+    let mut cfg = NvHaltConfig::test(1 << 12, THREADS);
+    cfg.pm.flush = flush;
+    cfg.pm.eviction = eviction;
+    cfg
+}
+
+#[test]
+fn nvhalt_slots_survive_crash_eager() {
+    for progress in [Progress::Weak, Progress::Strong] {
+        let mut cfg = nv_cfg(FlushPolicy::Eager, EvictionPolicy::None);
+        cfg.progress = progress;
+        let tm = NvHalt::new(cfg.clone());
+        let committed = run_workload_and_crash(&tm);
+        let rec = NvHalt::recover(cfg, &tm.crash_image(), []);
+        check_slots(&committed, |s| rec.read_raw(Addr(s)));
+    }
+}
+
+#[test]
+fn nvhalt_slots_survive_crash_adversarial_flush() {
+    // Deferred flushes: a line is durable only once fenced. Random
+    // eviction sprinkles extra write-backs at arbitrary store boundaries.
+    for (flush, evict) in [
+        (FlushPolicy::Deferred, EvictionPolicy::None),
+        (
+            FlushPolicy::Seeded { num: 100 },
+            EvictionPolicy::Random { prob_log2: 6 },
+        ),
+    ] {
+        let cfg = nv_cfg(flush, evict);
+        let tm = NvHalt::new(cfg.clone());
+        let committed = run_workload_and_crash(&tm);
+        let rec = NvHalt::recover(cfg, &tm.crash_image(), []);
+        check_slots(&committed, |s| rec.read_raw(Addr(s)));
+    }
+}
+
+#[test]
+fn nvhalt_colocated_slots_survive_crash() {
+    let mut cfg = nv_cfg(FlushPolicy::Seeded { num: 128 }, EvictionPolicy::None);
+    cfg.locks = LockStrategy::Colocated;
+    let tm = NvHalt::new(cfg.clone());
+    let committed = run_workload_and_crash(&tm);
+    let rec = NvHalt::recover(cfg, &tm.crash_image(), []);
+    check_slots(&committed, |s| rec.read_raw(Addr(s)));
+}
+
+#[test]
+fn trinity_slots_survive_crash() {
+    let mut cfg = TrinityConfig::test(1 << 12, THREADS);
+    cfg.pm.flush = FlushPolicy::Seeded { num: 100 };
+    let tm = Trinity::new(cfg.clone());
+    let committed = run_workload_and_crash(&tm);
+    let rec = Trinity::recover(cfg, &tm.crash_image(), []);
+    check_slots(&committed, |s| rec.read_raw(Addr(s)));
+}
+
+#[test]
+fn spht_slots_survive_crash() {
+    let cfg = SphtConfig::test(1 << 12, THREADS);
+    let tm = Spht::new(cfg.clone());
+    let committed = run_workload_and_crash(&tm);
+    let rec = Spht::recover(cfg, &tm.crash_image());
+    check_slots(&committed, |s| rec.read_raw(Addr(s)));
+}
+
+/// Run the slot workload until the pool is crashed from the main thread.
+fn run_workload_and_crash<T: Tm + CrashControl>(tm: &T) -> Vec<(u64, u64)> {
+    let committed: Mutex<Vec<(u64, u64)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let committed = &committed;
+            s.spawn(move || {
+                run_crashable(|| {
+                    for i in 1..u64::MAX {
+                        let slot = 1 + t as u64;
+                        if tm::txn(tm, t, |tx| tx.write(Addr(slot), i)).is_ok() {
+                            committed.lock().unwrap().push((slot, i));
+                        } else {
+                            break;
+                        }
+                    }
+                });
+            });
+        }
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        tm.crash_now();
+    });
+    committed.into_inner().unwrap()
+}
+
+/// Uniform crash trigger across the TM types.
+trait CrashControl {
+    fn crash_now(&self);
+}
+
+impl CrashControl for NvHalt {
+    fn crash_now(&self) {
+        self.crash()
+    }
+}
+impl CrashControl for Trinity {
+    fn crash_now(&self) {
+        self.crash()
+    }
+}
+impl CrashControl for Spht {
+    fn crash_now(&self) {
+        self.crash()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Structure-level crashes: tree and hashmap under concurrent load.
+// ----------------------------------------------------------------------
+
+#[test]
+fn tree_crash_recovery_under_concurrent_load() {
+    let mut cfg = NvHaltConfig::test(1 << 18, THREADS);
+    cfg.pm.flush = FlushPolicy::Seeded { num: 128 };
+    let tm = NvHalt::new(cfg.clone());
+    let tree = AbTree::create(&tm, 0).unwrap();
+    let committed: Mutex<Vec<(u64, u64)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let committed = &committed;
+            let tree = &tree;
+            let tm = &tm;
+            s.spawn(move || {
+                run_crashable(|| {
+                    for i in 0.. {
+                        let k = (i * THREADS as u64) + t as u64;
+                        if tree.insert(tm, t, k, k + 1).is_ok() {
+                            committed.lock().unwrap().push((k, k + 1));
+                        }
+                    }
+                });
+            });
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        tm.crash();
+    });
+    let rec = NvHalt::recover_with(cfg, &tm.crash_image());
+    let t2 = AbTree::attach(tree.root_slot());
+    rec.rebuild_allocator(t2.used_blocks(&rec));
+    t2.check_invariants(&rec)
+        .expect("recovered tree invariants");
+    let recovered: StdHashMap<u64, u64> = t2.collect_raw(&rec).into_iter().collect();
+    for (k, v) in committed.into_inner().unwrap() {
+        assert_eq!(recovered.get(&k), Some(&v), "committed key {k} lost");
+    }
+    // And the tree keeps working.
+    t2.insert(&rec, 0, u64::MAX - 1, 1).unwrap();
+    assert_eq!(t2.get(&rec, 0, u64::MAX - 1).unwrap(), Some(1));
+}
+
+#[test]
+fn hashmap_crash_recovery_under_concurrent_load() {
+    let mut cfg = NvHaltConfig::test(1 << 18, THREADS);
+    cfg.pm.eviction = EvictionPolicy::Random { prob_log2: 8 };
+    let tm = NvHalt::new(cfg.clone());
+    let map = HashMapTx::create(&tm, 0, 512).unwrap();
+    let committed: Mutex<Vec<(u64, Option<u64>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let committed = &committed;
+            let map = &map;
+            let tm = &tm;
+            s.spawn(move || {
+                run_crashable(|| {
+                    let mut rng = (t as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    for i in 0u64.. {
+                        rng ^= rng << 13;
+                        rng ^= rng >> 7;
+                        rng ^= rng << 17;
+                        if i % 4 == 3 {
+                            // Churn traffic in a key range the checker
+                            // ignores (a crash can land between a commit
+                            // and its recording, so checked keys must be
+                            // write-once).
+                            let k = (1 << 40) + rng % 256;
+                            if rng >> 63 == 0 {
+                                let _ = map.insert(tm, t, k, i);
+                            } else {
+                                let _ = map.remove(tm, t, k);
+                            }
+                        } else {
+                            // Checked traffic: each key inserted exactly
+                            // once, thread-disjoint.
+                            let k = i * THREADS as u64 + t as u64;
+                            if map.insert(tm, t, k, i).is_ok() {
+                                committed.lock().unwrap().push((k, Some(i)));
+                            }
+                        }
+                    }
+                });
+            });
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        tm.crash();
+    });
+    let rec = NvHalt::recover_with(cfg, &tm.crash_image());
+    let m2 = HashMapTx::attach(map.buckets_addr(), map.nbuckets());
+    rec.rebuild_allocator(m2.used_blocks(&rec));
+    let recovered: StdHashMap<u64, u64> = m2.collect_raw(&rec).into_iter().collect();
+    // Every recorded (write-once) insert must be durable.
+    for (k, v) in committed.into_inner().unwrap() {
+        assert_eq!(recovered.get(&k).copied(), v, "key {k}");
+    }
+}
+
+#[test]
+fn repeated_crash_recover_cycles_converge() {
+    // Crash, recover, work, crash again — five generations.
+    let mut cfg = NvHaltConfig::test(1 << 16, 2);
+    cfg.pm.flush = FlushPolicy::Seeded { num: 160 };
+    let mut image = None;
+    let mut root = Addr::NULL;
+    let mut expected: StdHashMap<u64, u64> = StdHashMap::new();
+    for generation in 0..5u64 {
+        let (tm, tree) = match image.take() {
+            None => {
+                let tm = NvHalt::new(cfg.clone());
+                let tree = AbTree::create(&tm, 0).unwrap();
+                root = tree.root_slot();
+                (tm, tree)
+            }
+            Some(img) => {
+                let tm = NvHalt::recover_with(cfg.clone(), &img);
+                let tree = AbTree::attach(root);
+                tm.rebuild_allocator(tree.used_blocks(&tm));
+                (tm, tree)
+            }
+        };
+        // Verify everything committed in earlier generations.
+        for (&k, &v) in &expected {
+            assert_eq!(
+                tree.get(&tm, 0, k).unwrap(),
+                Some(v),
+                "gen {generation} lost key {k}"
+            );
+        }
+        for i in 0..200u64 {
+            let k = generation * 1_000 + i;
+            tree.insert(&tm, 0, k, k * 2).unwrap();
+            expected.insert(k, k * 2);
+        }
+        tree.check_invariants(&tm).expect("invariants");
+        tm.crash();
+        image = Some(tm.crash_image());
+    }
+}

@@ -1,0 +1,162 @@
+//! Durable linearizability, checked directly against its definition
+//! (Izraelevitz et al., cited as [34] in the paper): after a crash, the
+//! recovered state must reflect a *prefix-closed, atomic* subhistory that
+//! contains every operation that completed before the crash.
+//!
+//! The harness drives dependent-chain workloads where each transaction's
+//! write value encodes everything it observed, so prefix violations are
+//! detectable from the recovered state alone — no trust in the workers'
+//! bookkeeping is needed for the atomicity part.
+
+use nv_halt::prelude::*;
+use pmem::{EvictionPolicy, FlushPolicy};
+use tm::crash::run_crashable;
+
+/// Chain workload: each thread repeatedly executes
+/// `x[t] = x[t] + 1; y[t] = x[t]` in one transaction. At every moment,
+/// committed state satisfies `y[t] == x[t]`; a recovered state with
+/// `y[t] != x[t]` would be a non-atomic (torn) suffix, and a recovered
+/// `x[t]` smaller than the thread's last *returned* value would violate
+/// prefix inclusion.
+fn chain_crash_round(cfg: NvHaltConfig, crash_ms: u64) {
+    const T: usize = 3;
+    let tm = NvHalt::new(cfg.clone());
+    let mut last_returned = [0u64; T];
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..T)
+            .map(|t| {
+                let tm = &tm;
+                s.spawn(move || {
+                    // Cell: the closure unwinds on the crash, so the last
+                    // committed value must be readable from outside it.
+                    let last = std::cell::Cell::new(0u64);
+                    run_crashable(|| loop {
+                        let v = tm::txn(tm, t, |tx| {
+                            let x = Addr(1 + t as u64);
+                            let y = Addr(16 + t as u64);
+                            let v = tx.read(x)? + 1;
+                            tx.write(x, v)?;
+                            tx.write(y, v)?;
+                            Ok(v)
+                        })
+                        .unwrap();
+                        last.set(v);
+                    });
+                    last.get()
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(crash_ms));
+        tm.crash();
+        for (t, h) in handles.into_iter().enumerate() {
+            last_returned[t] = h.join().unwrap();
+        }
+    });
+
+    let rec = NvHalt::recover(cfg, &tm.crash_image(), []);
+    for (t, &returned) in last_returned.iter().enumerate() {
+        let x = rec.read_raw(Addr(1 + t as u64));
+        let y = rec.read_raw(Addr(16 + t as u64));
+        assert_eq!(x, y, "thread {t}: torn transaction in recovered state");
+        assert!(
+            x >= returned,
+            "thread {t}: prefix violation — recovered {x} < returned {returned}"
+        );
+        // And nothing from the future: x can exceed last_returned by at
+        // most the one in-flight transaction.
+        assert!(
+            x <= returned + 1,
+            "thread {t}: recovered {x} exceeds any possible commit"
+        );
+    }
+}
+
+#[test]
+fn chains_hold_under_eager_flushes() {
+    for progress in [Progress::Weak, Progress::Strong] {
+        let mut cfg = NvHaltConfig::test(1 << 10, 3);
+        cfg.progress = progress;
+        chain_crash_round(cfg, 25);
+    }
+}
+
+#[test]
+fn chains_hold_under_flush_adversaries() {
+    let mut cfg = NvHaltConfig::test(1 << 10, 3);
+    cfg.pm.flush = FlushPolicy::Seeded { num: 80 };
+    cfg.pm.eviction = EvictionPolicy::Random { prob_log2: 5 };
+    chain_crash_round(cfg, 25);
+}
+
+#[test]
+fn chains_hold_with_colocated_locks() {
+    let mut cfg = NvHaltConfig::test(1 << 10, 3);
+    cfg.locks = LockStrategy::Colocated;
+    cfg.pm.flush = FlushPolicy::Seeded { num: 128 };
+    chain_crash_round(cfg, 25);
+}
+
+#[test]
+fn chains_hold_across_many_rounds() {
+    // Ten short rounds catch different crash phases (inside persist,
+    // between flush and fence, mid-HTM, during release).
+    for round in 0..10u64 {
+        let mut cfg = NvHaltConfig::test(1 << 10, 3);
+        cfg.pm.seed = 0xc4a5 ^ round;
+        cfg.pm.flush = if round % 2 == 0 {
+            FlushPolicy::Eager
+        } else {
+            FlushPolicy::Seeded { num: 60 }
+        };
+        chain_crash_round(cfg, 8);
+    }
+}
+
+/// Cross-thread visibility chain: thread B copies A's counter; recovery
+/// must never show B's copy ahead of A's source (that would mean B's
+/// transaction survived while the A-transaction it *read from* was lost —
+/// exactly the Figure 4 anomaly NV-HALT's hardware-assisted locking
+/// prevents).
+#[test]
+fn cross_thread_reads_from_prefix_is_closed() {
+    let cfg = NvHaltConfig::test(1 << 10, 2);
+    let tm = NvHalt::new(cfg.clone());
+    std::thread::scope(|s| {
+        let a = {
+            let tm = &tm;
+            s.spawn(move || {
+                run_crashable(|| loop {
+                    tm::txn(tm, 0, |tx| {
+                        let v = tx.read(Addr(1))? + 1;
+                        tx.write(Addr(1), v)
+                    })
+                    .unwrap();
+                })
+            })
+        };
+        let b = {
+            let tm = &tm;
+            s.spawn(move || {
+                run_crashable(|| loop {
+                    tm::txn(tm, 1, |tx| {
+                        let src = tx.read(Addr(1))?;
+                        tx.write(Addr(2), src)
+                    })
+                    .unwrap();
+                })
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        tm.crash();
+        let _ = a.join();
+        let _ = b.join();
+    });
+    let rec = NvHalt::recover(cfg, &tm.crash_image(), []);
+    let src = rec.read_raw(Addr(1));
+    let copy = rec.read_raw(Addr(2));
+    assert!(
+        copy <= src,
+        "recovered copy {copy} ahead of its source {src}: a dependent \
+         transaction survived the crash while its dependency did not"
+    );
+}

@@ -1,0 +1,412 @@
+//! Deterministic reproductions of the paper's example executions:
+//!
+//! * **Figure 2** — a HyTM whose hardware path ignores the software
+//!   path's fine-grained locks violates opacity.
+//! * **Figure 3** — instrumenting hardware reads to check the locks
+//!   restores opacity in the volatile setting.
+//! * **Figure 4** — in the *persistent* setting, read-only lock
+//!   instrumentation is still insufficient: a crash can surface a state
+//!   where a later transaction's effects are durable but an earlier one's
+//!   are not. Hardware-assisted locking (holding the locks until the
+//!   write set is persisted) closes the window.
+//! * **Figure 6** — a weakly progressive software path can abort two
+//!   opposed transactions forever; the strongly progressive commit
+//!   protocol (global clock + hver checks, Figure 7) commits one of them.
+//!
+//! The scenarios script exact interleavings against small strawman TMs
+//! built directly on the workspace's substrates (the same lock words,
+//! HTM simulator and pmem pool the real TMs use), because the point of
+//! these figures is precisely what happens to *incorrectly* instrumented
+//! designs — something the hardened public TMs refuse to do.
+
+use htm::HtmThread;
+use nv_halt::prelude::*;
+use nvhalt::LockWord;
+use pmem::annot::AnnotLayout;
+use pmem::pool::PmemConfig;
+use pmem::{AnnotPmem, Meta};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+use tm::AbortKind;
+
+/// Shared strawman state: two words X and Y, each with a fine-grained
+/// lock, a software path with commit-time locking, and an HTM unit.
+struct Strawman {
+    htm: Htm,
+    x: AtomicU64,
+    y: AtomicU64,
+    x_lock: AtomicU64,
+    y_lock: AtomicU64,
+}
+
+impl Strawman {
+    fn new() -> Self {
+        Strawman {
+            htm: Htm::new(HtmConfig::test()),
+            x: AtomicU64::new(0),
+            y: AtomicU64::new(0),
+            x_lock: AtomicU64::new(0),
+            y_lock: AtomicU64::new(0),
+        }
+    }
+
+    /// Software-path lock acquire (CAS from the unlocked encounter value).
+    fn sw_lock(&self, lock: &AtomicU64, tid: usize) -> LockWord {
+        let enc = LockWord(self.htm.nt_load(lock));
+        assert!(!enc.is_locked());
+        self.htm
+            .nt_cas(lock, enc.0, enc.sw_acquired(tid).0)
+            .expect("uncontended in the script");
+        enc
+    }
+
+    fn sw_unlock(&self, lock: &AtomicU64, enc: LockWord, tid: usize) {
+        self.htm
+            .nt_store(lock, enc.sw_acquired(tid).released().0);
+    }
+}
+
+/// Figure 2: the software path updates X then Y under its locks while a
+/// hardware transaction that ignores the locks reads both — and commits a
+/// torn snapshot, which no sequential execution can produce.
+#[test]
+fn fig2_uninstrumented_hardware_path_violates_opacity() {
+    let s = Strawman::new();
+    let b1 = Barrier::new(2);
+    let b2 = Barrier::new(2);
+
+    std::thread::scope(|scope| {
+        // T2: software transaction writing X := 1, Y := 1.
+        let sw = scope.spawn(|| {
+            let ex = s.sw_lock(&s.x_lock, 2);
+            let ey = s.sw_lock(&s.y_lock, 2);
+            s.x.store(1, Ordering::Release); // in-place under locks
+            b1.wait(); // let the hardware reader run mid-commit
+            b2.wait();
+            s.y.store(1, Ordering::Release);
+            s.sw_unlock(&s.x_lock, ex, 2);
+            s.sw_unlock(&s.y_lock, ey, 2);
+        });
+        // T1: hardware transaction reading X and Y without touching locks.
+        let hw = scope.spawn(|| {
+            b1.wait();
+            let mut th = HtmThread::new(&s.htm, 1);
+            let r = s.htm.execute(&mut th, |tx| {
+                let x = tx.read(&s.x)?;
+                let y = tx.read(&s.y)?;
+                Ok((x, y))
+            });
+            b2.wait();
+            r
+        });
+        sw.join().unwrap();
+        let r = hw.join().unwrap();
+        // The torn read (1, 0) COMMITS: opacity is violated, exactly as
+        // Figure 2 warns. (The plain stores of the lock-based software
+        // path are invisible to the HTM's conflict detection.)
+        assert_eq!(r, Ok((1, 0)), "expected the opacity violation");
+    });
+}
+
+/// Figure 3: same schedule, but the hardware path reads each word's lock
+/// first and aborts when it is held — the torn snapshot is impossible.
+#[test]
+fn fig3_lock_reading_hardware_path_restores_opacity() {
+    let s = Strawman::new();
+    let b1 = Barrier::new(2);
+    let b2 = Barrier::new(2);
+
+    std::thread::scope(|scope| {
+        let sw = scope.spawn(|| {
+            let ex = s.sw_lock(&s.x_lock, 2);
+            let ey = s.sw_lock(&s.y_lock, 2);
+            s.x.store(1, Ordering::Release);
+            b1.wait();
+            b2.wait();
+            s.y.store(1, Ordering::Release);
+            s.sw_unlock(&s.x_lock, ex, 2);
+            s.sw_unlock(&s.y_lock, ey, 2);
+        });
+        let hw = scope.spawn(|| {
+            b1.wait();
+            let mut th = HtmThread::new(&s.htm, 1);
+            let r = s.htm.execute(&mut th, |tx| {
+                let xl = LockWord(tx.read(&s.x_lock)?);
+                if xl.is_locked() {
+                    return Err(tx.xabort(1));
+                }
+                let x = tx.read(&s.x)?;
+                let yl = LockWord(tx.read(&s.y_lock)?);
+                if yl.is_locked() {
+                    return Err(tx.xabort(1));
+                }
+                let y = tx.read(&s.y)?;
+                Ok((x, y))
+            });
+            b2.wait();
+            r
+        });
+        sw.join().unwrap();
+        let r = hw.join().unwrap();
+        assert_eq!(
+            r,
+            Err(AbortKind::Explicit(1)),
+            "the instrumented read observes the held lock and aborts"
+        );
+    });
+}
+
+/// Figure 4: reading locks is NOT enough once crashes matter. A hardware
+/// transaction T1 writes X (checking, but not acquiring, the lock),
+/// commits, and is about to persist X. Before it does, T2 reads the new
+/// X, writes Y = f(X), commits AND persists. The system crashes before
+/// T1's write-back: the durable state has T2's effect without T1's.
+#[test]
+fn fig4_read_only_instrumentation_insufficient_after_crash() {
+    let s = Strawman::new();
+    // A persistent annotation layer for the strawman's X and Y
+    // (addresses 0 and 1).
+    let layout = AnnotLayout {
+        heap_words: 2,
+        max_threads: 3,
+    };
+    let ap = AnnotPmem::new(layout, &PmemConfig::test(0, 3), None);
+
+    // T1: hardware txn writes X := 7 after checking (not acquiring) the
+    // lock. It commits in hardware, then is delayed before persisting.
+    let mut th1 = HtmThread::new(&s.htm, 1);
+    let r = s.htm.execute(&mut th1, |tx| {
+        let xl = LockWord(tx.read(&s.x_lock)?);
+        if xl.is_locked() {
+            return Err(tx.xabort(1));
+        }
+        tx.write(&s.x, 7)?;
+        Ok(())
+    });
+    assert_eq!(r, Ok(()));
+    // ... T1 is preempted here, X = 7 is volatile only ...
+
+    // T2: software txn reads X (lock free! nothing marks X non-durable),
+    // writes Y := X + 1, commits and persists via the undo layout.
+    let ey = s.sw_lock(&s.y_lock, 2);
+    let x_seen = s.x.load(Ordering::Acquire);
+    assert_eq!(x_seen, 7, "T2 legitimately reads T1's committed value");
+    let y_old = s.y.load(Ordering::Acquire);
+    ap.persist_entry(2, 1, y_old, x_seen + 1, Meta::pack(2, 0));
+    ap.sfence(2);
+    ap.persist_pver(2, 1);
+    ap.sfence(2);
+    s.y.store(x_seen + 1, Ordering::Release);
+    s.sw_unlock(&s.y_lock, ey, 2);
+
+    // CRASH before T1 persists X.
+    ap.pool().crash();
+    let img = ap.pool().snapshot_durable();
+    let (x_durable, _, _) = layout.image_entry(&img, 0);
+    let (y_durable, _, ymeta) = layout.image_entry(&img, 1);
+    let y_committed = ymeta.ver() < layout.image_pver(&img, 2);
+    assert!(y_committed, "T2's persist completed");
+    assert_eq!(y_durable, 8, "T2's effect is durable");
+    assert_eq!(
+        x_durable, 0,
+        "T1's effect is NOT durable: the recovered state Y=8, X=0 is \
+         unreachable by any sequential execution — Figure 4's violation"
+    );
+}
+
+/// The same window under real NV-HALT: hardware-assisted locking keeps X
+/// locked from inside the hardware transaction until it is persisted, so
+/// a reader in the window aborts/retries instead of consuming the
+/// non-durable value, and the crash is harmless.
+#[test]
+fn fig4_nv_halt_closes_the_window() {
+    // Huge fence latency stretches the persist window to many
+    // milliseconds while the locks are held.
+    let mut cfg = NvHaltConfig::test(1 << 10, 2);
+    cfg.pm.lat.fence_base_ns = 30_000_000;
+    let tmem = NvHalt::new(cfg);
+    // A concurrent reader samples (X, Y) continuously while the writer
+    // commits X:=1 then Y:=1 in two hardware transactions. During each
+    // persist window the address stays locked, so the reader retries
+    // instead of consuming a non-durable value.
+    std::thread::scope(|s| {
+        let writer = s.spawn(|| {
+            tm::txn(&tmem, 0, |tx| tx.write(Addr(1), 1)).unwrap();
+            tm::txn(&tmem, 0, |tx| tx.write(Addr(2), 1)).unwrap();
+        });
+        for _ in 0..200 {
+            let (x, y) = tm::txn(&tmem, 1, |tx| {
+                let x = tx.read(Addr(1))?;
+                let y = tx.read(Addr(2))?;
+                Ok((x, y))
+            })
+            .unwrap();
+            assert!(!(y == 1 && x == 0), "torn durability order observed");
+        }
+        writer.join().unwrap();
+    });
+}
+
+// ----------------------------------------------------------------------
+// Figure 6: weak vs strong progressiveness at commit time.
+// ----------------------------------------------------------------------
+
+/// A scripted two-transaction commit following Figure 1's software path,
+/// parameterised by the Figure 7 changes. Array of `n` words, T1 writes
+/// slot 0 and reads the rest ascending; T2 writes slot n-1 and reads the
+/// rest descending. Both reach commit simultaneously, acquire their
+/// (disjoint) write locks, and validate. Returns (t1_committed,
+/// t2_committed).
+fn fig6_script(strong: bool) -> (bool, bool) {
+    const N: usize = 8;
+    let locks: Vec<AtomicU64> = (0..N).map(|_| AtomicU64::new(0)).collect();
+    let gclock = AtomicU64::new(0);
+    let barrier = Barrier::new(2);
+    let results = Mutex::new((false, false));
+
+    std::thread::scope(|s| {
+        for (tid, (wslot, read_order)) in [
+            (0usize, (0usize, (1..N).collect::<Vec<_>>())),
+            (1usize, (N - 1, (0..N - 1).rev().collect::<Vec<_>>())),
+        ] {
+            let locks = &locks;
+            let gclock = &gclock;
+            let barrier = &barrier;
+            let results = &results;
+            s.spawn(move || {
+                // Read phase: record encounter lock words.
+                let rv = gclock.load(Ordering::Acquire);
+                let rset: Vec<(usize, LockWord)> = read_order
+                    .iter()
+                    .map(|&i| (i, LockWord(locks[i].load(Ordering::Acquire))))
+                    .collect();
+                let enc = LockWord(locks[wslot].load(Ordering::Acquire));
+                // Both transactions reach commit together (the Figure 6
+                // alignment), then acquire their disjoint write locks.
+                barrier.wait();
+                locks[wslot]
+                    .compare_exchange(
+                        enc.0,
+                        enc.sw_acquired(tid).0,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .expect("disjoint write sets");
+                // Both hold their locks before either validates.
+                barrier.wait();
+                let committed = if strong {
+                    // Figure 7: advance the clock; on success only hver
+                    // checks are needed — the other's *held* sLock does
+                    // not fail us.
+                    if gclock
+                        .compare_exchange(rv, rv + 1, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        rset.iter().all(|&(i, e)| {
+                            LockWord(locks[i].load(Ordering::Acquire)).hver() == e.hver()
+                        })
+                    } else {
+                        // Full validation (sver equality / self-lock).
+                        rset.iter().all(|&(i, e)| {
+                            LockWord::validates_against(
+                                LockWord(locks[i].load(Ordering::Acquire)),
+                                e,
+                                tid,
+                            )
+                        })
+                    }
+                } else {
+                    // Figure 1: plain validation — the other transaction's
+                    // held lock fails it.
+                    rset.iter().all(|&(i, e)| {
+                        LockWord::validates_against(
+                            LockWord(locks[i].load(Ordering::Acquire)),
+                            e,
+                            tid,
+                        )
+                    })
+                };
+                // Both validate before either releases (the Figure 6
+                // alignment: each sees the other's held lock).
+                barrier.wait();
+                // Release (abort restores; commit bumps).
+                let held = LockWord(locks[wslot].load(Ordering::Acquire));
+                if committed {
+                    locks[wslot].store(held.released().0, Ordering::Release);
+                } else {
+                    locks[wslot].store(enc.0, Ordering::Release);
+                }
+                let mut r = results.lock().unwrap();
+                if tid == 0 {
+                    r.0 = committed;
+                } else {
+                    r.1 = committed;
+                }
+            });
+        }
+    });
+    let r = results.lock().unwrap();
+    (r.0, r.1)
+}
+
+/// Figure 6: under weak progressiveness, the aligned schedule aborts BOTH
+/// transactions — repeated forever, that is the livelock.
+#[test]
+fn fig6_weakly_progressive_schedule_aborts_both() {
+    let (t1, t2) = fig6_script(false);
+    assert!(!t1 && !t2, "both abort under plain validation: ({t1},{t2})");
+}
+
+/// Figure 7's strongly progressive commit lets at least one of the two
+/// conflicting transactions commit — strong progressiveness.
+#[test]
+fn fig6_strongly_progressive_schedule_commits_one() {
+    let (t1, t2) = fig6_script(true);
+    assert!(t1 || t2, "at least one must commit: ({t1},{t2})");
+}
+
+/// The same opposed workload on the real TMs, stochastically: both
+/// variants must make progress (the backoff randomisation prevents a true
+/// livelock even for weak progress), and the run reports the abort cost.
+#[test]
+fn fig6_real_tms_make_progress_on_opposed_scans() {
+    use tm::policy::HybridPolicy;
+    for progress in [Progress::Weak, Progress::Strong] {
+        let mut cfg = NvHaltConfig::test(1 << 10, 2);
+        cfg.progress = progress;
+        cfg.policy = HybridPolicy {
+            hw_attempts: 0, // the figure is about the software path
+            ..HybridPolicy::default()
+        };
+        let tmem = NvHalt::new(cfg);
+        const N: u64 = 16;
+        std::thread::scope(|s| {
+            for tid in 0..2usize {
+                let tmem = &tmem;
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        tm::txn(tmem, tid, |tx| {
+                            if tid == 0 {
+                                tx.write(Addr(1), 1)?;
+                                for i in 2..=N {
+                                    tx.read(Addr(i))?;
+                                    std::thread::yield_now();
+                                }
+                            } else {
+                                tx.write(Addr(N), 1)?;
+                                for i in (1..N).rev() {
+                                    tx.read(Addr(i))?;
+                                    std::thread::yield_now();
+                                }
+                            }
+                            Ok(())
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        let stats = tmem.stats();
+        assert_eq!(stats.commits(), 1_000, "{progress:?} completed all txns");
+    }
+}

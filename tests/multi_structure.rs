@@ -1,0 +1,142 @@
+//! A realistic composition test: three data structures (tree, hashmap,
+//! sorted list) share one NV-HALT instance, are mutated concurrently —
+//! including cross-structure transactions through the raw API — crash
+//! together, and are recovered together (one combined allocator-rebuild
+//! walk, as a real application would do).
+
+use nv_halt::prelude::*;
+use nvhalt::NvHaltConfig;
+use std::sync::Mutex;
+use tm::crash::run_crashable;
+use txstructs::SortedList;
+
+#[test]
+fn three_structures_share_one_tm_and_recover_together() {
+    let cfg = NvHaltConfig::test(1 << 18, 3);
+    let tm = NvHalt::new(cfg.clone());
+    let tree = AbTree::create(&tm, 0).unwrap();
+    let map = HashMapTx::create(&tm, 0, 256).unwrap();
+    let list = SortedList::create(&tm, 0).unwrap();
+
+    // Concurrent phase: one thread per structure, unique keys recorded.
+    let committed: Mutex<Vec<(u8, u64)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        let (tm, tree, map, list, committed) = (&tm, &tree, &map, &list, &committed);
+        s.spawn(move || {
+            run_crashable(|| {
+                for k in 1u64.. {
+                    if tree.insert(tm, 0, k, k * 3).is_ok() {
+                        committed.lock().unwrap().push((0, k));
+                    }
+                }
+            });
+        });
+        s.spawn(move || {
+            run_crashable(|| {
+                for k in 1u64.. {
+                    if map.insert(tm, 1, k, k * 5).is_ok() {
+                        committed.lock().unwrap().push((1, k));
+                    }
+                }
+            });
+        });
+        s.spawn(move || {
+            run_crashable(|| {
+                for k in 1u64.. {
+                    if list.insert(tm, 2, k, k * 7).is_ok() {
+                        committed.lock().unwrap().push((2, k));
+                    }
+                }
+            });
+        });
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        tm.crash();
+    });
+
+    // Recovery: one image, one allocator rebuild over all three walks.
+    let rec = NvHalt::recover_with(cfg, &tm.crash_image());
+    let tree = AbTree::attach(tree.root_slot());
+    let map = HashMapTx::attach(map.buckets_addr(), map.nbuckets());
+    let list = SortedList::attach(list.head_addr());
+    let mut used = tree.used_blocks(&rec);
+    used.extend(map.used_blocks(&rec));
+    used.extend(list.used_blocks(&rec));
+    rec.rebuild_allocator(used);
+
+    tree.check_invariants(&rec).expect("tree invariants");
+    list.check_sorted(&rec).expect("list sorted");
+
+    for (which, k) in committed.into_inner().unwrap() {
+        match which {
+            0 => assert_eq!(tree.get(&rec, 0, k).unwrap(), Some(k * 3), "tree {k}"),
+            1 => assert_eq!(map.get(&rec, 0, k).unwrap(), Some(k * 5), "map {k}"),
+            _ => assert_eq!(list.get(&rec, 0, k).unwrap(), Some(k * 7), "list {k}"),
+        }
+    }
+
+    // All three keep working against the rebuilt allocator without
+    // clobbering each other.
+    tree.insert(&rec, 0, u64::MAX - 1, 1).unwrap();
+    map.insert(&rec, 1, u64::MAX - 1, 2).unwrap();
+    list.insert(&rec, 2, u64::MAX - 1, 3).unwrap();
+    tree.check_invariants(&rec).unwrap();
+    list.check_sorted(&rec).unwrap();
+}
+
+#[test]
+fn cross_structure_transaction_is_atomic() {
+    // A transfer moving a record from the hashmap into the tree in ONE
+    // transaction, interleaved with an auditor that must always see
+    // exactly one copy.
+    let cfg = NvHaltConfig::test(1 << 16, 2);
+    let tm = NvHalt::new(cfg);
+    let map = HashMapTx::create(&tm, 0, 64).unwrap();
+    let tree = AbTree::create(&tm, 0).unwrap();
+    // The record lives in the map initially. We use the raw word API for
+    // the combined txn: the map node's value cell and the tree are not
+    // composable through the high-level ops (each opens its own txn), so
+    // the test works on two plain words standing for "in map" / "in
+    // tree" flags plus the structure ops for realism.
+    map.insert(&tm, 0, 42, 4200).unwrap();
+    let moved = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let (tm, map, tree, moved) = (&tm, &map, &tree, &moved);
+        s.spawn(move || {
+            // Mover: delete from map and insert into tree — two separate
+            // committed transactions here, so the auditor may observe the
+            // gap; then verify the final state. (A single fused txn is
+            // exercised in the raw-word form below.)
+            map.remove(tm, 0, 42).unwrap();
+            tree.insert(tm, 0, 42, 4200).unwrap();
+            moved.store(true, std::sync::atomic::Ordering::Release);
+        });
+        s.spawn(move || {
+            while !moved.load(std::sync::atomic::Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            assert_eq!(map.get(tm, 1, 42).unwrap(), None);
+            assert_eq!(tree.get(tm, 1, 42).unwrap(), Some(4200));
+        });
+    });
+
+    // Raw-word fused move with a concurrent invariant auditor.
+    tm::txn(&tm, 0, |tx| tx.write(Addr(1), 1)).unwrap(); // src = 1, dst = 0
+    std::thread::scope(|s| {
+        let tm = &tm;
+        s.spawn(move || {
+            tm::txn(tm, 0, |tx| {
+                let v = tx.read(Addr(1))?;
+                tx.write(Addr(1), 0)?;
+                tx.write(Addr(2), v)
+            })
+            .unwrap();
+        });
+        s.spawn(move || {
+            for _ in 0..100 {
+                let (a, b) = tm::txn(tm, 1, |tx| Ok((tx.read(Addr(1))?, tx.read(Addr(2))?)))
+                    .unwrap();
+                assert_eq!(a + b, 1, "the record exists exactly once");
+            }
+        });
+    });
+}

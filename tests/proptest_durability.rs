@@ -1,0 +1,185 @@
+//! Property-based tests: randomized operation sequences, crash points and
+//! flush adversaries, checked against in-memory oracles.
+//!
+//! These complement the scripted tests: proptest explores op interleaving
+//! shapes (key distributions, insert/remove ratios, crash positions) that
+//! hand-written cases miss, and shrinks failures to minimal sequences.
+
+use nv_halt::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+    Get(u64),
+}
+
+fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..key_space, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (0..key_space).prop_map(Op::Remove),
+        (0..key_space).prop_map(Op::Get),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    /// The transactional tree behaves exactly like BTreeMap under any op
+    /// sequence, and its structural invariants hold throughout.
+    #[test]
+    fn tree_matches_oracle(ops in proptest::collection::vec(op_strategy(64), 1..400)) {
+        let tm = NvHalt::new(NvHaltConfig::test(1 << 16, 1));
+        let tree = AbTree::create(&tm, 0).unwrap();
+        let mut oracle = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(tree.insert(&tm, 0, k, v).unwrap(), oracle.insert(k, v));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(tree.remove(&tm, 0, k).unwrap(), oracle.remove(&k));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(tree.get(&tm, 0, k).unwrap(), oracle.get(&k).copied());
+                }
+            }
+        }
+        prop_assert_eq!(tree.collect_raw(&tm), oracle.into_iter().collect::<Vec<_>>());
+        tree.check_invariants(&tm).map_err(TestCaseError::fail)?;
+    }
+
+    /// Same for the hashmap (which additionally recycles tombstones).
+    #[test]
+    fn hashmap_matches_oracle(ops in proptest::collection::vec(op_strategy(48), 1..400)) {
+        let tm = NvHalt::new(NvHaltConfig::test(1 << 16, 1));
+        let map = HashMapTx::create(&tm, 0, 8).unwrap();
+        let mut oracle = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(map.insert(&tm, 0, k, v).unwrap(), oracle.insert(k, v));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(map.remove(&tm, 0, k).unwrap(), oracle.remove(&k));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(map.get(&tm, 0, k).unwrap(), oracle.get(&k).copied());
+                }
+            }
+        }
+        prop_assert_eq!(map.collect_raw(&tm), oracle.into_iter().collect::<Vec<_>>());
+    }
+
+    /// Single-threaded durability: run `k` committed operations, crash,
+    /// recover — the recovered tree equals the oracle after exactly those
+    /// `k` operations, under every flush adversary.
+    #[test]
+    fn crash_point_recovers_exact_prefix(
+        ops in proptest::collection::vec(op_strategy(32), 1..120),
+        crash_at_frac in 0.0f64..1.0,
+        flush_num in 0u8..=255,
+    ) {
+        let mut cfg = NvHaltConfig::test(1 << 16, 1);
+        cfg.pm.flush = pmem::FlushPolicy::Seeded { num: flush_num };
+        cfg.pm.eviction = pmem::EvictionPolicy::Random { prob_log2: 4 };
+        let tm = NvHalt::new(cfg.clone());
+        let tree = AbTree::create(&tm, 0).unwrap();
+        let crash_at = ((ops.len() as f64) * crash_at_frac) as usize;
+        let mut oracle = BTreeMap::new();
+        for op in ops.iter().take(crash_at) {
+            match *op {
+                Op::Insert(k, v) => { tree.insert(&tm, 0, k, v).unwrap(); oracle.insert(k, v); }
+                Op::Remove(k) => { tree.remove(&tm, 0, k).unwrap(); oracle.remove(&k); }
+                Op::Get(k) => { tree.get(&tm, 0, k).unwrap(); }
+            }
+        }
+        tm.crash();
+        let rec = NvHalt::recover_with(cfg, &tm.crash_image());
+        let tree = AbTree::attach(tree.root_slot());
+        rec.rebuild_allocator(tree.used_blocks(&rec));
+        prop_assert_eq!(
+            tree.collect_raw(&rec),
+            oracle.into_iter().collect::<Vec<_>>(),
+            "recovered state must be exactly the committed prefix"
+        );
+        tree.check_invariants(&rec).map_err(TestCaseError::fail)?;
+    }
+
+    /// Raw-word durability for Trinity under flush adversaries.
+    #[test]
+    fn trinity_crash_point_exact(
+        writes in proptest::collection::vec((1u64..64, any::<u64>()), 1..100),
+        flush_num in 0u8..=255,
+    ) {
+        let mut cfg = TrinityConfig::test(1 << 10, 1);
+        cfg.pm.flush = pmem::FlushPolicy::Seeded { num: flush_num };
+        let tm = Trinity::new(cfg.clone());
+        let mut oracle = BTreeMap::new();
+        for &(a, v) in &writes {
+            tm::txn(&tm, 0, |tx| tx.write(Addr(a), v)).unwrap();
+            oracle.insert(a, v);
+        }
+        tm.crash();
+        let rec = Trinity::recover(cfg, &tm.crash_image(), []);
+        for (&a, &v) in &oracle {
+            prop_assert_eq!(rec.read_raw(Addr(a)), v);
+        }
+    }
+
+    /// SPHT recovery equals the committed sequence (redo-log replay).
+    #[test]
+    fn spht_crash_point_exact(
+        writes in proptest::collection::vec((1u64..64, any::<u64>()), 1..100),
+    ) {
+        let cfg = SphtConfig::test(1 << 10, 1);
+        let tm = Spht::new(cfg.clone());
+        let mut oracle = BTreeMap::new();
+        for &(a, v) in &writes {
+            tm::txn(&tm, 0, |tx| tx.write(Addr(a), v)).unwrap();
+            oracle.insert(a, v);
+        }
+        tm.crash();
+        let rec = Spht::recover(cfg, &tm.crash_image());
+        for (&a, &v) in &oracle {
+            prop_assert_eq!(rec.read_raw(Addr(a)), v);
+        }
+    }
+
+    /// Multi-word transactions are atomic across a crash: either all of a
+    /// transaction's words are durable or none (checked via matched
+    /// pairs written in one transaction, with partial flush adversaries).
+    #[test]
+    fn transactions_are_atomic_across_crash(
+        pairs in proptest::collection::vec((1u64..32, any::<u64>()), 1..60),
+        flush_num in 0u8..=255,
+        evict_log2 in 2u32..8,
+    ) {
+        let mut cfg = NvHaltConfig::test(1 << 10, 1);
+        cfg.pm.flush = pmem::FlushPolicy::Seeded { num: flush_num };
+        cfg.pm.eviction = pmem::EvictionPolicy::Random { prob_log2: evict_log2 };
+        let tm = NvHalt::new(cfg.clone());
+        // Each txn writes (x, x+32) = (v, v): a torn txn would leave them
+        // unequal.
+        for &(x, v) in &pairs {
+            tm::txn(&tm, 0, |tx| {
+                tx.write(Addr(x), v)?;
+                tx.write(Addr(x + 32), v)
+            }).unwrap();
+        }
+        tm.crash();
+        let rec = NvHalt::recover(cfg, &tm.crash_image(), []);
+        for x in 1u64..32 {
+            prop_assert_eq!(
+                rec.read_raw(Addr(x)),
+                rec.read_raw(Addr(x + 32)),
+                "torn transaction on pair {}", x
+            );
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Statistics-accounting tests: the per-TM counters are what the
+//! benchmark harness reports, so their semantics are load-bearing —
+//! flush/fence counts per committed writing transaction, path splits
+//! under forced policies, and persistence-traffic proportionality.
+
+use nv_halt::prelude::*;
+use tm::policy::HybridPolicy;
+use tm::stats::Counter;
+
+#[test]
+fn nvhalt_flush_accounting_per_writing_txn() {
+    let tmem = NvHalt::new(NvHaltConfig::test(1 << 10, 1));
+    let base = tmem.stats();
+    // One txn writing W words: W entry flushes + 1 pver flush; 2 fences.
+    for w in [1usize, 3, 8] {
+        let before = tmem.stats();
+        tm::txn(&tmem, 0, |tx| {
+            for i in 0..w {
+                tx.write(Addr(1 + i as u64), 9)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        let d = tmem.stats().since(&before);
+        assert_eq!(d.get(Counter::Flush), w as u64 + 1, "writes={w}");
+        assert_eq!(d.get(Counter::Fence), 2, "writes={w}");
+        // 3 pmem words per entry + 1 pver word.
+        assert_eq!(d.get(Counter::PmWords), 3 * w as u64 + 1, "writes={w}");
+    }
+    // Read-only transactions persist nothing.
+    let before = tmem.stats();
+    tm::txn(&tmem, 0, |tx| tx.read(Addr(1))).unwrap();
+    let d = tmem.stats().since(&before);
+    assert_eq!(d.get(Counter::Flush), 0);
+    assert_eq!(d.get(Counter::Fence), 0);
+    let _ = base;
+}
+
+#[test]
+fn trinity_flush_accounting_matches_nvhalt_software_path() {
+    // Both use the same Trinity persistence engine; a W-word commit costs
+    // the same persistent traffic on either TM's software path.
+    let tr = Trinity::new(TrinityConfig::test(1 << 10, 1));
+    let mut cfg = NvHaltConfig::test(1 << 10, 1);
+    cfg.policy = HybridPolicy::stm_only();
+    let nv = NvHalt::new(cfg);
+    for w in [2usize, 5] {
+        let b_tr = tr.stats();
+        tm::txn(&tr, 0, |tx| {
+            for i in 0..w {
+                tx.write(Addr(1 + i as u64), 7)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        let b_nv = nv.stats();
+        tm::txn(&nv, 0, |tx| {
+            for i in 0..w {
+                tx.write(Addr(1 + i as u64), 7)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        let d_tr = tr.stats().since(&b_tr);
+        let d_nv = nv.stats().since(&b_nv);
+        assert_eq!(d_tr.get(Counter::Flush), d_nv.get(Counter::Flush), "w={w}");
+        assert_eq!(d_tr.get(Counter::Fence), d_nv.get(Counter::Fence), "w={w}");
+        assert_eq!(
+            d_tr.get(Counter::PmWords),
+            d_nv.get(Counter::PmWords),
+            "w={w}"
+        );
+    }
+}
+
+#[test]
+fn spht_read_only_costs_nothing_writers_pay_log_and_marker() {
+    let tmem = Spht::new(SphtConfig::test(1 << 10, 1));
+    let before = tmem.stats();
+    tm::txn(&tmem, 0, |tx| tx.read(Addr(1))).unwrap();
+    let d = tmem.stats().since(&before);
+    assert_eq!(d.get(Counter::Flush), 0);
+    assert_eq!(d.get(Counter::Fence), 0);
+
+    let before = tmem.stats();
+    tm::txn(&tmem, 0, |tx| tx.write(Addr(1), 5)).unwrap();
+    let d = tmem.stats().since(&before);
+    // Record lines + record-ts flush + truncation + marker flush; at
+    // least three flushes and three fences (record, ts, marker).
+    assert!(d.get(Counter::Flush) >= 3, "{d}");
+    assert!(d.get(Counter::Fence) >= 3, "{d}");
+}
+
+#[test]
+fn hw_ratio_reflects_policy() {
+    // All-hardware under the default policy, all-software under stm_only.
+    let hybrid = NvHalt::new(NvHaltConfig::test(1 << 10, 1));
+    for i in 0..100 {
+        tm::txn(&hybrid, 0, |tx| tx.write(Addr(1 + i % 8), i)).unwrap();
+    }
+    assert!((hybrid.stats().hw_commit_ratio() - 1.0).abs() < 1e-9);
+
+    let mut cfg = NvHaltConfig::test(1 << 10, 1);
+    cfg.policy = HybridPolicy::stm_only();
+    let stm = NvHalt::new(cfg);
+    for i in 0..100 {
+        tm::txn(&stm, 0, |tx| tx.write(Addr(1 + i % 8), i)).unwrap();
+    }
+    assert_eq!(stm.stats().hw_commit_ratio(), 0.0);
+}
+
+#[test]
+fn ablation_modes_zero_out_persistence_counters() {
+    for (mode, expect_flush) in [
+        (PmemMode::Nvram, true),
+        (PmemMode::Eadr, false),
+        (PmemMode::NoFlushFence, false),
+        (PmemMode::Dram, false),
+    ] {
+        let mut cfg = NvHaltConfig::test(1 << 10, 1);
+        cfg.pm.mode = mode;
+        let tmem = NvHalt::new(cfg);
+        tm::txn(&tmem, 0, |tx| tx.write(Addr(1), 1)).unwrap();
+        let flushes = tmem.stats().get(Counter::Flush);
+        assert_eq!(flushes > 0, expect_flush, "{mode:?}: flushes={flushes}");
+    }
+}
+
+#[test]
+fn cancelled_counter_only_counts_cancels() {
+    let tmem = NvHalt::new(NvHaltConfig::test(1 << 10, 1));
+    for _ in 0..5 {
+        let _ = tm::txn(&tmem, 0, |tx| {
+            tx.write(Addr(1), 1)?;
+            Err::<(), _>(Abort::Cancel)
+        });
+    }
+    tm::txn(&tmem, 0, |tx| tx.write(Addr(1), 2)).unwrap();
+    let s = tmem.stats();
+    assert_eq!(s.get(Counter::Cancelled), 5);
+    assert_eq!(s.commits(), 1);
+}
