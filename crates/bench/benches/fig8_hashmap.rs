@@ -9,7 +9,7 @@ fn bench_hashmap(c: &mut Criterion) {
     for kind in TmKind::ALL {
         for update_pct in [10u32, 100] {
             c.bench_function(
-                &format!("fig8/hashmap/{}/u{update_pct}", kind.label()),
+                format!("fig8/hashmap/{}/u{update_pct}", kind.label()),
                 |b| {
                     b.iter_custom(|iters| {
                         let cell = Cell {

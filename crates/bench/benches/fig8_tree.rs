@@ -9,25 +9,22 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench_tree(c: &mut Criterion) {
     for kind in TmKind::ALL {
         for update_pct in [10u32, 100] {
-            c.bench_function(
-                &format!("fig8/abtree/{}/u{update_pct}", kind.label()),
-                |b| {
-                    b.iter_custom(|iters| {
-                        // One measured cell per sample set: ops/sec scaled
-                        // to the requested iteration count.
-                        let cell = Cell {
-                            threads: 1,
-                            update_pct,
-                            keys: 1 << 12,
-                            seconds: 0.25,
-                            ..Cell::new(kind, Structure::AbTree)
-                        };
-                        let r = run_cell(&cell);
-                        let per_op = std::time::Duration::from_secs_f64(r.secs / r.ops as f64);
-                        per_op * iters as u32
-                    })
-                },
-            );
+            c.bench_function(format!("fig8/abtree/{}/u{update_pct}", kind.label()), |b| {
+                b.iter_custom(|iters| {
+                    // One measured cell per sample set: ops/sec scaled
+                    // to the requested iteration count.
+                    let cell = Cell {
+                        threads: 1,
+                        update_pct,
+                        keys: 1 << 12,
+                        seconds: 0.25,
+                        ..Cell::new(kind, Structure::AbTree)
+                    };
+                    let r = run_cell(&cell);
+                    let per_op = std::time::Duration::from_secs_f64(r.secs / r.ops as f64);
+                    per_op * iters as u32
+                })
+            });
         }
     }
 }

@@ -9,7 +9,7 @@ fn bench_ablation(c: &mut Criterion) {
     for kind in [TmKind::NvHaltCl, TmKind::Spht] {
         for ablation in Ablation::ALL {
             c.bench_function(
-                &format!("fig9/abtree-u50/{}/{}", kind.label(), ablation.label()),
+                format!("fig9/abtree-u50/{}/{}", kind.label(), ablation.label()),
                 |b| {
                     b.iter_custom(|iters| {
                         let cell = Cell {

@@ -86,7 +86,7 @@ fn htm_costs(c: &mut Criterion) {
 }
 
 fn txn_latency<T: Tm>(c: &mut Criterion, tm: &T, label: &str) {
-    c.bench_function(&format!("txn/{label}/read-8"), |b| {
+    c.bench_function(format!("txn/{label}/read-8"), |b| {
         b.iter(|| {
             txn(tm, 0, |tx| {
                 let mut s = 0;
@@ -98,7 +98,7 @@ fn txn_latency<T: Tm>(c: &mut Criterion, tm: &T, label: &str) {
             .unwrap()
         })
     });
-    c.bench_function(&format!("txn/{label}/write-4"), |b| {
+    c.bench_function(format!("txn/{label}/write-4"), |b| {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;

@@ -133,7 +133,10 @@ fn main() {
             best.push((workload_name(u), nvhalt_best, trinity_best, spht_best));
         }
         if !csv {
-            println!("\n## {} — NV-HALT speedups (best variant)", structure.label());
+            println!(
+                "\n## {} — NV-HALT speedups (best variant)",
+                structure.label()
+            );
             for (w, nv, tr, sp) in &best {
                 let vs_tr = if *tr > 0.0 { nv / tr } else { f64::NAN };
                 let vs_sp = if *sp > 0.0 { nv / sp } else { f64::NAN };

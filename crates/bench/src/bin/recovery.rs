@@ -42,8 +42,10 @@ fn main() {
         let last = (txns - 1) / spread * spread;
         last + 1
     });
-    println!("nv-halt  scan-and-revert: {nv_time:?} ({:.1} Mwords/s)",
-        words as f64 / nv_time.as_secs_f64() / 1e6);
+    println!(
+        "nv-halt  scan-and-revert: {nv_time:?} ({:.1} Mwords/s)",
+        words as f64 / nv_time.as_secs_f64() / 1e6
+    );
 
     // --- Trinity ---
     let cfg = TrinityConfig::test(words, 1);
@@ -56,8 +58,10 @@ fn main() {
     let t0 = Instant::now();
     let _rec = Trinity::recover(cfg, &img, []);
     let tr_time = t0.elapsed();
-    println!("trinity  scan-and-revert: {tr_time:?} ({:.1} Mwords/s)",
-        words as f64 / tr_time.as_secs_f64() / 1e6);
+    println!(
+        "trinity  scan-and-revert: {tr_time:?} ({:.1} Mwords/s)",
+        words as f64 / tr_time.as_secs_f64() / 1e6
+    );
 
     // --- SPHT: replay scaling ---
     println!("\nspht log replay (crash-free, {txns} records):");

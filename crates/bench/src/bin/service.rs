@@ -1,0 +1,204 @@
+//! Closed-loop load generator for the `kvserve` durable KV service.
+//!
+//! Runs three YCSB-style mixes — read-heavy (95% get / 5% put),
+//! update-heavy (50% get / 50% put) and scan (atomic same-shard
+//! multi-get windows) — across a sweep of shard counts and batch-size
+//! caps, printing per-shard throughput, latency percentiles, abort
+//! rates and mean committed batch sizes.
+//!
+//! The persistent-memory latency model defaults to Optane so the
+//! flush/fence amortization from batching is visible (update-heavy
+//! throughput should rise with `batch_max`); pass `--fast` to zero the
+//! latency model for a quick functional sweep.
+//!
+//! ```text
+//! cargo run -p bench --release --bin service -- \
+//!     --shards 1,2,4 --batch 1,8 --clients 8 --seconds 0.4
+//! ```
+
+use bench::{fmt_tput, Args};
+use kvserve::{MapOp, ServeError, Service, ServiceConfig};
+use pmem::LatencyModel;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mix {
+    ReadHeavy,
+    UpdateHeavy,
+    Scan,
+}
+
+impl Mix {
+    const ALL: [Mix; 3] = [Mix::ReadHeavy, Mix::UpdateHeavy, Mix::Scan];
+
+    fn label(self) -> &'static str {
+        match self {
+            Mix::ReadHeavy => "read-heavy",
+            Mix::UpdateHeavy => "update-heavy",
+            Mix::Scan => "scan",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Mix> {
+        Mix::ALL.into_iter().find(|m| m.label() == s)
+    }
+}
+
+/// Keys an atomic scan window may span before filtering to one shard.
+const SCAN_SPAN: u64 = 32;
+/// Ops per scan request after same-shard filtering (upper bound).
+const SCAN_WINDOW: usize = 8;
+
+struct Sweep {
+    mixes: Vec<Mix>,
+    shard_counts: Vec<usize>,
+    batch_caps: Vec<usize>,
+    clients: usize,
+    seconds: f64,
+    keys: u64,
+    fast: bool,
+}
+
+fn main() {
+    let args = Args::parse();
+    let sweep = Sweep {
+        mixes: args
+            .list("mixes")
+            .map(|v| v.iter().filter_map(|s| Mix::parse(s)).collect())
+            .unwrap_or_else(|| Mix::ALL.to_vec()),
+        shard_counts: args
+            .list("shards")
+            .map(|v| v.iter().filter_map(|s| s.parse().ok()).collect())
+            .unwrap_or_else(|| vec![1, 2, 4]),
+        batch_caps: args
+            .list("batch")
+            .map(|v| v.iter().filter_map(|s| s.parse().ok()).collect())
+            .unwrap_or_else(|| vec![1, 8]),
+        clients: args.get_or("clients", 8),
+        seconds: args.get_or("seconds", 0.4),
+        keys: args.get_or("keys", 1u64 << 13),
+        fast: args.get("fast").is_some(),
+    };
+    println!(
+        "kvserve service benchmark: {} keys, {} clients, {:.2}s per cell, pm={}",
+        sweep.keys,
+        sweep.clients,
+        sweep.seconds,
+        if sweep.fast { "zero-latency" } else { "optane" },
+    );
+    for &mix in &sweep.mixes {
+        for &shards in &sweep.shard_counts {
+            for &batch in &sweep.batch_caps {
+                run_cell(&sweep, mix, shards, batch);
+            }
+        }
+    }
+}
+
+fn service_config(sweep: &Sweep, shards: usize, batch: usize) -> ServiceConfig {
+    let mut cfg = ServiceConfig::new(shards);
+    cfg.batch_max = batch;
+    cfg.queue_depth = 4096;
+    cfg.buckets_per_shard = ((sweep.keys as usize / shards).next_power_of_two()).max(64);
+    cfg.heap_words_per_shard = (sweep.keys as usize * 8 / shards).max(1 << 16);
+    cfg.default_deadline = Duration::from_secs(2);
+    if !sweep.fast {
+        cfg.nvhalt.pm.lat = LatencyModel::optane();
+    }
+    cfg
+}
+
+fn run_cell(sweep: &Sweep, mix: Mix, shards: usize, batch: usize) {
+    let svc = Service::new(service_config(sweep, shards, batch));
+
+    // Prefill half the key range, then zero the service metrics so the
+    // measurement window starts clean.
+    for k in 0..sweep.keys {
+        if k.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 63 == 0 {
+            svc.put(k, k + 1).expect("prefill write");
+        }
+    }
+    svc.reset_metrics();
+    let tm_before: Vec<_> = svc.snapshot().shards.iter().map(|s| s.tm).collect();
+
+    let stop = AtomicBool::new(false);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..sweep.clients {
+            let svc = &svc;
+            let stop = &stop;
+            scope.spawn(move || client_loop(svc, stop, mix, sweep.keys, c as u64));
+        }
+        while start.elapsed().as_secs_f64() < sweep.seconds {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let secs = start.elapsed().as_secs_f64();
+
+    // Report with TM statistics windowed to the measurement period.
+    let mut snap = svc.snapshot();
+    for (s, before) in snap.shards.iter_mut().zip(&tm_before) {
+        s.tm = s.tm.since(before);
+    }
+    println!(
+        "\n== mix={} shards={} batch_max={} ==",
+        mix.label(),
+        shards,
+        batch
+    );
+    for s in &snap.shards {
+        println!("  {s}  tput={}/s", fmt_tput(s.ops() as f64 / secs));
+    }
+    println!(
+        "  total: tput={}/s mean_batch={:.2} p50={:?} p99={:?} abort_rate={:.3}",
+        fmt_tput(snap.ops() as f64 / secs),
+        snap.mean_batch(),
+        snap.latency_quantile(0.50).unwrap_or_default(),
+        snap.latency_quantile(0.99).unwrap_or_default(),
+        snap.abort_rate(),
+    );
+}
+
+fn client_loop(svc: &Service, stop: &AtomicBool, mix: Mix, keys: u64, client: u64) {
+    let mut rng = 0xbe7c_5eed ^ (client + 1).wrapping_mul(0x2545_f491_4f6c_dd1d);
+    while !stop.load(Ordering::Relaxed) {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        let k = (rng >> 16) % keys;
+        let req = match mix {
+            Mix::ReadHeavy if (rng & 0xffff) % 100 < 95 => Req::One(MapOp::Get(k)),
+            Mix::ReadHeavy => Req::One(MapOp::Insert(k, rng)),
+            Mix::UpdateHeavy if rng >> 63 == 0 => Req::One(MapOp::Get(k)),
+            Mix::UpdateHeavy => Req::One(MapOp::Insert(k, rng)),
+            Mix::Scan => {
+                // An atomic multi-get over the keys of a contiguous
+                // window that live on the first key's shard.
+                let shard = svc.shard_of(k);
+                let ops: Vec<MapOp> = (k..k + SCAN_SPAN)
+                    .filter(|&x| x < keys && svc.shard_of(x) == shard)
+                    .take(SCAN_WINDOW)
+                    .map(MapOp::Get)
+                    .collect();
+                Req::Many(ops)
+            }
+        };
+        let outcome = match req {
+            Req::One(op) => svc.apply(op).map(|_| ()),
+            Req::Many(ops) => svc.batch(ops).map(|_| ()),
+        };
+        match outcome {
+            Ok(()) => {}
+            Err(ServeError::Overloaded { retry_after }) => std::thread::sleep(retry_after),
+            Err(ServeError::Timeout) | Err(ServeError::Aborted) => {}
+            Err(e) => panic!("service failed under load: {e}"),
+        }
+    }
+}
+
+enum Req {
+    One(MapOp),
+    Many(Vec<MapOp>),
+}

@@ -312,9 +312,7 @@ fn run_on<T: Tm>(tm: &T, cell: &Cell, epilogue: impl FnOnce(&T) -> f64) -> CellR
     // worker threads so per-thread allocator arenas are warm.
     let st = match cell.structure {
         Structure::AbTree => AnyStruct::Tree(AbTree::create(tm, 0).unwrap()),
-        Structure::HashMap => {
-            AnyStruct::Map(HashMapTx::create(tm, 0, cell.keys as usize).unwrap())
-        }
+        Structure::HashMap => AnyStruct::Map(HashMapTx::create(tm, 0, cell.keys as usize).unwrap()),
     };
     std::thread::scope(|s| {
         for t in 0..cell.threads {
@@ -446,7 +444,9 @@ impl Args {
 
     /// Typed lookup with default.
     pub fn get_or<V: std::str::FromStr>(&self, key: &str, default: V) -> V {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// Comma-separated list lookup.

@@ -383,7 +383,10 @@ impl NvHalt {
             // Fixed acquisition order avoids write-write livelock (§3.6).
             let heap = &self.heap;
             ts.wset.sort_by_key(|e| {
-                (heap.lock_cell(e.addr as usize) as *const AtomicU64 as usize, e.addr)
+                (
+                    heap.lock_cell(e.addr as usize) as *const AtomicU64 as usize,
+                    e.addr,
+                )
             });
         }
 
@@ -405,10 +408,7 @@ impl NvHalt {
                 }
                 continue;
             }
-            match self
-                .htm
-                .nt_cas(cell, e.enc.0, e.enc.sw_acquired(tid).0)
-            {
+            match self.htm.nt_cas(cell, e.enc.0, e.enc.sw_acquired(tid).0) {
                 Ok(_) => ts.acquired.push((e.addr, e.enc)),
                 Err(_) => {
                     self.sw_release(ts, false);
@@ -455,7 +455,8 @@ impl NvHalt {
         for e in &ts.wset {
             let data = self.heap.data_cell(e.addr as usize);
             let old = data.load(Ordering::Acquire);
-            self.pmem.persist_entry(tid, e.addr as usize, old, e.val, meta);
+            self.pmem
+                .persist_entry(tid, e.addr as usize, old, e.val, meta);
             data.store(e.val, Ordering::Release);
         }
         self.pmem.sfence(tid);
@@ -689,11 +690,7 @@ impl<'a> SwTxn<'a> {
     /// read phase, so plain equality suffices).
     fn validate(&self) -> bool {
         self.rset.iter().all(|r| {
-            let cur = LockWord(
-                self.tm
-                    .htm
-                    .nt_load(self.tm.heap.lock_cell(r.addr as usize)),
-            );
+            let cur = LockWord(self.tm.htm.nt_load(self.tm.heap.lock_cell(r.addr as usize)));
             cur == r.enc
         })
     }

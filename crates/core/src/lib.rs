@@ -287,7 +287,10 @@ mod tests {
 
     #[test]
     fn conflicting_writes_fall_back_and_still_commit() {
-        let tmem = Arc::new(small(Progress::Strong, LockStrategy::Table { locks_log2: 4 }));
+        let tmem = Arc::new(small(
+            Progress::Strong,
+            LockStrategy::Table { locks_log2: 4 },
+        ));
         let mut handles = Vec::new();
         for t in 0..4usize {
             let tmem = tmem.clone();

@@ -117,8 +117,7 @@ impl LockWord {
     /// (commit-time locking locks one's own write set before validating).
     #[inline]
     pub fn validates_against(current: LockWord, encounter: LockWord, tid: usize) -> bool {
-        current == encounter
-            || (current.is_locked_by(tid) && current == encounter.sw_acquired(tid))
+        current == encounter || (current.is_locked_by(tid) && current == encounter.sw_acquired(tid))
     }
 }
 

@@ -13,9 +13,7 @@ fn tiny_table(progress: Progress) -> NvHalt {
     let mut cfg = NvHaltConfig::test(1 << 10, 4);
     cfg.locks = LockStrategy::Table { locks_log2: 2 }; // four locks!
     cfg.progress = progress;
-    cfg
-        .policy
-        .hw_attempts = 10;
+    cfg.policy.hw_attempts = 10;
     NvHalt::new(cfg)
 }
 

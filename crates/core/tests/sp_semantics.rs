@@ -179,7 +179,10 @@ fn heavy_spurious_aborts_preserve_exactness() {
     assert_eq!(tmem.read_raw(Addr(1)), 4_000);
     let stats = tmem.stats();
     assert!(stats.get(Counter::HwSpurious) > 0, "{stats}");
-    assert!(stats.get(Counter::SwCommit) > 0, "fallback engaged: {stats}");
+    assert!(
+        stats.get(Counter::SwCommit) > 0,
+        "fallback engaged: {stats}"
+    );
 }
 
 /// The NO-PERSISTENT-HTX ablation really removes hardware-transaction
@@ -205,7 +208,10 @@ fn ablation_no_persist_htx_loses_hw_writes_on_crash() {
 /// protocol (cross-variant differential smoke).
 #[test]
 fn sp_semantics_identical_across_lock_strategies() {
-    for locks in [LockStrategy::Table { locks_log2: 8 }, LockStrategy::Colocated] {
+    for locks in [
+        LockStrategy::Table { locks_log2: 8 },
+        LockStrategy::Colocated,
+    ] {
         let mut cfg = sp_config();
         cfg.locks = locks;
         let tmem = NvHalt::new(cfg);

@@ -153,11 +153,7 @@ impl<'env, 't> HtmTxn<'env, 't> {
     /// line once, so colocated metadata (e.g. a lock next to its data
     /// word, NV-HALT-CL) is tracked and validated together. Falls back to
     /// two independent reads when the cells are on different lines.
-    pub fn read2(
-        &mut self,
-        a: &'env AtomicU64,
-        b: &'env AtomicU64,
-    ) -> Result<(u64, u64), Xabort> {
+    pub fn read2(&mut self, a: &'env AtomicU64, b: &'env AtomicU64) -> Result<(u64, u64), Xabort> {
         let idx = self.htm.slot_of(a);
         if idx != self.htm.slot_of(b) || !self.th.writes.is_empty() {
             return Ok((self.read(a)?, self.read(b)?));
@@ -421,8 +417,9 @@ mod tests {
         let mut th = HtmThread::new(&h, 0);
         // Tracking is line-granular: only reads of distinct lines occupy
         // entries, so the cells must live on separate lines.
-        let cells: Vec<crossbeam::utils::CachePadded<AtomicU64>> =
-            (0..8).map(|i| crossbeam::utils::CachePadded::new(AtomicU64::new(i))).collect();
+        let cells: Vec<crossbeam::utils::CachePadded<AtomicU64>> = (0..8)
+            .map(|i| crossbeam::utils::CachePadded::new(AtomicU64::new(i)))
+            .collect();
         let r: Result<(), AbortKind> = h.execute(&mut th, |tx| {
             for c in &cells {
                 tx.read(c)?;
@@ -569,8 +566,13 @@ mod tests {
             })
         };
         let reader = {
-            let (h, x, y, stop, violated) =
-                (h.clone(), x.clone(), y.clone(), stop.clone(), violated.clone());
+            let (h, x, y, stop, violated) = (
+                h.clone(),
+                x.clone(),
+                y.clone(),
+                stop.clone(),
+                violated.clone(),
+            );
             std::thread::spawn(move || {
                 let mut th = HtmThread::new(&h, 1);
                 for _ in 0..30_000 {

@@ -1,0 +1,612 @@
+//! `kvserve` — a durable, sharded key-value service on top of NV-HALT.
+//!
+//! The service demonstrates the paper's TM as a *storage engine*: keys are
+//! hash-routed across N shards, each shard owning one [`NvHalt`] instance
+//! and one transactional hashmap. Per-shard worker threads drain a bounded
+//! request queue and coalesce up to `batch_max` requests into a **single
+//! durable transaction**, amortizing commit-time flush/fence costs — the
+//! service-level payoff of the TM's cheap fine-grained-lock fast path.
+//!
+//! Robustness knobs (all in [`ServiceConfig`]):
+//! - **deadlines** — every request carries one; expired requests get a
+//!   typed [`ServeError::Timeout`], whether they expire in the queue or
+//!   mid-retry;
+//! - **backpressure** — a full shard queue rejects immediately with
+//!   [`ServeError::Overloaded`] carrying a retry hint;
+//! - **bounded retries** — a batch whose transaction exhausts its attempt
+//!   fuel is retried under exponential backoff at most `max_retries`
+//!   times, then answered [`ServeError::Aborted`].
+//!
+//! Crash/recovery are *service operations*: [`Service::crash`] simulates a
+//! power failure (workers unwind mid-transaction), captures each shard's
+//! durable image, and returns a [`CrashDump`]; [`Service::recover`] replays
+//! TM recovery per shard, rebuilds the allocators from a heap walk, and
+//! restarts the workers. The durable-linearizability contract at this
+//! level: **every acked write survives; an un-acked request may or may not
+//! have committed, but a multi-op request is never partially visible.**
+//!
+//! [`Service::snapshot`] exposes per-shard op counters, abort-cause
+//! breakdowns from the TM, batch-size distributions, and fixed-bucket
+//! latency histograms — no external dependencies.
+
+pub mod metrics;
+mod shard;
+
+pub use metrics::{HistogramSnapshot, ServiceSnapshot, ShardSnapshot};
+pub use txstructs::MapOp;
+
+use nvhalt::{NvHalt, NvHaltConfig};
+use pmem::pool::DurableImage;
+use shard::{Shard, ShardRequest};
+use std::fmt;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+use tm::{Addr, Tm};
+use txstructs::HashMapTx;
+
+/// Extra time a client waits past its deadline for the worker-side
+/// timeout reply before giving up on the reply channel itself.
+const REPLY_GRACE: Duration = Duration::from_millis(100);
+
+/// Why a request was not served.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ServeError {
+    /// The request's deadline passed before it was served.
+    Timeout,
+    /// The shard's queue was full; retry after the hinted delay.
+    Overloaded {
+        /// Suggested client backoff before resubmitting.
+        retry_after: Duration,
+    },
+    /// The batch transaction exhausted its retry budget.
+    Aborted,
+    /// The service (or its shard workers) stopped — e.g. a simulated
+    /// power failure tore the worker down before it could ack.
+    Stopped,
+    /// A multi-op request mixed keys from different shards (atomicity is
+    /// per shard).
+    CrossShard,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Timeout => write!(f, "deadline exceeded"),
+            ServeError::Overloaded { retry_after } => {
+                write!(f, "shard queue full, retry after {retry_after:?}")
+            }
+            ServeError::Aborted => write!(f, "transaction retry budget exhausted"),
+            ServeError::Stopped => write!(f, "service stopped"),
+            ServeError::CrossShard => write!(f, "multi-op request spans shards"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// What a request resolves to: one value slot per submitted op.
+pub(crate) type Reply = Result<Vec<Option<u64>>, ServeError>;
+
+/// Service tuning knobs. Construct with [`ServiceConfig::new`] and adjust
+/// fields as needed; `nvhalt` is a template whose `heap_words` /
+/// `max_threads` are overridden per shard.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Number of shards (one NV-HALT instance + hashmap each).
+    pub shards: usize,
+    /// Worker threads per shard (each gets its own TM thread slot).
+    pub workers_per_shard: usize,
+    /// Maximum requests coalesced into one durable transaction.
+    pub batch_max: usize,
+    /// Bounded queue depth per shard; beyond it requests are rejected
+    /// with [`ServeError::Overloaded`].
+    pub queue_depth: usize,
+    /// Hashmap buckets per shard.
+    pub buckets_per_shard: usize,
+    /// Transactional heap words per shard.
+    pub heap_words_per_shard: usize,
+    /// Deadline applied by the plain `get`/`put`/`del`/`batch` calls.
+    pub default_deadline: Duration,
+    /// Service-level batch retries after the transaction cancels.
+    pub max_retries: u32,
+    /// First backoff sleep; doubles per retry.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// TM attempts (across both paths) a batch may burn before the
+    /// transaction is voluntarily cancelled back to the service layer.
+    pub attempt_fuel: usize,
+    /// NV-HALT template for each shard (variant, policy, latency model).
+    pub nvhalt: NvHaltConfig,
+}
+
+impl ServiceConfig {
+    /// Defaults sized for functional tests: small heaps, zero simulated
+    /// latency. Benchmarks override the `nvhalt` template and sizes.
+    pub fn new(shards: usize) -> ServiceConfig {
+        ServiceConfig {
+            shards,
+            workers_per_shard: 1,
+            batch_max: 16,
+            queue_depth: 1024,
+            buckets_per_shard: 512,
+            heap_words_per_shard: 1 << 16,
+            default_deadline: Duration::from_secs(2),
+            max_retries: 8,
+            backoff_base: Duration::from_micros(50),
+            backoff_max: Duration::from_millis(5),
+            attempt_fuel: 16,
+            nvhalt: NvHaltConfig::test(1 << 16, 1),
+        }
+    }
+
+    /// The per-shard NV-HALT configuration derived from the template.
+    fn shard_nvhalt(&self) -> NvHaltConfig {
+        let mut c = self.nvhalt.clone();
+        c.heap_words = self.heap_words_per_shard;
+        c.max_threads = self.workers_per_shard;
+        c.pm.max_threads = self.workers_per_shard;
+        c
+    }
+}
+
+/// Which shard serves `key`, for `shards` shards. Exposed so tests and
+/// load generators can construct same-shard (atomic) multi-op requests.
+#[inline]
+pub fn shard_of_key(key: u64, shards: usize) -> usize {
+    ((key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) % shards as u64) as usize
+}
+
+/// One shard's durable remains after a crash: the persistent image plus
+/// the map's root metadata needed to re-attach.
+pub struct ShardImage {
+    /// Durable persistent-memory image captured post-crash.
+    pub image: DurableImage,
+    /// Bucket-array address of the shard's hashmap.
+    pub buckets: Addr,
+    /// Bucket count of the shard's hashmap.
+    pub nbuckets: usize,
+}
+
+/// Everything [`Service::recover`] needs: the config and one
+/// [`ShardImage`] per shard.
+pub struct CrashDump {
+    cfg: ServiceConfig,
+    shards: Vec<ShardImage>,
+}
+
+impl CrashDump {
+    /// The per-shard durable images (read-only view).
+    pub fn shards(&self) -> &[ShardImage] {
+        &self.shards
+    }
+}
+
+/// The sharded durable KV service. Cheap to share across client threads
+/// by reference; dropped, it stops and joins its workers.
+pub struct Service {
+    cfg: ServiceConfig,
+    shards: Vec<Shard>,
+}
+
+impl Service {
+    /// Start a fresh service: create each shard's TM and hashmap, spawn
+    /// the workers.
+    pub fn new(cfg: ServiceConfig) -> Service {
+        assert!(cfg.shards >= 1, "need at least one shard");
+        assert!(cfg.workers_per_shard >= 1, "need at least one worker");
+        assert!(cfg.batch_max >= 1, "batch_max must be positive");
+        assert!(cfg.queue_depth >= 1, "queue_depth must be positive");
+        let shards = (0..cfg.shards)
+            .map(|i| {
+                let tm = Arc::new(NvHalt::new(cfg.shard_nvhalt()));
+                let map = HashMapTx::create(&*tm, 0, cfg.buckets_per_shard)
+                    .expect("creating a map on a fresh TM cannot cancel");
+                Shard::start(&cfg, i, tm, map)
+            })
+            .collect();
+        Service { cfg, shards }
+    }
+
+    /// The service's configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard serves `key`.
+    pub fn shard_of(&self, key: u64) -> usize {
+        shard_of_key(key, self.shards.len())
+    }
+
+    /// Look up `key` under the default deadline.
+    pub fn get(&self, key: u64) -> Result<Option<u64>, ServeError> {
+        self.apply(MapOp::Get(key))
+    }
+
+    /// Insert/update `key` under the default deadline; returns the
+    /// previous value.
+    pub fn put(&self, key: u64, val: u64) -> Result<Option<u64>, ServeError> {
+        self.apply(MapOp::Insert(key, val))
+    }
+
+    /// Remove `key` under the default deadline; returns the removed
+    /// value.
+    pub fn del(&self, key: u64) -> Result<Option<u64>, ServeError> {
+        self.apply(MapOp::Remove(key))
+    }
+
+    /// Run one op under the default deadline.
+    pub fn apply(&self, op: MapOp) -> Result<Option<u64>, ServeError> {
+        self.apply_deadline(op, self.cfg.default_deadline)
+    }
+
+    /// Run one op with an explicit deadline.
+    pub fn apply_deadline(&self, op: MapOp, deadline: Duration) -> Result<Option<u64>, ServeError> {
+        let key = op_key(op);
+        let mut vals = self.submit(self.shard_of(key), vec![op], deadline)?;
+        Ok(vals.pop().expect("one value per op"))
+    }
+
+    /// Run several ops as **one atomic, durable transaction** under the
+    /// default deadline. All keys must route to the same shard (use
+    /// [`shard_of_key`] to build such batches); otherwise
+    /// [`ServeError::CrossShard`].
+    pub fn batch(&self, ops: Vec<MapOp>) -> Result<Vec<Option<u64>>, ServeError> {
+        self.batch_deadline(ops, self.cfg.default_deadline)
+    }
+
+    /// [`Service::batch`] with an explicit deadline.
+    pub fn batch_deadline(
+        &self,
+        ops: Vec<MapOp>,
+        deadline: Duration,
+    ) -> Result<Vec<Option<u64>>, ServeError> {
+        let Some(&first) = ops.first() else {
+            return Ok(Vec::new());
+        };
+        let shard = self.shard_of(op_key(first));
+        if ops.iter().any(|&op| self.shard_of(op_key(op)) != shard) {
+            return Err(ServeError::CrossShard);
+        }
+        self.submit(shard, ops, deadline)
+    }
+
+    fn submit(
+        &self,
+        shard: usize,
+        ops: Vec<MapOp>,
+        deadline: Duration,
+    ) -> Result<Vec<Option<u64>>, ServeError> {
+        let s = &self.shards[shard];
+        let now = Instant::now();
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let req = ShardRequest {
+            ops,
+            reply: reply_tx,
+            deadline: now + deadline,
+            enqueued: now,
+        };
+        use crossbeam::channel::TrySendError;
+        match s.queue.try_send(req) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                s.metrics.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded {
+                    retry_after: self.cfg.backoff_base,
+                });
+            }
+            Err(TrySendError::Disconnected(_)) => return Err(ServeError::Stopped),
+        }
+        match reply_rx.recv_timeout(deadline + REPLY_GRACE) {
+            Ok(reply) => reply,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::Timeout),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::Stopped),
+        }
+    }
+
+    /// Zero every shard's service-level counters and histograms (TM
+    /// statistics are cumulative; diff snapshots with
+    /// [`tm::stats::StatsSnapshot::since`] instead). Lets load
+    /// generators exclude prefill/warm-up from the measurement window.
+    pub fn reset_metrics(&self) {
+        for s in &self.shards {
+            s.metrics.reset();
+        }
+    }
+
+    /// Point-in-time observability snapshot: per-shard counters, latency
+    /// and batch-size histograms, and TM statistics (abort causes).
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        ServiceSnapshot {
+            shards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| s.metrics.snapshot(i, s.tm.stats()))
+                .collect(),
+        }
+    }
+
+    /// Poison every shard's persistent pool *without* tearing the
+    /// service down: the instant of power failure, injectable while
+    /// client threads are still submitting. Follow with
+    /// [`Service::crash`] (idempotent over the poison) once the clients
+    /// have been released. In-flight requests surface
+    /// [`ServeError::Stopped`] or [`ServeError::Timeout`] — never an ack.
+    pub fn poison(&self) {
+        for s in &self.shards {
+            s.tm.crash();
+        }
+    }
+
+    /// Simulate a power failure: poison every shard's persistent pool
+    /// (workers mid-transaction unwind and never ack), stop and join the
+    /// workers, and capture each shard's durable image.
+    pub fn crash(mut self) -> CrashDump {
+        // Poison first so nothing can be acked after the crash point…
+        for s in &self.shards {
+            s.tm.crash();
+        }
+        // …then wake idle workers and collect them.
+        let mut shards = std::mem::take(&mut self.shards);
+        for s in &shards {
+            s.stop.store(true, Ordering::Release);
+        }
+        for s in &mut shards {
+            for h in s.workers.drain(..) {
+                let _ = h.join();
+            }
+        }
+        let images = shards
+            .into_iter()
+            .map(|s| ShardImage {
+                image: s.tm.crash_image(),
+                buckets: s.map.buckets_addr(),
+                nbuckets: s.map.nbuckets(),
+            })
+            .collect();
+        CrashDump {
+            cfg: self.cfg.clone(),
+            shards: images,
+        }
+    }
+
+    /// Recover a service from a crash dump: replay each shard's TM
+    /// recovery, re-attach its hashmap, rebuild the allocator from a heap
+    /// walk, and restart the workers.
+    pub fn recover(dump: CrashDump) -> Service {
+        let CrashDump { cfg, shards } = dump;
+        let shards = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, si)| {
+                let tm = Arc::new(NvHalt::recover_with(cfg.shard_nvhalt(), &si.image));
+                let map = HashMapTx::attach(si.buckets, si.nbuckets);
+                tm.rebuild_allocator(map.used_blocks(&*tm));
+                Shard::start(&cfg, i, tm, map)
+            })
+            .collect();
+        Service { cfg, shards }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        for s in &self.shards {
+            s.stop.store(true, Ordering::Release);
+        }
+        for s in &mut self.shards {
+            for h in s.workers.drain(..) {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[inline]
+fn op_key(op: MapOp) -> u64 {
+    match op {
+        MapOp::Get(k) | MapOp::Insert(k, _) | MapOp::Remove(k) => k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_cfg(shards: usize) -> ServiceConfig {
+        let mut cfg = ServiceConfig::new(shards);
+        cfg.heap_words_per_shard = 1 << 14;
+        cfg.buckets_per_shard = 64;
+        cfg
+    }
+
+    #[test]
+    fn put_get_del_roundtrip() {
+        let svc = Service::new(test_cfg(4));
+        assert_eq!(svc.get(7), Ok(None));
+        assert_eq!(svc.put(7, 70), Ok(None));
+        assert_eq!(svc.get(7), Ok(Some(70)));
+        assert_eq!(svc.put(7, 71), Ok(Some(70)));
+        assert_eq!(svc.del(7), Ok(Some(71)));
+        assert_eq!(svc.get(7), Ok(None));
+    }
+
+    #[test]
+    fn routing_spreads_and_is_stable() {
+        let svc = Service::new(test_cfg(4));
+        let mut hit = [false; 4];
+        for k in 0..256u64 {
+            let s = svc.shard_of(k);
+            assert_eq!(s, shard_of_key(k, 4));
+            hit[s] = true;
+            assert_eq!(svc.put(k, k + 1), Ok(None));
+        }
+        assert!(hit.iter().all(|&h| h), "some shard never addressed");
+        for k in 0..256u64 {
+            assert_eq!(svc.get(k), Ok(Some(k + 1)));
+        }
+    }
+
+    #[test]
+    fn same_shard_batch_is_atomic_and_ordered() {
+        let svc = Service::new(test_cfg(4));
+        // Find two distinct keys on the same shard.
+        let a = 1u64;
+        let b = (2..).find(|&k| svc.shard_of(k) == svc.shard_of(a)).unwrap();
+        let vals = svc
+            .batch(vec![
+                MapOp::Insert(a, 10),
+                MapOp::Insert(b, 20),
+                MapOp::Get(a),
+                MapOp::Remove(b),
+            ])
+            .unwrap();
+        assert_eq!(vals, vec![None, None, Some(10), Some(20)]);
+        assert_eq!(svc.get(b), Ok(None));
+    }
+
+    #[test]
+    fn cross_shard_batch_is_rejected() {
+        let svc = Service::new(test_cfg(4));
+        let a = 1u64;
+        let b = (2..).find(|&k| svc.shard_of(k) != svc.shard_of(a)).unwrap();
+        assert_eq!(
+            svc.batch(vec![MapOp::Insert(a, 1), MapOp::Insert(b, 2)]),
+            Err(ServeError::CrossShard)
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_trivially_ok() {
+        let svc = Service::new(test_cfg(2));
+        assert_eq!(svc.batch(Vec::new()), Ok(Vec::new()));
+    }
+
+    #[test]
+    fn zero_deadline_times_out() {
+        let svc = Service::new(test_cfg(1));
+        assert_eq!(
+            svc.apply_deadline(MapOp::Insert(1, 1), Duration::ZERO),
+            Err(ServeError::Timeout)
+        );
+    }
+
+    #[test]
+    fn full_queue_rejects_with_retry_hint() {
+        let mut cfg = test_cfg(1);
+        cfg.queue_depth = 2;
+        let mut svc = Service::new(cfg);
+        // Stop the worker so the queue cannot drain.
+        svc.shards[0].stop.store(true, Ordering::Release);
+        for h in svc.shards[0].workers.drain(..) {
+            h.join().unwrap();
+        }
+        let d = Duration::from_millis(10);
+        assert_eq!(
+            svc.apply_deadline(MapOp::Insert(1, 1), d),
+            Err(ServeError::Timeout)
+        );
+        assert_eq!(
+            svc.apply_deadline(MapOp::Insert(2, 2), d),
+            Err(ServeError::Timeout)
+        );
+        match svc.apply_deadline(MapOp::Insert(3, 3), d) {
+            Err(ServeError::Overloaded { retry_after }) => {
+                assert!(retry_after > Duration::ZERO);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(svc.snapshot().shards[0].rejected, 1);
+    }
+
+    #[test]
+    fn crash_then_recover_preserves_acked_writes() {
+        let svc = Service::new(test_cfg(2));
+        for k in 0..64u64 {
+            assert_eq!(svc.put(k, k * 2), Ok(None));
+        }
+        let dump = svc.crash();
+        assert_eq!(dump.shards().len(), 2);
+        let svc = Service::recover(dump);
+        for k in 0..64u64 {
+            assert_eq!(svc.get(k), Ok(Some(k * 2)), "lost acked write {k}");
+        }
+        // The recovered allocator must serve fresh inserts without
+        // handing out live blocks.
+        for k in 64..128u64 {
+            assert_eq!(svc.put(k, k), Ok(None));
+        }
+        for k in 0..64u64 {
+            assert_eq!(svc.get(k), Ok(Some(k * 2)));
+        }
+    }
+
+    #[test]
+    fn recovery_is_repeatable() {
+        let mut svc = Service::new(test_cfg(1));
+        for round in 0..3u64 {
+            svc.put(9, round).unwrap();
+            svc = Service::recover(svc.crash());
+            assert_eq!(svc.get(9), Ok(Some(round)));
+        }
+    }
+
+    #[test]
+    fn snapshot_counts_ops_and_batches() {
+        let svc = Service::new(test_cfg(2));
+        for k in 0..32u64 {
+            svc.put(k, k).unwrap();
+        }
+        for k in 0..32u64 {
+            svc.get(k).unwrap();
+        }
+        let snap = svc.snapshot();
+        let gets: u64 = snap.shards.iter().map(|s| s.gets).sum();
+        let puts: u64 = snap.shards.iter().map(|s| s.puts).sum();
+        assert_eq!((gets, puts), (32, 32));
+        assert_eq!(snap.ops(), 64);
+        assert!(snap.mean_batch() >= 1.0);
+        assert!(snap.latency_quantile(0.5).is_some());
+        // Every shard committed at least one transaction.
+        for s in &snap.shards {
+            assert!(s.tm.commits() > 0);
+        }
+        // The Display form renders without panicking.
+        let _ = format!("{snap}");
+    }
+
+    #[test]
+    fn concurrent_clients_hammer_one_service() {
+        let mut cfg = test_cfg(4);
+        cfg.queue_depth = 64;
+        let svc = Service::new(cfg);
+        std::thread::scope(|scope| {
+            for c in 0..8u64 {
+                let svc = &svc;
+                scope.spawn(move || {
+                    for i in 0..200u64 {
+                        let k = c * 1_000 + i;
+                        loop {
+                            match svc.put(k, i) {
+                                Ok(_) => break,
+                                Err(ServeError::Overloaded { retry_after }) => {
+                                    std::thread::sleep(retry_after);
+                                }
+                                Err(e) => panic!("unexpected error: {e}"),
+                            }
+                        }
+                        assert_eq!(svc.get(k), Ok(Some(i)));
+                    }
+                });
+            }
+        });
+        assert_eq!(svc.snapshot().ops(), 8 * 200 * 2);
+    }
+}

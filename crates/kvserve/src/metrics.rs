@@ -1,0 +1,483 @@
+//! Per-shard observability: op counters, fixed-bucket latency histograms,
+//! batch-size distribution, and TM abort-cause plumbing.
+//!
+//! Everything here is lock-free atomics updated on the hot path and
+//! summed into immutable snapshots on demand, mirroring the cache-padded
+//! sharding discipline of `tm::stats` (counters must never introduce the
+//! coherence traffic they are supposed to measure).
+
+use crossbeam::utils::CachePadded;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use tm::stats::StatsSnapshot;
+
+/// Number of latency buckets: 16 exact sub-16 ns buckets plus 4 buckets
+/// per power of two up to 2^63 ns.
+const LAT_BUCKETS: usize = 16 + 60 * 4;
+
+/// Largest batch size tracked exactly; bigger batches clamp to the top
+/// bucket.
+pub const BATCH_BUCKETS: usize = 64;
+
+/// A fixed-bucket log-scale histogram of durations (no allocation after
+/// construction, ~2-significant-bit resolution — quantiles are upper
+/// bounds of their bucket).
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+}
+
+fn lat_bucket(nanos: u64) -> usize {
+    if nanos < 16 {
+        return nanos as usize;
+    }
+    let exp = 63 - nanos.leading_zeros() as u64; // >= 4
+    let frac = (nanos >> (exp - 2)) & 0b11;
+    let idx = 16 + (exp - 4) * 4 + frac;
+    (idx as usize).min(LAT_BUCKETS - 1)
+}
+
+fn lat_bucket_upper(idx: usize) -> u64 {
+    if idx < 16 {
+        return idx as u64;
+    }
+    let exp = 4 + (idx - 16) as u64 / 4;
+    let frac = ((idx - 16) % 4) as u64;
+    // Upper edge of [2^exp + frac·2^(exp-2), 2^exp + (frac+1)·2^(exp-2)).
+    (1u64 << exp) + (frac + 1) * (1u64 << (exp - 2))
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..LAT_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        let nanos = d.as_nanos().min(u64::MAX as u128) as u64;
+        self.buckets[lat_bucket(nanos)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Zero every bucket.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Immutable copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as an upper-bound duration, or
+    /// `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(Duration::from_nanos(lat_bucket_upper(i)));
+            }
+        }
+        Some(Duration::from_nanos(lat_bucket_upper(LAT_BUCKETS - 1)))
+    }
+}
+
+/// Atomic counters one shard's workers update on the hot path.
+#[derive(Default)]
+pub struct ShardCounters {
+    /// Completed Get operations.
+    pub gets: AtomicU64,
+    /// Completed Put operations.
+    pub puts: AtomicU64,
+    /// Completed Delete operations.
+    pub dels: AtomicU64,
+    /// Requests answered `Timeout` (deadline passed in queue or retry).
+    pub timeouts: AtomicU64,
+    /// Requests rejected at submit with `Overloaded` (queue full).
+    pub rejected: AtomicU64,
+    /// Requests answered `Aborted` (retry budget exhausted).
+    pub aborted: AtomicU64,
+    /// Batches executed (committed transactions, one per batch attempt).
+    pub batches: AtomicU64,
+    /// Total requests across committed batches (mean batch size =
+    /// `batched_reqs / batches`).
+    pub batched_reqs: AtomicU64,
+    /// Service-level retry rounds (transaction gave up its attempt fuel
+    /// and the worker backed off and retried the batch).
+    pub retries: AtomicU64,
+}
+
+/// One shard's full metrics: counters, histograms, and the TM hook.
+pub struct ShardMetrics {
+    /// Hot-path counters.
+    pub counters: CachePadded<ShardCounters>,
+    /// End-to-end request latency (enqueue to reply).
+    pub latency: Histogram,
+    /// Distribution of committed batch sizes (index = size, clamped).
+    batch_sizes: Vec<AtomicU64>,
+}
+
+impl ShardMetrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> ShardMetrics {
+        ShardMetrics {
+            counters: CachePadded::new(ShardCounters::default()),
+            latency: Histogram::new(),
+            batch_sizes: (0..=BATCH_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Records one committed batch of `n` requests.
+    pub fn record_batch(&self, n: usize) {
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .batched_reqs
+            .fetch_add(n as u64, Ordering::Relaxed);
+        self.batch_sizes[n.min(BATCH_BUCKETS)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Zero every counter and histogram (e.g. after a warm-up or prefill
+    /// phase, so a measurement window starts clean).
+    pub fn reset(&self) {
+        let c = &*self.counters;
+        for counter in [
+            &c.gets,
+            &c.puts,
+            &c.dels,
+            &c.timeouts,
+            &c.rejected,
+            &c.aborted,
+            &c.batches,
+            &c.batched_reqs,
+            &c.retries,
+        ] {
+            counter.store(0, Ordering::Relaxed);
+        }
+        self.latency.reset();
+        for b in &self.batch_sizes {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot against the shard TM's stats.
+    pub fn snapshot(&self, shard: usize, tm_stats: StatsSnapshot) -> ShardSnapshot {
+        let c = &*self.counters;
+        ShardSnapshot {
+            shard,
+            gets: c.gets.load(Ordering::Relaxed),
+            puts: c.puts.load(Ordering::Relaxed),
+            dels: c.dels.load(Ordering::Relaxed),
+            timeouts: c.timeouts.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            aborted: c.aborted.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            batched_reqs: c.batched_reqs.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            batch_sizes: self
+                .batch_sizes
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            latency: self.latency.snapshot(),
+            tm: tm_stats,
+        }
+    }
+}
+
+impl Default for ShardMetrics {
+    fn default() -> ShardMetrics {
+        ShardMetrics::new()
+    }
+}
+
+/// Point-in-time view of one shard.
+#[derive(Clone, Debug)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// Completed Get operations.
+    pub gets: u64,
+    /// Completed Put operations.
+    pub puts: u64,
+    /// Completed Delete operations.
+    pub dels: u64,
+    /// Requests answered `Timeout`.
+    pub timeouts: u64,
+    /// Requests rejected with `Overloaded`.
+    pub rejected: u64,
+    /// Requests answered `Aborted`.
+    pub aborted: u64,
+    /// Committed batches.
+    pub batches: u64,
+    /// Requests summed over committed batches.
+    pub batched_reqs: u64,
+    /// Service-level batch retries.
+    pub retries: u64,
+    /// Batch-size histogram (index = size, last bucket clamps).
+    pub batch_sizes: Vec<u64>,
+    /// Request latency histogram.
+    pub latency: HistogramSnapshot,
+    /// The shard TM's statistics (commits, aborts by cause, flushes…).
+    pub tm: StatsSnapshot,
+}
+
+impl ShardSnapshot {
+    /// Completed operations (any kind).
+    pub fn ops(&self) -> u64 {
+        self.gets + self.puts + self.dels
+    }
+
+    /// Mean committed batch size.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_reqs as f64 / self.batches as f64
+        }
+    }
+
+    /// Aborted TM attempts per committed TM transaction.
+    pub fn abort_rate(&self) -> f64 {
+        let commits = self.tm.commits();
+        if commits == 0 {
+            0.0
+        } else {
+            self.tm.aborts() as f64 / commits as f64
+        }
+    }
+}
+
+/// Point-in-time view of the whole service.
+#[derive(Clone, Debug)]
+pub struct ServiceSnapshot {
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+impl ServiceSnapshot {
+    /// Completed operations across all shards.
+    pub fn ops(&self) -> u64 {
+        self.shards.iter().map(ShardSnapshot::ops).sum()
+    }
+
+    /// Mean batch size across all shards.
+    pub fn mean_batch(&self) -> f64 {
+        let batches: u64 = self.shards.iter().map(|s| s.batches).sum();
+        let reqs: u64 = self.shards.iter().map(|s| s.batched_reqs).sum();
+        if batches == 0 {
+            0.0
+        } else {
+            reqs as f64 / batches as f64
+        }
+    }
+
+    /// Merged latency quantile across shards.
+    pub fn latency_quantile(&self, q: f64) -> Option<Duration> {
+        let mut merged: Option<HistogramSnapshot> = None;
+        for s in &self.shards {
+            merged = Some(match merged {
+                None => s.latency.clone(),
+                Some(mut m) => {
+                    for (a, b) in m.buckets.iter_mut().zip(&s.latency.buckets) {
+                        *a += b;
+                    }
+                    m
+                }
+            });
+        }
+        merged.and_then(|m| m.quantile(q))
+    }
+
+    /// Aborted TM attempts per committed TM transaction, service-wide.
+    pub fn abort_rate(&self) -> f64 {
+        let commits: u64 = self.shards.iter().map(|s| s.tm.commits()).sum();
+        let aborts: u64 = self.shards.iter().map(|s| s.tm.aborts()).sum();
+        if commits == 0 {
+            0.0
+        } else {
+            aborts as f64 / commits as f64
+        }
+    }
+}
+
+fn fmt_dur(d: Option<Duration>) -> String {
+    match d {
+        None => "-".to_string(),
+        Some(d) => {
+            let n = d.as_nanos();
+            if n >= 1_000_000_000 {
+                format!("{:.2}s", d.as_secs_f64())
+            } else if n >= 1_000_000 {
+                format!("{:.2}ms", n as f64 / 1e6)
+            } else if n >= 1_000 {
+                format!("{:.1}µs", n as f64 / 1e3)
+            } else {
+                format!("{n}ns")
+            }
+        }
+    }
+}
+
+impl fmt::Display for ShardSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard {}: ops={} (g={} p={} d={}) to={} rej={} ab={} \
+             batches={} mean_b={:.2} retries={} p50={} p99={} abrt_rate={:.3}",
+            self.shard,
+            self.ops(),
+            self.gets,
+            self.puts,
+            self.dels,
+            self.timeouts,
+            self.rejected,
+            self.aborted,
+            self.batches,
+            self.mean_batch(),
+            self.retries,
+            fmt_dur(self.latency.quantile(0.50)),
+            fmt_dur(self.latency.quantile(0.99)),
+            self.abort_rate(),
+        )?;
+        let causes: Vec<String> = self
+            .tm
+            .abort_breakdown()
+            .iter()
+            .filter(|(_, v)| *v != 0)
+            .map(|(c, v)| format!("{}={}", c.label(), v))
+            .collect();
+        if !causes.is_empty() {
+            write!(f, " [{}]", causes.join(" "))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ServiceSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.shards {
+            writeln!(f, "{s}")?;
+        }
+        write!(
+            f,
+            "total: ops={} mean_batch={:.2} p50={} p99={} abort_rate={:.3}",
+            self.ops(),
+            self.mean_batch(),
+            fmt_dur(self.latency_quantile(0.50)),
+            fmt_dur(self.latency_quantile(0.99)),
+            self.abort_rate(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_invertible() {
+        let mut prev_idx = 0;
+        for exp in 0..60u32 {
+            let n = 1u64 << exp;
+            let idx = lat_bucket(n);
+            assert!(idx >= prev_idx, "bucket index not monotone at 2^{exp}");
+            prev_idx = idx;
+            assert!(
+                lat_bucket_upper(idx) >= n,
+                "upper bound below sample at 2^{exp}"
+            );
+            // Upper bound within 2x at coarse resolution.
+            assert!(lat_bucket_upper(idx) <= n.saturating_mul(2).max(16));
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_samples() {
+        let h = Histogram::new();
+        for us in 1..=1000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 1000);
+        let p50 = snap.quantile(0.5).unwrap();
+        let p99 = snap.quantile(0.99).unwrap();
+        assert!(p50 >= Duration::from_micros(400) && p50 <= Duration::from_micros(800));
+        assert!(p99 >= Duration::from_micros(900) && p99 <= Duration::from_micros(1500));
+        assert!(snap.quantile(0.0).unwrap() <= p50);
+        assert!(snap.quantile(1.0).unwrap() >= p99);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        assert!(Histogram::new().snapshot().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn batch_recording_and_mean() {
+        let m = ShardMetrics::new();
+        m.record_batch(1);
+        m.record_batch(3);
+        m.record_batch(8);
+        let snap = m.snapshot(0, tm::stats::TmStats::new(1).snapshot());
+        assert_eq!(snap.batches, 3);
+        assert_eq!(snap.batched_reqs, 12);
+        assert!((snap.mean_batch() - 4.0).abs() < 1e-9);
+        assert_eq!(snap.batch_sizes[1], 1);
+        assert_eq!(snap.batch_sizes[3], 1);
+        assert_eq!(snap.batch_sizes[8], 1);
+    }
+
+    #[test]
+    fn oversized_batches_clamp() {
+        let m = ShardMetrics::new();
+        m.record_batch(BATCH_BUCKETS + 100);
+        let snap = m.snapshot(0, tm::stats::TmStats::new(1).snapshot());
+        assert_eq!(snap.batch_sizes[BATCH_BUCKETS], 1);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let m = ShardMetrics::new();
+        m.counters.gets.fetch_add(2, Ordering::Relaxed);
+        m.record_batch(2);
+        let snap = m.snapshot(3, tm::stats::TmStats::new(1).snapshot());
+        let line = format!("{snap}");
+        assert!(line.contains("shard 3"));
+        assert!(line.contains("ops=2"));
+    }
+}

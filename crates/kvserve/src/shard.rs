@@ -1,0 +1,219 @@
+//! One shard: an NV-HALT instance, its transactional hashmap, a bounded
+//! request queue, and the worker threads that drain it.
+//!
+//! Workers coalesce queued requests into batches and run each batch as a
+//! *single* durable transaction ([`HashMapTx::apply_in`] per op inside one
+//! `tm::txn`), amortizing the commit-time flush/fence cost across the
+//! batch. A batch whose transaction burns through its attempt fuel is
+//! voluntarily cancelled; the worker then backs off exponentially and
+//! retries the whole batch, shedding requests whose deadlines have passed.
+//!
+//! Crash simulation: a worker torn down mid-transaction by the pool's
+//! [`CrashSignal`](tm::crash::CrashSignal) unwinds out of the serve loop;
+//! the in-flight requests' reply channels drop, which clients observe as
+//! [`ServeError::Stopped`] — never as an ack.
+
+use crate::metrics::ShardMetrics;
+use crate::{Reply, ServeError, ServiceConfig};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use nvhalt::NvHalt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tm::Abort;
+use txstructs::{HashMapTx, MapOp};
+
+/// How often an idle worker re-checks the stop flag.
+const POLL: Duration = Duration::from_millis(2);
+
+/// One queued request: the ops to run atomically, where to send the
+/// answer, and its timing envelope.
+pub(crate) struct ShardRequest {
+    pub ops: Vec<MapOp>,
+    pub reply: mpsc::Sender<Reply>,
+    pub deadline: Instant,
+    pub enqueued: Instant,
+}
+
+/// A running shard.
+pub(crate) struct Shard {
+    pub tm: Arc<NvHalt>,
+    pub map: HashMapTx,
+    pub metrics: Arc<ShardMetrics>,
+    pub queue: Sender<ShardRequest>,
+    /// Kept so the channel stays connected (and `try_send` reports `Full`,
+    /// not `Disconnected`) even if every worker has exited.
+    #[allow(dead_code)]
+    pub queue_rx: Receiver<ShardRequest>,
+    pub stop: Arc<AtomicBool>,
+    pub workers: Vec<JoinHandle<()>>,
+}
+
+struct WorkerCtx {
+    tm: Arc<NvHalt>,
+    map: HashMapTx,
+    rx: Receiver<ShardRequest>,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<ShardMetrics>,
+    tid: usize,
+    batch_max: usize,
+    max_retries: u32,
+    backoff_base: Duration,
+    backoff_max: Duration,
+    attempt_fuel: usize,
+}
+
+impl Shard {
+    /// Spawn the shard's workers over an existing TM + map (fresh or
+    /// recovered).
+    pub fn start(cfg: &ServiceConfig, index: usize, tm: Arc<NvHalt>, map: HashMapTx) -> Shard {
+        let (queue, queue_rx) = channel::bounded::<ShardRequest>(cfg.queue_depth);
+        let stop = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(ShardMetrics::new());
+        let workers = (0..cfg.workers_per_shard)
+            .map(|w| {
+                let ctx = WorkerCtx {
+                    tm: tm.clone(),
+                    map,
+                    rx: queue_rx.clone(),
+                    stop: stop.clone(),
+                    metrics: metrics.clone(),
+                    tid: w,
+                    batch_max: cfg.batch_max,
+                    max_retries: cfg.max_retries,
+                    backoff_base: cfg.backoff_base,
+                    backoff_max: cfg.backoff_max,
+                    attempt_fuel: cfg.attempt_fuel,
+                };
+                std::thread::Builder::new()
+                    .name(format!("kvserve-s{index}-w{w}"))
+                    .spawn(move || worker(ctx))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        Shard {
+            tm,
+            map,
+            metrics,
+            queue,
+            queue_rx,
+            stop,
+            workers,
+        }
+    }
+}
+
+fn worker(ctx: WorkerCtx) {
+    // A simulated power failure unwinds `serve_loop` from wherever it was;
+    // dropping the in-flight requests' reply senders surfaces `Stopped`.
+    let _ = tm::crash::run_crashable(|| serve_loop(&ctx));
+}
+
+fn serve_loop(ctx: &WorkerCtx) {
+    while !ctx.stop.load(Ordering::Acquire) {
+        let first = match ctx.rx.recv_timeout(POLL) {
+            Ok(r) => r,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let mut batch = vec![first];
+        while batch.len() < ctx.batch_max {
+            match ctx.rx.try_recv() {
+                Ok(r) => batch.push(r),
+                Err(_) => break,
+            }
+        }
+        execute_batch(ctx, batch);
+    }
+}
+
+/// Reply `Timeout` to expired requests, dropping them from the batch.
+fn shed_expired(ctx: &WorkerCtx, batch: &mut Vec<ShardRequest>) {
+    let now = Instant::now();
+    let mut expired = 0u64;
+    batch.retain(|r| {
+        if r.deadline <= now {
+            let _ = r.reply.send(Err(ServeError::Timeout));
+            expired += 1;
+            false
+        } else {
+            true
+        }
+    });
+    if expired > 0 {
+        ctx.metrics
+            .counters
+            .timeouts
+            .fetch_add(expired, Ordering::Relaxed);
+    }
+}
+
+fn execute_batch(ctx: &WorkerCtx, mut batch: Vec<ShardRequest>) {
+    let mut retry = 0u32;
+    loop {
+        shed_expired(ctx, &mut batch);
+        if batch.is_empty() {
+            return;
+        }
+        let ops: Vec<MapOp> = batch.iter().flat_map(|r| r.ops.iter().copied()).collect();
+        let fuel = ctx.attempt_fuel;
+        let res = tm::txn(&*ctx.tm, ctx.tid, |tx| {
+            if tx.attempt() >= fuel {
+                // Attempt budget exhausted: hand progress control back to
+                // the service layer (backoff + bounded retries).
+                return Err(Abort::Cancel);
+            }
+            let mut out = Vec::with_capacity(ops.len());
+            for &op in &ops {
+                out.push(ctx.map.apply_in(tx, op)?);
+            }
+            Ok(out)
+        });
+        match res {
+            Ok(vals) => {
+                reply_batch(ctx, &batch, vals);
+                return;
+            }
+            Err(tm::Cancelled) => {
+                if retry >= ctx.max_retries {
+                    ctx.metrics
+                        .counters
+                        .aborted
+                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    for r in &batch {
+                        let _ = r.reply.send(Err(ServeError::Aborted));
+                    }
+                    return;
+                }
+                ctx.metrics.counters.retries.fetch_add(1, Ordering::Relaxed);
+                let backoff = ctx
+                    .backoff_base
+                    .saturating_mul(1u32 << retry.min(16))
+                    .min(ctx.backoff_max);
+                std::thread::sleep(backoff);
+                retry += 1;
+            }
+        }
+    }
+}
+
+fn reply_batch(ctx: &WorkerCtx, batch: &[ShardRequest], vals: Vec<Option<u64>>) {
+    ctx.metrics.record_batch(batch.len());
+    let c = &*ctx.metrics.counters;
+    let now = Instant::now();
+    let mut vi = vals.into_iter();
+    for r in batch {
+        for op in &r.ops {
+            match op {
+                MapOp::Get(_) => c.gets.fetch_add(1, Ordering::Relaxed),
+                MapOp::Insert(..) => c.puts.fetch_add(1, Ordering::Relaxed),
+                MapOp::Remove(_) => c.dels.fetch_add(1, Ordering::Relaxed),
+            };
+        }
+        ctx.metrics.latency.record(now.duration_since(r.enqueued));
+        let per_req: Vec<Option<u64>> = (&mut vi).take(r.ops.len()).collect();
+        // The ack: once this send succeeds the write is durably committed.
+        let _ = r.reply.send(Ok(per_req));
+    }
+}

@@ -193,7 +193,11 @@ impl PmemPool {
 
     /// Recover a pool from a crash image: both layers start as the image
     /// (recovery code re-reads NVM into cache).
-    pub fn from_durable(cfg: &PmemConfig, image: &DurableImage, stats: Option<Arc<TmStats>>) -> Self {
+    pub fn from_durable(
+        cfg: &PmemConfig,
+        image: &DurableImage,
+        stats: Option<Arc<TmStats>>,
+    ) -> Self {
         let words = cfg.words.div_ceil(LINE_WORDS) * LINE_WORDS;
         assert_eq!(
             image.len(),

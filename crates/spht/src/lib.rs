@@ -333,7 +333,13 @@ impl Spht {
 
     /// Scan a thread's log, invoking `f(record_ts, entries)` per complete
     /// record.
-    fn scan_log(&self, scanner_tid: usize, owner: usize, head: usize, mut f: impl FnMut(u64, &[(u64, u64)])) {
+    fn scan_log(
+        &self,
+        scanner_tid: usize,
+        owner: usize,
+        head: usize,
+        mut f: impl FnMut(u64, &[(u64, u64)]),
+    ) {
         let base = self.layout.log_base(owner);
         let mut off = 0usize;
         let mut entries = Vec::new();
@@ -799,7 +805,8 @@ impl<'a> Txn for SwTxn<'a> {
             return Err(Abort::CONFLICT);
         }
         // Exclusive (global lock): write in place, log undo and redo.
-        self.undo.push((a.0, self.tm.vol[idx].load(Ordering::Acquire)));
+        self.undo
+            .push((a.0, self.tm.vol[idx].load(Ordering::Acquire)));
         self.tm.vol[idx].store(v, Ordering::Release);
         if self.tm.cfg.persist_hw {
             if let Some(e) = self.redo.iter_mut().rev().find(|e| e.0 == a.0) {

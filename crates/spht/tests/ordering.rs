@@ -93,7 +93,10 @@ fn commit_order_is_durability_order() {
             assert_eq!(v, i + 1);
         }
     }
-    assert!(!seen_zero, "all committed writes were fence-ordered durable");
+    assert!(
+        !seen_zero,
+        "all committed writes were fence-ordered durable"
+    );
 }
 
 /// Read-only transactions skip the whole durability protocol: no log

@@ -226,12 +226,7 @@ pub fn check_history(
 mod tests {
     use super::*;
 
-    fn rec(
-        begin: u64,
-        end: u64,
-        reads: &[(u64, u64)],
-        writes: &[(u64, u64)],
-    ) -> TxnRecord {
+    fn rec(begin: u64, end: u64, reads: &[(u64, u64)], writes: &[(u64, u64)]) -> TxnRecord {
         TxnRecord {
             tid: 0,
             begin,
@@ -308,9 +303,9 @@ mod tests {
         // Sharp torn snapshot: reader also WRITES, and a later txn reads
         // both the reader's write and W2's overwritten value.
         let h = vec![
-            rec(1, 2, &[], &[(1, 1), (2, 1)]),          // W1
-            rec(3, 4, &[(3, 9)], &[(1, 2), (2, 2)]),    // W2 reads R's write
-            rec(1, 10, &[(1, 2), (2, 1)], &[(3, 9)]),   // R: torn + writes 3
+            rec(1, 2, &[], &[(1, 1), (2, 1)]),        // W1
+            rec(3, 4, &[(3, 9)], &[(1, 2), (2, 2)]),  // W2 reads R's write
+            rec(1, 10, &[(1, 2), (2, 1)], &[(3, 9)]), // R: torn + writes 3
         ];
         // rf: W2 -> R (value x=2), R -> W2 (value 3=9): 2-cycle.
         assert!(matches!(

@@ -168,6 +168,27 @@ impl StatsSnapshot {
             + self.get(Counter::SwAbort)
     }
 
+    /// The abort counters in slot order (the breakdown behind
+    /// [`StatsSnapshot::aborts`]). Observability layers iterate this to
+    /// report abort *causes* without hard-coding the taxonomy.
+    pub const ABORT_COUNTERS: [Counter; 5] = [
+        Counter::HwConflict,
+        Counter::HwCapacity,
+        Counter::HwSpurious,
+        Counter::HwExplicit,
+        Counter::SwAbort,
+    ];
+
+    /// Per-cause abort counts, in [`StatsSnapshot::ABORT_COUNTERS`] order.
+    pub fn abort_breakdown(&self) -> [(Counter, u64); 5] {
+        Self::ABORT_COUNTERS.map(|c| (c, self.get(c)))
+    }
+
+    /// Every `(counter, value)` pair, including zeros, in slot order.
+    pub fn counters(&self) -> impl Iterator<Item = (Counter, u64)> + '_ {
+        Counter::ALL.into_iter().map(|c| (c, self.get(c)))
+    }
+
     /// Fraction of commits that happened on the hardware path.
     pub fn hw_commit_ratio(&self) -> f64 {
         let c = self.commits();
@@ -266,8 +287,7 @@ mod tests {
 
     #[test]
     fn all_labels_distinct() {
-        let labels: std::collections::HashSet<_> =
-            Counter::ALL.iter().map(|c| c.label()).collect();
+        let labels: std::collections::HashSet<_> = Counter::ALL.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), Counter::COUNT);
     }
 
@@ -275,5 +295,29 @@ mod tests {
     fn hw_ratio_empty_is_zero() {
         let s = TmStats::new(1);
         assert_eq!(s.snapshot().hw_commit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn abort_breakdown_matches_aborts() {
+        let s = TmStats::new(1);
+        s.bump(0, Counter::HwConflict);
+        s.bump(0, Counter::HwCapacity);
+        s.add(0, Counter::SwAbort, 3);
+        let snap = s.snapshot();
+        let breakdown = snap.abort_breakdown();
+        assert_eq!(breakdown.iter().map(|(_, v)| v).sum::<u64>(), snap.aborts());
+        assert!(breakdown.contains(&(Counter::SwAbort, 3)));
+        assert!(breakdown.contains(&(Counter::HwSpurious, 0)));
+    }
+
+    #[test]
+    fn counters_iterates_every_slot() {
+        let s = TmStats::new(1);
+        s.bump(0, Counter::Fence);
+        let snap = s.snapshot();
+        let all: Vec<_> = snap.counters().collect();
+        assert_eq!(all.len(), Counter::COUNT);
+        assert!(all.contains(&(Counter::Fence, 1)));
+        assert!(all.contains(&(Counter::HwCommit, 0)));
     }
 }

@@ -135,7 +135,9 @@ impl Trinity {
             .collect();
         Trinity {
             vol: (0..cfg.heap_words).map(|_| AtomicU64::new(0)).collect(),
-            locks: (0..1usize << cfg.locks_log2).map(|_| AtomicU64::new(0)).collect(),
+            locks: (0..1usize << cfg.locks_log2)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             gvc: AtomicU64::new(0),
             alloc: TxAlloc::new(AllocConfig::new(cfg.heap_words, cfg.max_threads)),
             stats,
@@ -274,7 +276,11 @@ impl Trinity {
         // Acquire write locks in lock-index order (strong progressiveness
         // needs a fixed total order).
         ts.acquired.clear();
-        let mut idxs: Vec<u32> = ts.wset.iter().map(|&(a, _)| self.lock_idx(a as usize)).collect();
+        let mut idxs: Vec<u32> = ts
+            .wset
+            .iter()
+            .map(|&(a, _)| self.lock_idx(a as usize))
+            .collect();
         idxs.sort_unstable();
         idxs.dedup();
         for idx in idxs {

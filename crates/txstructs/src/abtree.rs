@@ -549,8 +549,7 @@ impl AbTree {
             return Err("null root".into());
         }
         let mut leaf_depth = None;
-        let count =
-            self.check_node(tm, Addr(root), 0, None, None, true, &mut leaf_depth)?;
+        let count = self.check_node(tm, Addr(root), 0, None, None, true, &mut leaf_depth)?;
         Ok(count)
     }
 
@@ -588,9 +587,7 @@ impl AbTree {
             }
             match *leaf_depth {
                 None => *leaf_depth = Some(depth),
-                Some(d) if d != depth => {
-                    return Err(format!("ragged leaves: {d} vs {depth}"))
-                }
+                Some(d) if d != depth => return Err(format!("ragged leaves: {d} vs {depth}")),
                 _ => {}
             }
             Ok(n)
@@ -609,8 +606,7 @@ impl AbTree {
                 }
                 let clo = if i == 0 { lo } else { Some(keys[i - 1]) };
                 let chi = if i == n { hi } else { Some(keys[i]) };
-                total +=
-                    self.check_node(tm, Addr(c), depth + 1, clo, chi, false, leaf_depth)?;
+                total += self.check_node(tm, Addr(c), depth + 1, clo, chi, false, leaf_depth)?;
             }
             Ok(total)
         }

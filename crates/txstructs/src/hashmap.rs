@@ -9,7 +9,7 @@
 //! Transactions here have small read and write sets, which is why the
 //! hashmap is the workload where hardware-path conflicts are rare.
 
-use tm::{Abort, Addr, Tm, TxResult};
+use tm::{Abort, Addr, Tm, TxResult, Txn};
 
 /// Words per chain node.
 pub const NODE_WORDS: usize = 4;
@@ -30,6 +30,17 @@ const FUEL: usize = 1 << 12;
 pub struct HashMapTx {
     buckets: Addr,
     nbuckets: usize,
+}
+
+/// One map operation, for batched execution via [`HashMapTx::apply_ops`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MapOp {
+    /// Look up a key.
+    Get(u64),
+    /// Insert or update a key.
+    Insert(u64, u64),
+    /// Remove a key.
+    Remove(u64),
 }
 
 #[inline]
@@ -67,23 +78,28 @@ impl HashMapTx {
 
     /// Look up `k`.
     pub fn get<T: Tm + ?Sized>(&self, tm: &T, tid: usize, k: u64) -> TxResult<Option<u64>> {
-        tm::txn(tm, tid, |tx| {
-            let mut cur = tx.read(self.bucket_addr(k))?;
-            for _ in 0..FUEL {
-                if cur == 0 {
-                    return Ok(None);
-                }
-                let node = Addr(cur);
-                if tx.read(node.offset(N_KEY))? == k {
-                    if tx.read(node.offset(N_STATE))? == FULL {
-                        return Ok(Some(tx.read(node.offset(N_VAL))?));
-                    }
-                    return Ok(None);
-                }
-                cur = tx.read(node.offset(N_NEXT))?;
+        tm::txn(tm, tid, |tx| self.get_in(tx, k))
+    }
+
+    /// Look up `k` inside an already-running transaction. Composable
+    /// building block: several operations (on one or several maps over the
+    /// same TM) can share a single atomic, durable transaction.
+    pub fn get_in(&self, tx: &mut dyn Txn, k: u64) -> Result<Option<u64>, Abort> {
+        let mut cur = tx.read(self.bucket_addr(k))?;
+        for _ in 0..FUEL {
+            if cur == 0 {
+                return Ok(None);
             }
-            Err(Abort::CONFLICT)
-        })
+            let node = Addr(cur);
+            if tx.read(node.offset(N_KEY))? == k {
+                if tx.read(node.offset(N_STATE))? == FULL {
+                    return Ok(Some(tx.read(node.offset(N_VAL))?));
+                }
+                return Ok(None);
+            }
+            cur = tx.read(node.offset(N_NEXT))?;
+        }
+        Err(Abort::CONFLICT)
     }
 
     /// Insert or update; returns the previous value if any.
@@ -94,77 +110,115 @@ impl HashMapTx {
         k: u64,
         v: u64,
     ) -> TxResult<Option<u64>> {
-        tm::txn(tm, tid, |tx| {
-            let head_addr = self.bucket_addr(k);
-            let head = tx.read(head_addr)?;
-            let mut cur = head;
-            let mut empty_slot = Addr::NULL;
-            for _ in 0..FUEL {
-                if cur == 0 {
-                    return if !empty_slot.is_null() {
-                        // Reuse a marked-empty node on this chain.
-                        tx.write(empty_slot.offset(N_KEY), k)?;
-                        tx.write(empty_slot.offset(N_VAL), v)?;
-                        tx.write(empty_slot.offset(N_STATE), FULL)?;
-                        Ok(None)
-                    } else {
-                        let node = tx.alloc(NODE_WORDS)?;
-                        tx.write(node.offset(N_KEY), k)?;
-                        tx.write(node.offset(N_VAL), v)?;
-                        tx.write(node.offset(N_NEXT), head)?;
-                        tx.write(node.offset(N_STATE), FULL)?;
-                        tx.write(head_addr, node.0)?;
-                        Ok(None)
-                    };
-                }
-                let node = Addr(cur);
-                let state = tx.read(node.offset(N_STATE))?;
-                if state == FULL {
-                    if tx.read(node.offset(N_KEY))? == k {
-                        let old = tx.read(node.offset(N_VAL))?;
-                        tx.write(node.offset(N_VAL), v)?;
-                        return Ok(Some(old));
-                    }
-                } else if state == EMPTY {
-                    if tx.read(node.offset(N_KEY))? == k {
-                        // The key's own tombstone: revive it in place.
-                        tx.write(node.offset(N_VAL), v)?;
-                        tx.write(node.offset(N_STATE), FULL)?;
-                        return Ok(None);
-                    }
-                    if empty_slot.is_null() {
-                        empty_slot = node;
-                    }
+        tm::txn(tm, tid, |tx| self.insert_in(tx, k, v))
+    }
+
+    /// Insert or update inside an already-running transaction (see
+    /// [`HashMapTx::get_in`]).
+    pub fn insert_in(&self, tx: &mut dyn Txn, k: u64, v: u64) -> Result<Option<u64>, Abort> {
+        let head_addr = self.bucket_addr(k);
+        let head = tx.read(head_addr)?;
+        let mut cur = head;
+        let mut empty_slot = Addr::NULL;
+        for _ in 0..FUEL {
+            if cur == 0 {
+                return if !empty_slot.is_null() {
+                    // Reuse a marked-empty node on this chain.
+                    tx.write(empty_slot.offset(N_KEY), k)?;
+                    tx.write(empty_slot.offset(N_VAL), v)?;
+                    tx.write(empty_slot.offset(N_STATE), FULL)?;
+                    Ok(None)
                 } else {
-                    // Garbage state: zombie read.
-                    return Err(Abort::CONFLICT);
-                }
-                cur = tx.read(node.offset(N_NEXT))?;
+                    let node = tx.alloc(NODE_WORDS)?;
+                    tx.write(node.offset(N_KEY), k)?;
+                    tx.write(node.offset(N_VAL), v)?;
+                    tx.write(node.offset(N_NEXT), head)?;
+                    tx.write(node.offset(N_STATE), FULL)?;
+                    tx.write(head_addr, node.0)?;
+                    Ok(None)
+                };
             }
-            Err(Abort::CONFLICT)
-        })
+            let node = Addr(cur);
+            let state = tx.read(node.offset(N_STATE))?;
+            if state == FULL {
+                if tx.read(node.offset(N_KEY))? == k {
+                    let old = tx.read(node.offset(N_VAL))?;
+                    tx.write(node.offset(N_VAL), v)?;
+                    return Ok(Some(old));
+                }
+            } else if state == EMPTY {
+                if tx.read(node.offset(N_KEY))? == k {
+                    // The key's own tombstone: revive it in place.
+                    tx.write(node.offset(N_VAL), v)?;
+                    tx.write(node.offset(N_STATE), FULL)?;
+                    return Ok(None);
+                }
+                if empty_slot.is_null() {
+                    empty_slot = node;
+                }
+            } else {
+                // Garbage state: zombie read.
+                return Err(Abort::CONFLICT);
+            }
+            cur = tx.read(node.offset(N_NEXT))?;
+        }
+        Err(Abort::CONFLICT)
     }
 
     /// Remove `k` (marking its node empty); returns its value if present.
     pub fn remove<T: Tm + ?Sized>(&self, tm: &T, tid: usize, k: u64) -> TxResult<Option<u64>> {
-        tm::txn(tm, tid, |tx| {
-            let mut cur = tx.read(self.bucket_addr(k))?;
-            for _ in 0..FUEL {
-                if cur == 0 {
-                    return Ok(None);
-                }
-                let node = Addr(cur);
-                if tx.read(node.offset(N_KEY))? == k {
-                    if tx.read(node.offset(N_STATE))? == FULL {
-                        let old = tx.read(node.offset(N_VAL))?;
-                        tx.write(node.offset(N_STATE), EMPTY)?;
-                        return Ok(Some(old));
-                    }
-                    return Ok(None);
-                }
-                cur = tx.read(node.offset(N_NEXT))?;
+        tm::txn(tm, tid, |tx| self.remove_in(tx, k))
+    }
+
+    /// Remove inside an already-running transaction (see
+    /// [`HashMapTx::get_in`]).
+    pub fn remove_in(&self, tx: &mut dyn Txn, k: u64) -> Result<Option<u64>, Abort> {
+        let mut cur = tx.read(self.bucket_addr(k))?;
+        for _ in 0..FUEL {
+            if cur == 0 {
+                return Ok(None);
             }
-            Err(Abort::CONFLICT)
+            let node = Addr(cur);
+            if tx.read(node.offset(N_KEY))? == k {
+                if tx.read(node.offset(N_STATE))? == FULL {
+                    let old = tx.read(node.offset(N_VAL))?;
+                    tx.write(node.offset(N_STATE), EMPTY)?;
+                    return Ok(Some(old));
+                }
+                return Ok(None);
+            }
+            cur = tx.read(node.offset(N_NEXT))?;
+        }
+        Err(Abort::CONFLICT)
+    }
+
+    /// Apply one [`MapOp`] inside an already-running transaction,
+    /// returning the value a standalone call would return.
+    pub fn apply_in(&self, tx: &mut dyn Txn, op: MapOp) -> Result<Option<u64>, Abort> {
+        match op {
+            MapOp::Get(k) => self.get_in(tx, k),
+            MapOp::Insert(k, v) => self.insert_in(tx, k, v),
+            MapOp::Remove(k) => self.remove_in(tx, k),
+        }
+    }
+
+    /// Run a whole batch of operations in **one** transaction: the batch
+    /// commits (and persists) atomically, amortizing the per-transaction
+    /// commit, flush and fence costs across every operation — the
+    /// batch-friendly entry point the `kvserve` service layer builds on.
+    /// Results line up with `ops` (previous/looked-up value per op).
+    pub fn apply_ops<T: Tm + ?Sized>(
+        &self,
+        tm: &T,
+        tid: usize,
+        ops: &[MapOp],
+    ) -> TxResult<Vec<Option<u64>>> {
+        tm::txn(tm, tid, |tx| {
+            let mut out = Vec::with_capacity(ops.len());
+            for &op in ops {
+                out.push(self.apply_in(tx, op)?);
+            }
+            Ok(out)
         })
     }
 

@@ -14,7 +14,7 @@ pub mod hashmap;
 pub mod list;
 
 pub use abtree::AbTree;
-pub use hashmap::HashMapTx;
+pub use hashmap::{HashMapTx, MapOp};
 pub use list::SortedList;
 
 #[cfg(test)]
@@ -181,7 +181,8 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        t.check_invariants(&*tm).expect("invariants after contention");
+        t.check_invariants(&*tm)
+            .expect("invariants after contention");
     }
 
     #[test]

@@ -78,7 +78,10 @@ fn main() {
     assert_eq!(kv.get(&tm, 0, 42).unwrap(), None, "deleted key stayed gone");
     assert_eq!(kv.get(&tm, 0, 43).unwrap(), Some(44), "overwrite persisted");
     let survivors = kv.collect_raw(&tm).len();
-    println!("session 3: {survivors} keys survive ({} expected)", count / 2);
+    println!(
+        "session 3: {survivors} keys survive ({} expected)",
+        count / 2
+    );
     println!("stats: {}", tm.stats());
     println!("done — three sessions, two power failures, zero lost commits");
 }

@@ -62,10 +62,11 @@ fn main() {
         }
     });
 
-    let total: u64 = (0..ACCOUNTS)
-        .map(|a| tm.read_raw(balance_addr(a)))
-        .sum();
-    println!("total after 40k transfers: {total} (expected {})", ACCOUNTS * INITIAL);
+    let total: u64 = (0..ACCOUNTS).map(|a| tm.read_raw(balance_addr(a))).sum();
+    println!(
+        "total after 40k transfers: {total} (expected {})",
+        ACCOUNTS * INITIAL
+    );
     assert_eq!(total, ACCOUNTS * INITIAL);
 
     let stats = tm.stats();

@@ -1,0 +1,216 @@
+//! Offline stand-in for the crates.io `criterion` crate.
+//!
+//! Implements the subset of criterion's API the bench files use —
+//! `Criterion::default().sample_size(..).warm_up_time(..)
+//! .measurement_time(..)`, `bench_function` with `Bencher::iter` /
+//! `Bencher::iter_custom`, and the `criterion_group!`/`criterion_main!`
+//! macros — as a plain wall-clock runner that prints a mean, min and max
+//! per-iteration time for each benchmark. There is no statistical
+//! analysis, HTML report or baseline comparison; the point is that
+//! `cargo bench` builds and produces meaningful numbers offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark runner configuration (consuming builder, like criterion's).
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark (min 2).
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Time spent warming up before measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total time budget for measurement samples.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<S, F>(&mut self, name: S, mut f: F) -> &mut Criterion
+    where
+        S: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(name.as_ref());
+        self
+    }
+}
+
+/// Passed to the benchmark closure; collects per-iteration samples.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    /// (total duration, iterations) per sample.
+    samples: Vec<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Benchmarks `f`, timing batches of calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up doubles the batch size until the warm-up budget is
+        // spent, which also estimates a batch size that makes a sample
+        // long enough to time reliably.
+        let mut iters_per_sample = 1u64;
+        let warm_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if warm_start.elapsed() >= self.warm_up_time {
+                let per_iter = elapsed.as_secs_f64() / iters_per_sample as f64;
+                let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+                iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).max(1);
+                break;
+            }
+            iters_per_sample = iters_per_sample.saturating_mul(2);
+        }
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            self.samples.push((t.elapsed(), iters_per_sample));
+        }
+    }
+
+    /// Benchmarks with a caller-measured duration: `f(iters)` performs
+    /// `iters` iterations and returns the time they took.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        // One warm-up call, then fixed-size samples.
+        let _ = f(1);
+        for _ in 0..self.sample_size {
+            let d = f(1);
+            self.samples.push((d, 1));
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<56} (no samples)");
+            return;
+        }
+        let per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|(d, n)| d.as_secs_f64() / (*n).max(1) as f64)
+            .collect();
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{name:<56} time: [{} {} {}]",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max)
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a group function running each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples_quickly() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(15));
+        let mut n = 0u64;
+        c.bench_function("shim/self-test", |b| b.iter(|| n = n.wrapping_add(1)));
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn iter_custom_uses_reported_time() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        c.bench_function("shim/custom", |b| {
+            b.iter_custom(|iters| Duration::from_nanos(10 * iters))
+        });
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(2.5), "2.500 s");
+        assert_eq!(fmt_time(2.5e-3), "2.500 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.500 µs");
+        assert_eq!(fmt_time(2.5e-9), "2.5 ns");
+    }
+}

@@ -20,6 +20,7 @@
 //! | [`trinity`] | TrinityVR-TL2 persistent STM baseline |
 //! | [`spht`] | SPHT persistent HyTM baseline |
 //! | [`txstructs`] | (a,b)-tree and hashmap over the generic TM API |
+//! | [`kvserve`] | sharded durable KV service: batching workers, deadlines, backpressure, crash/recovery |
 //!
 //! ## Quickstart
 //!
@@ -42,6 +43,7 @@
 //! ```
 
 pub use htm;
+pub use kvserve;
 pub use nvhalt;
 pub use pmem;
 pub use spht;
@@ -58,5 +60,7 @@ pub mod prelude {
     pub use spht::{Spht, SphtConfig};
     pub use tm::{txn, Abort, Addr, Tm, Txn};
     pub use trinity::{Trinity, TrinityConfig};
-    pub use txstructs::{AbTree, HashMapTx};
+    pub use txstructs::{AbTree, HashMapTx, MapOp};
+
+    pub use kvserve::{ServeError, Service, ServiceConfig};
 }

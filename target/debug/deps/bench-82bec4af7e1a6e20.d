@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-82bec4af7e1a6e20.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-82bec4af7e1a6e20: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-de4c06d237d944d1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-de4c06d237d944d1.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-de4c06d237d944d1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

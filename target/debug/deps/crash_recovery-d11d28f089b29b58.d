@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_recovery-d11d28f089b29b58.d: tests/crash_recovery.rs
+
+/root/repo/target/debug/deps/crash_recovery-d11d28f089b29b58: tests/crash_recovery.rs
+
+tests/crash_recovery.rs:

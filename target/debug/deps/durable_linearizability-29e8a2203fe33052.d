@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/durable_linearizability-29e8a2203fe33052.d: tests/durable_linearizability.rs
+
+/root/repo/target/debug/deps/durable_linearizability-29e8a2203fe33052: tests/durable_linearizability.rs
+
+tests/durable_linearizability.rs:

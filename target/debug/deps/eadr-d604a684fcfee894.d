@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eadr-d604a684fcfee894.d: tests/eadr.rs
+
+/root/repo/target/debug/deps/eadr-d604a684fcfee894: tests/eadr.rs
+
+tests/eadr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-c18afbac5fb152b0.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-c18afbac5fb152b0: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

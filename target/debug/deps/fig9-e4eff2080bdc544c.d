@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-e4eff2080bdc544c.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-e4eff2080bdc544c: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure_scenarios-3208c99e358b2fe2.d: tests/figure_scenarios.rs
+
+/root/repo/target/debug/deps/figure_scenarios-3208c99e358b2fe2: tests/figure_scenarios.rs
+
+tests/figure_scenarios.rs:

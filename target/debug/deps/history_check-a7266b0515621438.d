@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/history_check-a7266b0515621438.d: tests/history_check.rs
+
+/root/repo/target/debug/deps/history_check-a7266b0515621438: tests/history_check.rs
+
+tests/history_check.rs:

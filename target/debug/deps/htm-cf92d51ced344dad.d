@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/htm-cf92d51ced344dad.d: crates/htm/src/lib.rs crates/htm/src/txn.rs
+
+/root/repo/target/debug/deps/libhtm-cf92d51ced344dad.rlib: crates/htm/src/lib.rs crates/htm/src/txn.rs
+
+/root/repo/target/debug/deps/libhtm-cf92d51ced344dad.rmeta: crates/htm/src/lib.rs crates/htm/src/txn.rs
+
+crates/htm/src/lib.rs:
+crates/htm/src/txn.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/htm-d0c09856065b26e4.d: crates/htm/src/lib.rs crates/htm/src/txn.rs
+
+/root/repo/target/debug/deps/htm-d0c09856065b26e4: crates/htm/src/lib.rs crates/htm/src/txn.rs
+
+crates/htm/src/lib.rs:
+crates/htm/src/txn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kvserve_crash-6e04b94657f330ef.d: tests/kvserve_crash.rs
+
+/root/repo/target/debug/deps/kvserve_crash-6e04b94657f330ef: tests/kvserve_crash.rs
+
+tests/kvserve_crash.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/list_tests-0f26741201c49806.d: crates/txstructs/tests/list_tests.rs
+
+/root/repo/target/debug/deps/list_tests-0f26741201c49806: crates/txstructs/tests/list_tests.rs
+
+crates/txstructs/tests/list_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lock_sharing-802b9045054b4b34.d: crates/core/tests/lock_sharing.rs
+
+/root/repo/target/debug/deps/lock_sharing-802b9045054b4b34: crates/core/tests/lock_sharing.rs
+
+crates/core/tests/lock_sharing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_structure-a98315193a41041b.d: tests/multi_structure.rs
+
+/root/repo/target/debug/deps/multi_structure-a98315193a41041b: tests/multi_structure.rs
+
+tests/multi_structure.rs:

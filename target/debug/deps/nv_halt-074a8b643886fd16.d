@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nv_halt-074a8b643886fd16.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnv_halt-074a8b643886fd16.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnv_halt-074a8b643886fd16.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nv_halt-b1122a52bf9ab271.d: src/lib.rs
+
+/root/repo/target/debug/deps/nv_halt-b1122a52bf9ab271: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nvhalt-5a26f519a157622a.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/heap.rs crates/core/src/lock.rs crates/core/src/recovery.rs
+
+/root/repo/target/debug/deps/libnvhalt-5a26f519a157622a.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/heap.rs crates/core/src/lock.rs crates/core/src/recovery.rs
+
+/root/repo/target/debug/deps/libnvhalt-5a26f519a157622a.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/heap.rs crates/core/src/lock.rs crates/core/src/recovery.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/heap.rs:
+crates/core/src/lock.rs:
+crates/core/src/recovery.rs:

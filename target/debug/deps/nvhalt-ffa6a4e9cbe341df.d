@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nvhalt-ffa6a4e9cbe341df.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/heap.rs crates/core/src/lock.rs crates/core/src/recovery.rs
+
+/root/repo/target/debug/deps/nvhalt-ffa6a4e9cbe341df: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/heap.rs crates/core/src/lock.rs crates/core/src/recovery.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/heap.rs:
+crates/core/src/lock.rs:
+crates/core/src/recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ordering-f80fd25e8213eaf5.d: crates/spht/tests/ordering.rs
+
+/root/repo/target/debug/deps/ordering-f80fd25e8213eaf5: crates/spht/tests/ordering.rs
+
+crates/spht/tests/ordering.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-6e95517e06b61960.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-6e95517e06b61960.rlib: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-6e95517e06b61960.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

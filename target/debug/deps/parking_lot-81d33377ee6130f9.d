@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-81d33377ee6130f9.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-81d33377ee6130f9: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

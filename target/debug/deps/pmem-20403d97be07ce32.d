@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pmem-20403d97be07ce32.d: crates/pmem/src/lib.rs crates/pmem/src/annot.rs crates/pmem/src/latency.rs crates/pmem/src/pool.rs
+
+/root/repo/target/debug/deps/pmem-20403d97be07ce32: crates/pmem/src/lib.rs crates/pmem/src/annot.rs crates/pmem/src/latency.rs crates/pmem/src/pool.rs
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/annot.rs:
+crates/pmem/src/latency.rs:
+crates/pmem/src/pool.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pmem-92cfe949598c0696.d: crates/pmem/src/lib.rs crates/pmem/src/annot.rs crates/pmem/src/latency.rs crates/pmem/src/pool.rs
+
+/root/repo/target/debug/deps/libpmem-92cfe949598c0696.rlib: crates/pmem/src/lib.rs crates/pmem/src/annot.rs crates/pmem/src/latency.rs crates/pmem/src/pool.rs
+
+/root/repo/target/debug/deps/libpmem-92cfe949598c0696.rmeta: crates/pmem/src/lib.rs crates/pmem/src/annot.rs crates/pmem/src/latency.rs crates/pmem/src/pool.rs
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/annot.rs:
+crates/pmem/src/latency.rs:
+crates/pmem/src/pool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_durability-73e60598eef2612c.d: tests/proptest_durability.rs
+
+/root/repo/target/debug/deps/proptest_durability-73e60598eef2612c: tests/proptest_durability.rs
+
+tests/proptest_durability.rs:

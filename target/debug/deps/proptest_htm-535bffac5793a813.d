@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_htm-535bffac5793a813.d: crates/htm/tests/proptest_htm.rs
+
+/root/repo/target/debug/deps/proptest_htm-535bffac5793a813: crates/htm/tests/proptest_htm.rs
+
+crates/htm/tests/proptest_htm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_locks-e02c8387ab41ee66.d: crates/core/tests/proptest_locks.rs
+
+/root/repo/target/debug/deps/proptest_locks-e02c8387ab41ee66: crates/core/tests/proptest_locks.rs
+
+crates/core/tests/proptest_locks.rs:

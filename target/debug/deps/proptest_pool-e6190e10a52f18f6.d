@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_pool-e6190e10a52f18f6.d: crates/pmem/tests/proptest_pool.rs
+
+/root/repo/target/debug/deps/proptest_pool-e6190e10a52f18f6: crates/pmem/tests/proptest_pool.rs
+
+crates/pmem/tests/proptest_pool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery-47c615b3cdeabb86.d: crates/bench/src/bin/recovery.rs
+
+/root/repo/target/debug/deps/recovery-47c615b3cdeabb86: crates/bench/src/bin/recovery.rs
+
+crates/bench/src/bin/recovery.rs:

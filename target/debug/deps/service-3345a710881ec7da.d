@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service-3345a710881ec7da.d: crates/bench/src/bin/service.rs
+
+/root/repo/target/debug/deps/service-3345a710881ec7da: crates/bench/src/bin/service.rs
+
+crates/bench/src/bin/service.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sp_semantics-5d58cd3aebf84356.d: crates/core/tests/sp_semantics.rs
+
+/root/repo/target/debug/deps/sp_semantics-5d58cd3aebf84356: crates/core/tests/sp_semantics.rs
+
+crates/core/tests/sp_semantics.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spht-134118cd3fa1de64.d: crates/spht/src/lib.rs
+
+/root/repo/target/debug/deps/libspht-134118cd3fa1de64.rlib: crates/spht/src/lib.rs
+
+/root/repo/target/debug/deps/libspht-134118cd3fa1de64.rmeta: crates/spht/src/lib.rs
+
+crates/spht/src/lib.rs:

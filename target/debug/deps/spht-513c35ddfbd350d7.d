@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spht-513c35ddfbd350d7.d: crates/spht/src/lib.rs
+
+/root/repo/target/debug/deps/spht-513c35ddfbd350d7: crates/spht/src/lib.rs
+
+crates/spht/src/lib.rs:

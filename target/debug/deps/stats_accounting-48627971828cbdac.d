@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stats_accounting-48627971828cbdac.d: tests/stats_accounting.rs
+
+/root/repo/target/debug/deps/stats_accounting-48627971828cbdac: tests/stats_accounting.rs
+
+tests/stats_accounting.rs:

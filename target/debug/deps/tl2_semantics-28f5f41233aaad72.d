@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tl2_semantics-28f5f41233aaad72.d: crates/trinity/tests/tl2_semantics.rs
+
+/root/repo/target/debug/deps/tl2_semantics-28f5f41233aaad72: crates/trinity/tests/tl2_semantics.rs
+
+crates/trinity/tests/tl2_semantics.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tm-1b54eb5b153a0ac6.d: crates/tm/src/lib.rs crates/tm/src/check.rs crates/tm/src/crash.rs crates/tm/src/policy.rs crates/tm/src/stats.rs
+
+/root/repo/target/debug/deps/libtm-1b54eb5b153a0ac6.rlib: crates/tm/src/lib.rs crates/tm/src/check.rs crates/tm/src/crash.rs crates/tm/src/policy.rs crates/tm/src/stats.rs
+
+/root/repo/target/debug/deps/libtm-1b54eb5b153a0ac6.rmeta: crates/tm/src/lib.rs crates/tm/src/check.rs crates/tm/src/crash.rs crates/tm/src/policy.rs crates/tm/src/stats.rs
+
+crates/tm/src/lib.rs:
+crates/tm/src/check.rs:
+crates/tm/src/crash.rs:
+crates/tm/src/policy.rs:
+crates/tm/src/stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tm-f270d4fcbff8f043.d: crates/tm/src/lib.rs crates/tm/src/check.rs crates/tm/src/crash.rs crates/tm/src/policy.rs crates/tm/src/stats.rs
+
+/root/repo/target/debug/deps/tm-f270d4fcbff8f043: crates/tm/src/lib.rs crates/tm/src/check.rs crates/tm/src/crash.rs crates/tm/src/policy.rs crates/tm/src/stats.rs
+
+crates/tm/src/lib.rs:
+crates/tm/src/check.rs:
+crates/tm/src/crash.rs:
+crates/tm/src/policy.rs:
+crates/tm/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tm_conformance-9a32e38389952448.d: tests/tm_conformance.rs
+
+/root/repo/target/debug/deps/tm_conformance-9a32e38389952448: tests/tm_conformance.rs
+
+tests/tm_conformance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trinity-126987a383a05038.d: crates/trinity/src/lib.rs
+
+/root/repo/target/debug/deps/trinity-126987a383a05038: crates/trinity/src/lib.rs
+
+crates/trinity/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/trinity-f3b2435ba1437ad2.d: crates/trinity/src/lib.rs
+
+/root/repo/target/debug/deps/libtrinity-f3b2435ba1437ad2.rlib: crates/trinity/src/lib.rs
+
+/root/repo/target/debug/deps/libtrinity-f3b2435ba1437ad2.rmeta: crates/trinity/src/lib.rs
+
+crates/trinity/src/lib.rs:

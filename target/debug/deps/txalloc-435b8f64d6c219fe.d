@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/txalloc-435b8f64d6c219fe.d: crates/txalloc/src/lib.rs
+
+/root/repo/target/debug/deps/txalloc-435b8f64d6c219fe: crates/txalloc/src/lib.rs
+
+crates/txalloc/src/lib.rs:

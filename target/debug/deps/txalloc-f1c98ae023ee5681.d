@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/txalloc-f1c98ae023ee5681.d: crates/txalloc/src/lib.rs
+
+/root/repo/target/debug/deps/libtxalloc-f1c98ae023ee5681.rlib: crates/txalloc/src/lib.rs
+
+/root/repo/target/debug/deps/libtxalloc-f1c98ae023ee5681.rmeta: crates/txalloc/src/lib.rs
+
+crates/txalloc/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/txstructs-7e2b5ade266d2766.d: crates/txstructs/src/lib.rs crates/txstructs/src/abtree.rs crates/txstructs/src/hashmap.rs crates/txstructs/src/list.rs
+
+/root/repo/target/debug/deps/txstructs-7e2b5ade266d2766: crates/txstructs/src/lib.rs crates/txstructs/src/abtree.rs crates/txstructs/src/hashmap.rs crates/txstructs/src/list.rs
+
+crates/txstructs/src/lib.rs:
+crates/txstructs/src/abtree.rs:
+crates/txstructs/src/hashmap.rs:
+crates/txstructs/src/list.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/txstructs-fec7005388190a74.d: crates/txstructs/src/lib.rs crates/txstructs/src/abtree.rs crates/txstructs/src/hashmap.rs crates/txstructs/src/list.rs
+
+/root/repo/target/debug/deps/libtxstructs-fec7005388190a74.rlib: crates/txstructs/src/lib.rs crates/txstructs/src/abtree.rs crates/txstructs/src/hashmap.rs crates/txstructs/src/list.rs
+
+/root/repo/target/debug/deps/libtxstructs-fec7005388190a74.rmeta: crates/txstructs/src/lib.rs crates/txstructs/src/abtree.rs crates/txstructs/src/hashmap.rs crates/txstructs/src/list.rs
+
+crates/txstructs/src/lib.rs:
+crates/txstructs/src/abtree.rs:
+crates/txstructs/src/hashmap.rs:
+crates/txstructs/src/list.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/contention_study-2f56e3051f84c036.d: examples/contention_study.rs
+
+/root/repo/target/debug/examples/contention_study-2f56e3051f84c036: examples/contention_study.rs
+
+examples/contention_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/durable_index-2c11161573b8352c.d: examples/durable_index.rs
+
+/root/repo/target/debug/examples/durable_index-2c11161573b8352c: examples/durable_index.rs
+
+examples/durable_index.rs:

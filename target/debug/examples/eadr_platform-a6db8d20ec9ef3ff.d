@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/eadr_platform-a6db8d20ec9ef3ff.d: examples/eadr_platform.rs
+
+/root/repo/target/debug/examples/eadr_platform-a6db8d20ec9ef3ff: examples/eadr_platform.rs
+
+examples/eadr_platform.rs:

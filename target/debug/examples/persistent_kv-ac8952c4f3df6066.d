@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/persistent_kv-ac8952c4f3df6066.d: examples/persistent_kv.rs
+
+/root/repo/target/debug/examples/persistent_kv-ac8952c4f3df6066: examples/persistent_kv.rs
+
+examples/persistent_kv.rs:

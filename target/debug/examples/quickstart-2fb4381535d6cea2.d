@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2fb4381535d6cea2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2fb4381535d6cea2: examples/quickstart.rs
+
+examples/quickstart.rs:

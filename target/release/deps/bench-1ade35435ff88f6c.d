@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench-1ade35435ff88f6c.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libbench-1ade35435ff88f6c.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

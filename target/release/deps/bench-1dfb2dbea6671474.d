@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-1dfb2dbea6671474.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-1dfb2dbea6671474.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-1dfb2dbea6671474.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

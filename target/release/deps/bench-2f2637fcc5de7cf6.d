@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench-2f2637fcc5de7cf6.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/bench-2f2637fcc5de7cf6: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

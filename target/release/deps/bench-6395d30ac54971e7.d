@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench-6395d30ac54971e7.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/bench-6395d30ac54971e7: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

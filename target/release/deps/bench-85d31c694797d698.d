@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-85d31c694797d698.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-85d31c694797d698.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-85d31c694797d698.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench-cbefccdbfa814bf7.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libbench-cbefccdbfa814bf7.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

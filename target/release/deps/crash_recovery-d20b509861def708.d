@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crash_recovery-d20b509861def708.d: tests/crash_recovery.rs
+
+/root/repo/target/release/deps/crash_recovery-d20b509861def708: tests/crash_recovery.rs
+
+tests/crash_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-98ed4267f90f88e0.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-98ed4267f90f88e0: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-b9e757a57bf05b28.d: shims/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-b9e757a57bf05b28.rmeta: shims/criterion/src/lib.rs Cargo.toml
+
+shims/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-0619758c214b16b4.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-0619758c214b16b4.rlib: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-0619758c214b16b4.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

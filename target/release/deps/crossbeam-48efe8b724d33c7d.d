@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crossbeam-48efe8b724d33c7d.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/crossbeam-48efe8b724d33c7d: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/crossbeam-c240abfde1e3d739.d: shims/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcrossbeam-c240abfde1e3d739.rmeta: shims/crossbeam/src/lib.rs Cargo.toml
+
+shims/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/durable_linearizability-4aab8919ec04c3bb.d: tests/durable_linearizability.rs
+
+/root/repo/target/release/deps/durable_linearizability-4aab8919ec04c3bb: tests/durable_linearizability.rs
+
+tests/durable_linearizability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/durable_linearizability-e253434c727d0d8c.d: tests/durable_linearizability.rs Cargo.toml
+
+/root/repo/target/release/deps/libdurable_linearizability-e253434c727d0d8c.rmeta: tests/durable_linearizability.rs Cargo.toml
+
+tests/durable_linearizability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/eadr-2ccc265d02238e8b.d: tests/eadr.rs Cargo.toml
+
+/root/repo/target/release/deps/libeadr-2ccc265d02238e8b.rmeta: tests/eadr.rs Cargo.toml
+
+tests/eadr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

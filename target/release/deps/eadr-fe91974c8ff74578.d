@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/eadr-fe91974c8ff74578.d: tests/eadr.rs
+
+/root/repo/target/release/deps/eadr-fe91974c8ff74578: tests/eadr.rs
+
+tests/eadr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-49e1014165a7cad2.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-49e1014165a7cad2: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-53cbfec2529275cb.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-53cbfec2529275cb: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

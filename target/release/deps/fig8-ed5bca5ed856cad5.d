@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-ed5bca5ed856cad5.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-ed5bca5ed856cad5: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig8_hashmap-df44748bbcdfa63b.d: crates/bench/benches/fig8_hashmap.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig8_hashmap-df44748bbcdfa63b.rmeta: crates/bench/benches/fig8_hashmap.rs Cargo.toml
+
+crates/bench/benches/fig8_hashmap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

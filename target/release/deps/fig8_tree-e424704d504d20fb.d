@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig8_tree-e424704d504d20fb.d: crates/bench/benches/fig8_tree.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig8_tree-e424704d504d20fb.rmeta: crates/bench/benches/fig8_tree.rs Cargo.toml
+
+crates/bench/benches/fig8_tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

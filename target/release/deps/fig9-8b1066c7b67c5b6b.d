@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-8b1066c7b67c5b6b.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-8b1066c7b67c5b6b: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

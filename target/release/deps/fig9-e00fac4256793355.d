@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-e00fac4256793355.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-e00fac4256793355: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

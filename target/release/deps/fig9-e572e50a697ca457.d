@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-e572e50a697ca457.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-e572e50a697ca457: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

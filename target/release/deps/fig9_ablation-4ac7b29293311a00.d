@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig9_ablation-4ac7b29293311a00.d: crates/bench/benches/fig9_ablation.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig9_ablation-4ac7b29293311a00.rmeta: crates/bench/benches/fig9_ablation.rs Cargo.toml
+
+crates/bench/benches/fig9_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/figure_scenarios-91a43de29fb58212.d: tests/figure_scenarios.rs Cargo.toml
+
+/root/repo/target/release/deps/libfigure_scenarios-91a43de29fb58212.rmeta: tests/figure_scenarios.rs Cargo.toml
+
+tests/figure_scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

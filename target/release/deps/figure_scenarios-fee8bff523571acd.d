@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure_scenarios-fee8bff523571acd.d: tests/figure_scenarios.rs
+
+/root/repo/target/release/deps/figure_scenarios-fee8bff523571acd: tests/figure_scenarios.rs
+
+tests/figure_scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/history_check-89eafe737612718b.d: tests/history_check.rs
+
+/root/repo/target/release/deps/history_check-89eafe737612718b: tests/history_check.rs
+
+tests/history_check.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/history_check-fa8671e1ff78e28f.d: tests/history_check.rs Cargo.toml
+
+/root/repo/target/release/deps/libhistory_check-fa8671e1ff78e28f.rmeta: tests/history_check.rs Cargo.toml
+
+tests/history_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/htm-4ffece7ebac3b745.d: crates/htm/src/lib.rs crates/htm/src/txn.rs
+
+/root/repo/target/release/deps/htm-4ffece7ebac3b745: crates/htm/src/lib.rs crates/htm/src/txn.rs
+
+crates/htm/src/lib.rs:
+crates/htm/src/txn.rs:

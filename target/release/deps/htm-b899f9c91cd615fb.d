@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/htm-b899f9c91cd615fb.d: crates/htm/src/lib.rs crates/htm/src/txn.rs
+
+/root/repo/target/release/deps/libhtm-b899f9c91cd615fb.rlib: crates/htm/src/lib.rs crates/htm/src/txn.rs
+
+/root/repo/target/release/deps/libhtm-b899f9c91cd615fb.rmeta: crates/htm/src/lib.rs crates/htm/src/txn.rs
+
+crates/htm/src/lib.rs:
+crates/htm/src/txn.rs:

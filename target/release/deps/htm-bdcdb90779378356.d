@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/htm-bdcdb90779378356.d: crates/htm/src/lib.rs crates/htm/src/txn.rs Cargo.toml
+
+/root/repo/target/release/deps/libhtm-bdcdb90779378356.rmeta: crates/htm/src/lib.rs crates/htm/src/txn.rs Cargo.toml
+
+crates/htm/src/lib.rs:
+crates/htm/src/txn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/kvserve-39c9d1136ebb1c66.d: crates/kvserve/src/lib.rs crates/kvserve/src/metrics.rs crates/kvserve/src/shard.rs Cargo.toml
+
+/root/repo/target/release/deps/libkvserve-39c9d1136ebb1c66.rmeta: crates/kvserve/src/lib.rs crates/kvserve/src/metrics.rs crates/kvserve/src/shard.rs Cargo.toml
+
+crates/kvserve/src/lib.rs:
+crates/kvserve/src/metrics.rs:
+crates/kvserve/src/shard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

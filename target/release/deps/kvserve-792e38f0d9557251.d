@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/kvserve-792e38f0d9557251.d: crates/kvserve/src/lib.rs crates/kvserve/src/metrics.rs crates/kvserve/src/shard.rs Cargo.toml
+
+/root/repo/target/release/deps/libkvserve-792e38f0d9557251.rmeta: crates/kvserve/src/lib.rs crates/kvserve/src/metrics.rs crates/kvserve/src/shard.rs Cargo.toml
+
+crates/kvserve/src/lib.rs:
+crates/kvserve/src/metrics.rs:
+crates/kvserve/src/shard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/kvserve-c6af4e7abc84ac9f.d: crates/kvserve/src/lib.rs crates/kvserve/src/metrics.rs crates/kvserve/src/shard.rs
+
+/root/repo/target/release/deps/kvserve-c6af4e7abc84ac9f: crates/kvserve/src/lib.rs crates/kvserve/src/metrics.rs crates/kvserve/src/shard.rs
+
+crates/kvserve/src/lib.rs:
+crates/kvserve/src/metrics.rs:
+crates/kvserve/src/shard.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/kvserve_crash-0534670392e35b31.d: tests/kvserve_crash.rs Cargo.toml
+
+/root/repo/target/release/deps/libkvserve_crash-0534670392e35b31.rmeta: tests/kvserve_crash.rs Cargo.toml
+
+tests/kvserve_crash.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kvserve_crash-c1a755fcd35785cd.d: tests/kvserve_crash.rs
+
+/root/repo/target/release/deps/kvserve_crash-c1a755fcd35785cd: tests/kvserve_crash.rs
+
+tests/kvserve_crash.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/list_tests-76751ba4c3c96fe8.d: crates/txstructs/tests/list_tests.rs
+
+/root/repo/target/release/deps/list_tests-76751ba4c3c96fe8: crates/txstructs/tests/list_tests.rs
+
+crates/txstructs/tests/list_tests.rs:

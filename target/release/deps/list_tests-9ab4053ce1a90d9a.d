@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/list_tests-9ab4053ce1a90d9a.d: crates/txstructs/tests/list_tests.rs Cargo.toml
+
+/root/repo/target/release/deps/liblist_tests-9ab4053ce1a90d9a.rmeta: crates/txstructs/tests/list_tests.rs Cargo.toml
+
+crates/txstructs/tests/list_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lock_sharing-5ee32fb0868f7ceb.d: crates/core/tests/lock_sharing.rs Cargo.toml
+
+/root/repo/target/release/deps/liblock_sharing-5ee32fb0868f7ceb.rmeta: crates/core/tests/lock_sharing.rs Cargo.toml
+
+crates/core/tests/lock_sharing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lock_sharing-841209d9962a1009.d: crates/core/tests/lock_sharing.rs
+
+/root/repo/target/release/deps/lock_sharing-841209d9962a1009: crates/core/tests/lock_sharing.rs
+
+crates/core/tests/lock_sharing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/micro_costs-36da84d4c8d00a06.d: crates/bench/benches/micro_costs.rs Cargo.toml
+
+/root/repo/target/release/deps/libmicro_costs-36da84d4c8d00a06.rmeta: crates/bench/benches/micro_costs.rs Cargo.toml
+
+crates/bench/benches/micro_costs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/multi_structure-3c17a4919ab8c519.d: tests/multi_structure.rs Cargo.toml
+
+/root/repo/target/release/deps/libmulti_structure-3c17a4919ab8c519.rmeta: tests/multi_structure.rs Cargo.toml
+
+tests/multi_structure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multi_structure-971cb7398a3b613c.d: tests/multi_structure.rs
+
+/root/repo/target/release/deps/multi_structure-971cb7398a3b613c: tests/multi_structure.rs
+
+tests/multi_structure.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/nv_halt-732ecad75635a5cb.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libnv_halt-732ecad75635a5cb.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

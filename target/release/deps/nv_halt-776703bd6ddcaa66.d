@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nv_halt-776703bd6ddcaa66.d: src/lib.rs
+
+/root/repo/target/release/deps/nv_halt-776703bd6ddcaa66: src/lib.rs
+
+src/lib.rs:

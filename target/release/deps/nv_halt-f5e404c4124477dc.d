@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nv_halt-f5e404c4124477dc.d: src/lib.rs
+
+/root/repo/target/release/deps/libnv_halt-f5e404c4124477dc.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnv_halt-f5e404c4124477dc.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/nvhalt-1af4bc0f19ee349c.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/heap.rs crates/core/src/lock.rs crates/core/src/recovery.rs
+
+/root/repo/target/release/deps/nvhalt-1af4bc0f19ee349c: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/heap.rs crates/core/src/lock.rs crates/core/src/recovery.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/heap.rs:
+crates/core/src/lock.rs:
+crates/core/src/recovery.rs:

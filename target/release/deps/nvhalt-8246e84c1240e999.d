@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/nvhalt-8246e84c1240e999.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/heap.rs crates/core/src/lock.rs crates/core/src/recovery.rs
+
+/root/repo/target/release/deps/libnvhalt-8246e84c1240e999.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/heap.rs crates/core/src/lock.rs crates/core/src/recovery.rs
+
+/root/repo/target/release/deps/libnvhalt-8246e84c1240e999.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/heap.rs crates/core/src/lock.rs crates/core/src/recovery.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/heap.rs:
+crates/core/src/lock.rs:
+crates/core/src/recovery.rs:

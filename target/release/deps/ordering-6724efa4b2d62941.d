@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ordering-6724efa4b2d62941.d: crates/spht/tests/ordering.rs
+
+/root/repo/target/release/deps/ordering-6724efa4b2d62941: crates/spht/tests/ordering.rs
+
+crates/spht/tests/ordering.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ordering-a497fefd3913614d.d: crates/spht/tests/ordering.rs Cargo.toml
+
+/root/repo/target/release/deps/libordering-a497fefd3913614d.rmeta: crates/spht/tests/ordering.rs Cargo.toml
+
+crates/spht/tests/ordering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-6d0747a2f3909911.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-6d0747a2f3909911.rlib: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-6d0747a2f3909911.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-cee5cd7c7993ea4f.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/parking_lot-cee5cd7c7993ea4f: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

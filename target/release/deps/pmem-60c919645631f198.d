@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pmem-60c919645631f198.d: crates/pmem/src/lib.rs crates/pmem/src/annot.rs crates/pmem/src/latency.rs crates/pmem/src/pool.rs Cargo.toml
+
+/root/repo/target/release/deps/libpmem-60c919645631f198.rmeta: crates/pmem/src/lib.rs crates/pmem/src/annot.rs crates/pmem/src/latency.rs crates/pmem/src/pool.rs Cargo.toml
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/annot.rs:
+crates/pmem/src/latency.rs:
+crates/pmem/src/pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pmem-77e821c63abe3786.d: crates/pmem/src/lib.rs crates/pmem/src/annot.rs crates/pmem/src/latency.rs crates/pmem/src/pool.rs
+
+/root/repo/target/release/deps/libpmem-77e821c63abe3786.rlib: crates/pmem/src/lib.rs crates/pmem/src/annot.rs crates/pmem/src/latency.rs crates/pmem/src/pool.rs
+
+/root/repo/target/release/deps/libpmem-77e821c63abe3786.rmeta: crates/pmem/src/lib.rs crates/pmem/src/annot.rs crates/pmem/src/latency.rs crates/pmem/src/pool.rs
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/annot.rs:
+crates/pmem/src/latency.rs:
+crates/pmem/src/pool.rs:

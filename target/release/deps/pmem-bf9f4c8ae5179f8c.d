@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pmem-bf9f4c8ae5179f8c.d: crates/pmem/src/lib.rs crates/pmem/src/annot.rs crates/pmem/src/latency.rs crates/pmem/src/pool.rs Cargo.toml
+
+/root/repo/target/release/deps/libpmem-bf9f4c8ae5179f8c.rmeta: crates/pmem/src/lib.rs crates/pmem/src/annot.rs crates/pmem/src/latency.rs crates/pmem/src/pool.rs Cargo.toml
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/annot.rs:
+crates/pmem/src/latency.rs:
+crates/pmem/src/pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/pmem-e2af38780562b7f7.d: crates/pmem/src/lib.rs crates/pmem/src/annot.rs crates/pmem/src/latency.rs crates/pmem/src/pool.rs
+
+/root/repo/target/release/deps/pmem-e2af38780562b7f7: crates/pmem/src/lib.rs crates/pmem/src/annot.rs crates/pmem/src/latency.rs crates/pmem/src/pool.rs
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/annot.rs:
+crates/pmem/src/latency.rs:
+crates/pmem/src/pool.rs:

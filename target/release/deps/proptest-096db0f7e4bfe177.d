@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/proptest-096db0f7e4bfe177.d: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-096db0f7e4bfe177.rmeta: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs Cargo.toml
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/proptest-8d08d8e8166e0dc7.d: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-8d08d8e8166e0dc7.rmeta: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs Cargo.toml
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

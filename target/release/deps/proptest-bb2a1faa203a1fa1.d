@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/proptest-bb2a1faa203a1fa1.d: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs
+
+/root/repo/target/release/deps/proptest-bb2a1faa203a1fa1: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/strategy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest_durability-41dbc7c6101741f4.d: tests/proptest_durability.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest_durability-41dbc7c6101741f4.rmeta: tests/proptest_durability.rs Cargo.toml
+
+tests/proptest_durability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_durability-be07b41deb972fae.d: tests/proptest_durability.rs
+
+/root/repo/target/release/deps/proptest_durability-be07b41deb972fae: tests/proptest_durability.rs
+
+tests/proptest_durability.rs:

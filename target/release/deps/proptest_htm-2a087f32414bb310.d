@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest_htm-2a087f32414bb310.d: crates/htm/tests/proptest_htm.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest_htm-2a087f32414bb310.rmeta: crates/htm/tests/proptest_htm.rs Cargo.toml
+
+crates/htm/tests/proptest_htm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

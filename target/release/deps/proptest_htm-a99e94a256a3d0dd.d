@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_htm-a99e94a256a3d0dd.d: crates/htm/tests/proptest_htm.rs
+
+/root/repo/target/release/deps/proptest_htm-a99e94a256a3d0dd: crates/htm/tests/proptest_htm.rs
+
+crates/htm/tests/proptest_htm.rs:

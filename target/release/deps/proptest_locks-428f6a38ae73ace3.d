@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_locks-428f6a38ae73ace3.d: crates/core/tests/proptest_locks.rs
+
+/root/repo/target/release/deps/proptest_locks-428f6a38ae73ace3: crates/core/tests/proptest_locks.rs
+
+crates/core/tests/proptest_locks.rs:

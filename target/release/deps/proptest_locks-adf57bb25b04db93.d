@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest_locks-adf57bb25b04db93.d: crates/core/tests/proptest_locks.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest_locks-adf57bb25b04db93.rmeta: crates/core/tests/proptest_locks.rs Cargo.toml
+
+crates/core/tests/proptest_locks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

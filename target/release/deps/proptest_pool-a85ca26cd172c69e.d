@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest_pool-a85ca26cd172c69e.d: crates/pmem/tests/proptest_pool.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest_pool-a85ca26cd172c69e.rmeta: crates/pmem/tests/proptest_pool.rs Cargo.toml
+
+crates/pmem/tests/proptest_pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

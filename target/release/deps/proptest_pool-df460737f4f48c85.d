@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_pool-df460737f4f48c85.d: crates/pmem/tests/proptest_pool.rs
+
+/root/repo/target/release/deps/proptest_pool-df460737f4f48c85: crates/pmem/tests/proptest_pool.rs
+
+crates/pmem/tests/proptest_pool.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/recovery-34cc5173bd51e991.d: crates/bench/src/bin/recovery.rs Cargo.toml
+
+/root/repo/target/release/deps/librecovery-34cc5173bd51e991.rmeta: crates/bench/src/bin/recovery.rs Cargo.toml
+
+crates/bench/src/bin/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/recovery-401c5b8b6d750a41.d: crates/bench/src/bin/recovery.rs Cargo.toml
+
+/root/repo/target/release/deps/librecovery-401c5b8b6d750a41.rmeta: crates/bench/src/bin/recovery.rs Cargo.toml
+
+crates/bench/src/bin/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

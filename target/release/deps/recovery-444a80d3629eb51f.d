@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/recovery-444a80d3629eb51f.d: crates/bench/src/bin/recovery.rs
+
+/root/repo/target/release/deps/recovery-444a80d3629eb51f: crates/bench/src/bin/recovery.rs
+
+crates/bench/src/bin/recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/recovery-777a115df1da41ea.d: crates/bench/src/bin/recovery.rs
+
+/root/repo/target/release/deps/recovery-777a115df1da41ea: crates/bench/src/bin/recovery.rs
+
+crates/bench/src/bin/recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/recovery-843babf1d37392b1.d: crates/bench/src/bin/recovery.rs
+
+/root/repo/target/release/deps/recovery-843babf1d37392b1: crates/bench/src/bin/recovery.rs
+
+crates/bench/src/bin/recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/service-1c801bc22588fe7e.d: crates/bench/src/bin/service.rs Cargo.toml
+
+/root/repo/target/release/deps/libservice-1c801bc22588fe7e.rmeta: crates/bench/src/bin/service.rs Cargo.toml
+
+crates/bench/src/bin/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/service-38d3c4dd48661730.d: crates/bench/src/bin/service.rs
+
+/root/repo/target/release/deps/service-38d3c4dd48661730: crates/bench/src/bin/service.rs
+
+crates/bench/src/bin/service.rs:

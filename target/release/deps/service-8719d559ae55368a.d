@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/service-8719d559ae55368a.d: crates/bench/src/bin/service.rs Cargo.toml
+
+/root/repo/target/release/deps/libservice-8719d559ae55368a.rmeta: crates/bench/src/bin/service.rs Cargo.toml
+
+crates/bench/src/bin/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/service-e5f278d48ed6d26c.d: crates/bench/src/bin/service.rs
+
+/root/repo/target/release/deps/service-e5f278d48ed6d26c: crates/bench/src/bin/service.rs
+
+crates/bench/src/bin/service.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sp_semantics-7661886aee791f8e.d: crates/core/tests/sp_semantics.rs Cargo.toml
+
+/root/repo/target/release/deps/libsp_semantics-7661886aee791f8e.rmeta: crates/core/tests/sp_semantics.rs Cargo.toml
+
+crates/core/tests/sp_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sp_semantics-7df562883fc20688.d: crates/core/tests/sp_semantics.rs
+
+/root/repo/target/release/deps/sp_semantics-7df562883fc20688: crates/core/tests/sp_semantics.rs
+
+crates/core/tests/sp_semantics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/spht-0842dd86292209e2.d: crates/spht/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libspht-0842dd86292209e2.rmeta: crates/spht/src/lib.rs Cargo.toml
+
+crates/spht/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

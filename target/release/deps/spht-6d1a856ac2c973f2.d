@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/spht-6d1a856ac2c973f2.d: crates/spht/src/lib.rs
+
+/root/repo/target/release/deps/spht-6d1a856ac2c973f2: crates/spht/src/lib.rs
+
+crates/spht/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/spht-8e2c2c25294d75ca.d: crates/spht/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libspht-8e2c2c25294d75ca.rmeta: crates/spht/src/lib.rs Cargo.toml
+
+crates/spht/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/spht-de5476f30441300b.d: crates/spht/src/lib.rs
+
+/root/repo/target/release/deps/libspht-de5476f30441300b.rlib: crates/spht/src/lib.rs
+
+/root/repo/target/release/deps/libspht-de5476f30441300b.rmeta: crates/spht/src/lib.rs
+
+crates/spht/src/lib.rs:

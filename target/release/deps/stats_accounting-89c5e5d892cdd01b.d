@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stats_accounting-89c5e5d892cdd01b.d: tests/stats_accounting.rs
+
+/root/repo/target/release/deps/stats_accounting-89c5e5d892cdd01b: tests/stats_accounting.rs
+
+tests/stats_accounting.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/stats_accounting-cd4cbdabd1dd8be9.d: tests/stats_accounting.rs Cargo.toml
+
+/root/repo/target/release/deps/libstats_accounting-cd4cbdabd1dd8be9.rmeta: tests/stats_accounting.rs Cargo.toml
+
+tests/stats_accounting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tl2_semantics-01b0b6dd77b0f76d.d: crates/trinity/tests/tl2_semantics.rs
+
+/root/repo/target/release/deps/tl2_semantics-01b0b6dd77b0f76d: crates/trinity/tests/tl2_semantics.rs
+
+crates/trinity/tests/tl2_semantics.rs:

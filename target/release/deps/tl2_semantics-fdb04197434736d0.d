@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tl2_semantics-fdb04197434736d0.d: crates/trinity/tests/tl2_semantics.rs Cargo.toml
+
+/root/repo/target/release/deps/libtl2_semantics-fdb04197434736d0.rmeta: crates/trinity/tests/tl2_semantics.rs Cargo.toml
+
+crates/trinity/tests/tl2_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/tm-f2f3bc7dc4b4c705.d: crates/tm/src/lib.rs crates/tm/src/check.rs crates/tm/src/crash.rs crates/tm/src/policy.rs crates/tm/src/stats.rs Cargo.toml
+
+/root/repo/target/release/deps/libtm-f2f3bc7dc4b4c705.rmeta: crates/tm/src/lib.rs crates/tm/src/check.rs crates/tm/src/crash.rs crates/tm/src/policy.rs crates/tm/src/stats.rs Cargo.toml
+
+crates/tm/src/lib.rs:
+crates/tm/src/check.rs:
+crates/tm/src/crash.rs:
+crates/tm/src/policy.rs:
+crates/tm/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/tm-f53430a174bbd3ac.d: crates/tm/src/lib.rs crates/tm/src/check.rs crates/tm/src/crash.rs crates/tm/src/policy.rs crates/tm/src/stats.rs
+
+/root/repo/target/release/deps/libtm-f53430a174bbd3ac.rlib: crates/tm/src/lib.rs crates/tm/src/check.rs crates/tm/src/crash.rs crates/tm/src/policy.rs crates/tm/src/stats.rs
+
+/root/repo/target/release/deps/libtm-f53430a174bbd3ac.rmeta: crates/tm/src/lib.rs crates/tm/src/check.rs crates/tm/src/crash.rs crates/tm/src/policy.rs crates/tm/src/stats.rs
+
+crates/tm/src/lib.rs:
+crates/tm/src/check.rs:
+crates/tm/src/crash.rs:
+crates/tm/src/policy.rs:
+crates/tm/src/stats.rs:

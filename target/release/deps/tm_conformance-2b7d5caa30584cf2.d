@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tm_conformance-2b7d5caa30584cf2.d: tests/tm_conformance.rs
+
+/root/repo/target/release/deps/tm_conformance-2b7d5caa30584cf2: tests/tm_conformance.rs
+
+tests/tm_conformance.rs:

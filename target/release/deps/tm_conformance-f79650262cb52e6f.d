@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tm_conformance-f79650262cb52e6f.d: tests/tm_conformance.rs Cargo.toml
+
+/root/repo/target/release/deps/libtm_conformance-f79650262cb52e6f.rmeta: tests/tm_conformance.rs Cargo.toml
+
+tests/tm_conformance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trinity-17f98178a2db635a.d: crates/trinity/src/lib.rs
+
+/root/repo/target/release/deps/trinity-17f98178a2db635a: crates/trinity/src/lib.rs
+
+crates/trinity/src/lib.rs:

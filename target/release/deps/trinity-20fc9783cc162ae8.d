@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/trinity-20fc9783cc162ae8.d: crates/trinity/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libtrinity-20fc9783cc162ae8.rmeta: crates/trinity/src/lib.rs Cargo.toml
+
+crates/trinity/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/trinity-95a4503ec0d0129a.d: crates/trinity/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libtrinity-95a4503ec0d0129a.rmeta: crates/trinity/src/lib.rs Cargo.toml
+
+crates/trinity/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/trinity-a312750ff2983519.d: crates/trinity/src/lib.rs
+
+/root/repo/target/release/deps/libtrinity-a312750ff2983519.rlib: crates/trinity/src/lib.rs
+
+/root/repo/target/release/deps/libtrinity-a312750ff2983519.rmeta: crates/trinity/src/lib.rs
+
+crates/trinity/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/txalloc-20ab6467421b5e4c.d: crates/txalloc/src/lib.rs
+
+/root/repo/target/release/deps/libtxalloc-20ab6467421b5e4c.rlib: crates/txalloc/src/lib.rs
+
+/root/repo/target/release/deps/libtxalloc-20ab6467421b5e4c.rmeta: crates/txalloc/src/lib.rs
+
+crates/txalloc/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/txalloc-5508db3b1ae66bb3.d: crates/txalloc/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libtxalloc-5508db3b1ae66bb3.rmeta: crates/txalloc/src/lib.rs Cargo.toml
+
+crates/txalloc/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

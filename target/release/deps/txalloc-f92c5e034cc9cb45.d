@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/txalloc-f92c5e034cc9cb45.d: crates/txalloc/src/lib.rs
+
+/root/repo/target/release/deps/txalloc-f92c5e034cc9cb45: crates/txalloc/src/lib.rs
+
+crates/txalloc/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/txstructs-12ad8038e46b05c4.d: crates/txstructs/src/lib.rs crates/txstructs/src/abtree.rs crates/txstructs/src/hashmap.rs crates/txstructs/src/list.rs
+
+/root/repo/target/release/deps/txstructs-12ad8038e46b05c4: crates/txstructs/src/lib.rs crates/txstructs/src/abtree.rs crates/txstructs/src/hashmap.rs crates/txstructs/src/list.rs
+
+crates/txstructs/src/lib.rs:
+crates/txstructs/src/abtree.rs:
+crates/txstructs/src/hashmap.rs:
+crates/txstructs/src/list.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/txstructs-6489bc4969bc83f1.d: crates/txstructs/src/lib.rs crates/txstructs/src/abtree.rs crates/txstructs/src/hashmap.rs crates/txstructs/src/list.rs Cargo.toml
+
+/root/repo/target/release/deps/libtxstructs-6489bc4969bc83f1.rmeta: crates/txstructs/src/lib.rs crates/txstructs/src/abtree.rs crates/txstructs/src/hashmap.rs crates/txstructs/src/list.rs Cargo.toml
+
+crates/txstructs/src/lib.rs:
+crates/txstructs/src/abtree.rs:
+crates/txstructs/src/hashmap.rs:
+crates/txstructs/src/list.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/txstructs-7868461eaf217ce2.d: crates/txstructs/src/lib.rs crates/txstructs/src/abtree.rs crates/txstructs/src/hashmap.rs crates/txstructs/src/list.rs
+
+/root/repo/target/release/deps/libtxstructs-7868461eaf217ce2.rlib: crates/txstructs/src/lib.rs crates/txstructs/src/abtree.rs crates/txstructs/src/hashmap.rs crates/txstructs/src/list.rs
+
+/root/repo/target/release/deps/libtxstructs-7868461eaf217ce2.rmeta: crates/txstructs/src/lib.rs crates/txstructs/src/abtree.rs crates/txstructs/src/hashmap.rs crates/txstructs/src/list.rs
+
+crates/txstructs/src/lib.rs:
+crates/txstructs/src/abtree.rs:
+crates/txstructs/src/hashmap.rs:
+crates/txstructs/src/list.rs:

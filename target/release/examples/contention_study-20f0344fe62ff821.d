@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/contention_study-20f0344fe62ff821.d: examples/contention_study.rs Cargo.toml
+
+/root/repo/target/release/examples/libcontention_study-20f0344fe62ff821.rmeta: examples/contention_study.rs Cargo.toml
+
+examples/contention_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

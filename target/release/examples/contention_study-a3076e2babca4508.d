@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/contention_study-a3076e2babca4508.d: examples/contention_study.rs
+
+/root/repo/target/release/examples/contention_study-a3076e2babca4508: examples/contention_study.rs
+
+examples/contention_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/durable_index-345d37d013ab7f09.d: examples/durable_index.rs
+
+/root/repo/target/release/examples/durable_index-345d37d013ab7f09: examples/durable_index.rs
+
+examples/durable_index.rs:

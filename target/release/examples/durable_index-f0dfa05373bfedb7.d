@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/durable_index-f0dfa05373bfedb7.d: examples/durable_index.rs Cargo.toml
+
+/root/repo/target/release/examples/libdurable_index-f0dfa05373bfedb7.rmeta: examples/durable_index.rs Cargo.toml
+
+examples/durable_index.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

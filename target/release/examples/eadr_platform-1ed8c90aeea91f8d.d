@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/eadr_platform-1ed8c90aeea91f8d.d: examples/eadr_platform.rs
+
+/root/repo/target/release/examples/eadr_platform-1ed8c90aeea91f8d: examples/eadr_platform.rs
+
+examples/eadr_platform.rs:

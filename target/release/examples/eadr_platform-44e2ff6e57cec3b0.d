@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/eadr_platform-44e2ff6e57cec3b0.d: examples/eadr_platform.rs Cargo.toml
+
+/root/repo/target/release/examples/libeadr_platform-44e2ff6e57cec3b0.rmeta: examples/eadr_platform.rs Cargo.toml
+
+examples/eadr_platform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/persistent_kv-654462bb7bfc24dc.d: examples/persistent_kv.rs Cargo.toml
+
+/root/repo/target/release/examples/libpersistent_kv-654462bb7bfc24dc.rmeta: examples/persistent_kv.rs Cargo.toml
+
+examples/persistent_kv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/persistent_kv-d2df046e65c2a323.d: examples/persistent_kv.rs
+
+/root/repo/target/release/examples/persistent_kv-d2df046e65c2a323: examples/persistent_kv.rs
+
+examples/persistent_kv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-9ccbf62867fa0f88.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-9ccbf62867fa0f88: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -61,8 +61,7 @@ impl Strawman {
     }
 
     fn sw_unlock(&self, lock: &AtomicU64, enc: LockWord, tid: usize) {
-        self.htm
-            .nt_store(lock, enc.sw_acquired(tid).released().0);
+        self.htm.nt_store(lock, enc.sw_acquired(tid).released().0);
     }
 }
 

@@ -76,7 +76,10 @@ fn run_recorded<T: Tm>(tm: &T) {
 #[test]
 fn nvhalt_histories_are_serializable() {
     for progress in [Progress::Weak, Progress::Strong] {
-        for locks in [LockStrategy::Table { locks_log2: 10 }, LockStrategy::Colocated] {
+        for locks in [
+            LockStrategy::Table { locks_log2: 10 },
+            LockStrategy::Colocated,
+        ] {
             let mut cfg = NvHaltConfig::test(1 << 10, THREADS);
             cfg.progress = progress;
             cfg.locks = locks;

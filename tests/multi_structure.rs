@@ -133,8 +133,8 @@ fn cross_structure_transaction_is_atomic() {
         });
         s.spawn(move || {
             for _ in 0..100 {
-                let (a, b) = tm::txn(tm, 1, |tx| Ok((tx.read(Addr(1))?, tx.read(Addr(2))?)))
-                    .unwrap();
+                let (a, b) =
+                    tm::txn(tm, 1, |tx| Ok((tx.read(Addr(1))?, tx.read(Addr(2))?))).unwrap();
                 assert_eq!(a + b, 1, "the record exists exactly once");
             }
         });
