@@ -1,10 +1,14 @@
 //! Closed-loop load generator for the `kvserve` durable KV service.
 //!
-//! Runs three YCSB-style mixes — read-heavy (95% get / 5% put),
-//! update-heavy (50% get / 50% put) and scan (atomic same-shard
-//! multi-get windows) — across a sweep of shard counts and batch-size
-//! caps, printing per-shard throughput, latency percentiles, abort
-//! rates and mean committed batch sizes.
+//! Runs four YCSB-style mixes — read-heavy (95% get / 5% put),
+//! update-heavy (50% get / 50% put), scan (atomic same-shard multi-get
+//! windows) and cross-shard (atomic multi-puts spanning several shards,
+//! committed via the 2PC coordinator) — across a sweep of shard counts
+//! and batch-size caps, printing per-shard throughput, latency
+//! percentiles, abort rates, mean committed batch sizes and a
+//! per-outcome tally (ok / overloaded / timeout / aborted) so rejected
+//! requests are reported as distinct outcomes rather than treated as
+//! errors.
 //!
 //! The persistent-memory latency model defaults to Optane so the
 //! flush/fence amortization from batching is visible (update-heavy
@@ -19,7 +23,7 @@
 use bench::{fmt_tput, Args};
 use kvserve::{MapOp, ServeError, Service, ServiceConfig};
 use pmem::LatencyModel;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -27,16 +31,18 @@ enum Mix {
     ReadHeavy,
     UpdateHeavy,
     Scan,
+    CrossShard,
 }
 
 impl Mix {
-    const ALL: [Mix; 3] = [Mix::ReadHeavy, Mix::UpdateHeavy, Mix::Scan];
+    const ALL: [Mix; 4] = [Mix::ReadHeavy, Mix::UpdateHeavy, Mix::Scan, Mix::CrossShard];
 
     fn label(self) -> &'static str {
         match self {
             Mix::ReadHeavy => "read-heavy",
             Mix::UpdateHeavy => "update-heavy",
             Mix::Scan => "scan",
+            Mix::CrossShard => "cross-shard",
         }
     }
 
@@ -49,6 +55,19 @@ impl Mix {
 const SCAN_SPAN: u64 = 32;
 /// Ops per scan request after same-shard filtering (upper bound).
 const SCAN_WINDOW: usize = 8;
+/// Shards an atomic cross-shard multi-put spans (upper bound).
+const XSHARD_SPAN: usize = 4;
+
+/// Per-cell request outcome tally. Backpressure, deadline and conflict
+/// rejections are expected service responses under load, not failures,
+/// so they are counted and reported instead of aborting the run.
+#[derive(Default)]
+struct Outcomes {
+    ok: AtomicU64,
+    overloaded: AtomicU64,
+    timeout: AtomicU64,
+    aborted: AtomicU64,
+}
 
 struct Sweep {
     mixes: Vec<Mix>,
@@ -123,12 +142,12 @@ fn run_cell(sweep: &Sweep, mix: Mix, shards: usize, batch: usize) {
     let tm_before: Vec<_> = svc.snapshot().shards.iter().map(|s| s.tm).collect();
 
     let stop = AtomicBool::new(false);
+    let outcomes = Outcomes::default();
     let start = Instant::now();
     std::thread::scope(|scope| {
         for c in 0..sweep.clients {
-            let svc = &svc;
-            let stop = &stop;
-            scope.spawn(move || client_loop(svc, stop, mix, sweep.keys, c as u64));
+            let (svc, stop, outcomes) = (&svc, &stop, &outcomes);
+            scope.spawn(move || client_loop(svc, stop, outcomes, mix, sweep.keys, c as u64));
         }
         while start.elapsed().as_secs_f64() < sweep.seconds {
             std::thread::sleep(Duration::from_millis(5));
@@ -153,15 +172,32 @@ fn run_cell(sweep: &Sweep, mix: Mix, shards: usize, batch: usize) {
     }
     println!(
         "  total: tput={}/s mean_batch={:.2} p50={:?} p99={:?} abort_rate={:.3}",
-        fmt_tput(snap.ops() as f64 / secs),
+        fmt_tput((snap.ops() + snap.coordinator.cross_ops) as f64 / secs),
         snap.mean_batch(),
         snap.latency_quantile(0.50).unwrap_or_default(),
         snap.latency_quantile(0.99).unwrap_or_default(),
         snap.abort_rate(),
     );
+    println!(
+        "  outcomes: ok={} overloaded={} timeout={} aborted={}",
+        outcomes.ok.load(Ordering::Relaxed),
+        outcomes.overloaded.load(Ordering::Relaxed),
+        outcomes.timeout.load(Ordering::Relaxed),
+        outcomes.aborted.load(Ordering::Relaxed),
+    );
+    if snap.coordinator.cross_batches > 0 {
+        println!("  {}", snap.coordinator);
+    }
 }
 
-fn client_loop(svc: &Service, stop: &AtomicBool, mix: Mix, keys: u64, client: u64) {
+fn client_loop(
+    svc: &Service,
+    stop: &AtomicBool,
+    outcomes: &Outcomes,
+    mix: Mix,
+    keys: u64,
+    client: u64,
+) {
     let mut rng = 0xbe7c_5eed ^ (client + 1).wrapping_mul(0x2545_f491_4f6c_dd1d);
     while !stop.load(Ordering::Relaxed) {
         rng ^= rng << 13;
@@ -184,15 +220,39 @@ fn client_loop(svc: &Service, stop: &AtomicBool, mix: Mix, keys: u64, client: u6
                     .collect();
                 Req::Many(ops)
             }
+            Mix::CrossShard => {
+                // An atomic multi-put spanning several shards — one key
+                // per distinct shard walking forward from k — committed
+                // through the 2PC coordinator (single-shard services
+                // degrade to the fast path).
+                let span = svc.num_shards().min(XSHARD_SPAN);
+                let mut seen = vec![false; svc.num_shards()];
+                let ops: Vec<MapOp> = (k..k + SCAN_SPAN)
+                    .filter(|&x| !std::mem::replace(&mut seen[svc.shard_of(x % keys)], true))
+                    .take(span)
+                    .map(|x| MapOp::Insert(x % keys, rng))
+                    .collect();
+                Req::Many(ops)
+            }
         };
         let outcome = match req {
             Req::One(op) => svc.apply(op).map(|_| ()),
             Req::Many(ops) => svc.batch(ops).map(|_| ()),
         };
         match outcome {
-            Ok(()) => {}
-            Err(ServeError::Overloaded { retry_after }) => std::thread::sleep(retry_after),
-            Err(ServeError::Timeout) | Err(ServeError::Aborted) => {}
+            Ok(()) => {
+                outcomes.ok.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(ServeError::Overloaded { retry_after }) => {
+                outcomes.overloaded.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(retry_after);
+            }
+            Err(ServeError::Timeout) => {
+                outcomes.timeout.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(ServeError::Aborted) => {
+                outcomes.aborted.fetch_add(1, Ordering::Relaxed);
+            }
             Err(e) => panic!("service failed under load: {e}"),
         }
     }

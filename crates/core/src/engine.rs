@@ -46,7 +46,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tm::policy::PathChoice;
 use tm::stats::{Counter, StatsSnapshot, TmStats};
-use tm::{Abort, AbortKind, Addr, Cancelled, Tm, TxResult, Txn, Word};
+use tm::{Abort, AbortKind, Addr, Cancelled, Tm, TmPrepare, TxResult, Txn, Word};
 use txalloc::{AllocConfig, TxAlloc, TxnLog};
 
 /// xabort code: observed a lock held by another thread.
@@ -77,6 +77,11 @@ pub(crate) struct ThreadState {
     alloc_log: TxnLog,
     pub(crate) pver: u64,
     seed: u64,
+    /// True between a successful `prepare` and its commit/abort decision.
+    prepared: bool,
+    /// Undo list of a prepared transaction: `(addr, old value)` per write,
+    /// kept so `abort_prepared` can restore both volatile and durable state.
+    pundo: Vec<(u64, u64)>,
 }
 
 /// The NV-HALT persistent hybrid transactional memory.
@@ -141,6 +146,8 @@ impl NvHalt {
                     alloc_log: TxnLog::new(),
                     pver: pver(t),
                     seed: 0xb0ff_0000 ^ (t as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    prepared: false,
+                    pundo: Vec::with_capacity(64),
                 }))
             })
             .collect()
@@ -433,7 +440,10 @@ impl NvHalt {
             skip_validation = true;
             for r in &ts.rset {
                 let cur = LockWord(self.htm.nt_load(self.heap.lock_cell(r.addr as usize)));
-                if cur.hver() != r.enc.hver() {
+                // A foreign-held lock (a software writer or a prepared
+                // transaction mid-decision) may release with an unchanged
+                // hver, so the hver check alone cannot clear it.
+                if cur.hver() != r.enc.hver() || (cur.is_locked() && cur.owner() != tid) {
                     self.sw_release(ts, false);
                     return Err(());
                 }
@@ -446,6 +456,13 @@ impl NvHalt {
                     self.sw_release(ts, false);
                     return Err(());
                 }
+            }
+            if self.cfg.progress == Progress::Strong {
+                // Every committing software writer must advance the clock
+                // *before* its writes become visible: a reader that later
+                // wins the CAS from its own start value may then trust
+                // that no software writer committed inside its window.
+                self.gclock.fetch_add(1, Ordering::AcqRel);
             }
         }
 
@@ -483,9 +500,231 @@ impl NvHalt {
         ts.acquired.clear();
     }
 
+    // ------------------------------------------------------------------
+    // Prepared transactions (two-phase commit participant)
+    // ------------------------------------------------------------------
+
+    fn attempt_prepare<R>(
+        &self,
+        ts: &mut ThreadState,
+        tid: usize,
+        attempt: usize,
+        body: &mut dyn FnMut(&mut dyn Txn) -> Result<R, Abort>,
+    ) -> Outcome<R> {
+        ts.rset.clear();
+        ts.wset.clear();
+        debug_assert!(ts.alloc_log.is_empty());
+        let rv = match self.cfg.progress {
+            Progress::Strong => self.gclock.load(Ordering::Acquire),
+            Progress::Weak => 0,
+        };
+        let mut oom = false;
+        let body_res = {
+            let mut tx = SwTxn {
+                tm: self,
+                tid,
+                attempt,
+                rset: &mut ts.rset,
+                wset: &mut ts.wset,
+                alloc_log: &mut ts.alloc_log,
+                oom: &mut oom,
+            };
+            body(&mut tx)
+        };
+        if oom {
+            self.alloc.abort(tid, &mut ts.alloc_log);
+            panic!("transactional heap exhausted (prepare)");
+        }
+        match body_res {
+            Ok(r) => match self.sw_prepare(tid, ts, rv) {
+                Ok(()) => {
+                    // The allocation log stays pending (and the SwCommit /
+                    // Cancelled stat unbumped) until the decision.
+                    ts.prepared = true;
+                    Outcome::Committed(r)
+                }
+                Err(()) => {
+                    self.alloc.abort(tid, &mut ts.alloc_log);
+                    self.stats.bump(tid, Counter::SwAbort);
+                    Outcome::Aborted(AbortKind::Conflict)
+                }
+            },
+            Err(Abort::Retry(kind)) => {
+                self.alloc.abort(tid, &mut ts.alloc_log);
+                self.stats.bump(tid, Counter::SwAbort);
+                Outcome::Aborted(kind)
+            }
+            Err(Abort::Cancel) => {
+                self.alloc.abort(tid, &mut ts.alloc_log);
+                self.stats.bump(tid, Counter::Cancelled);
+                Outcome::Cancelled
+            }
+        }
+    }
+
+    /// The Figure 1 commit protocol stopped at the point of no return:
+    /// locks over the write set **and** the read set are acquired, the
+    /// write set is persisted and applied in place, but the thread's
+    /// persistent version is not advanced and nothing is released.
+    ///
+    /// Because every staged entry is stamped with the *current* pver, a
+    /// crash in this state rolls the writes back (recovery sees
+    /// `ver >= durable_pver`); because the locks stay held, no other
+    /// transaction can observe them. Read locks are taken too so the
+    /// prepared snapshot stays pinned until the coordinator's decision.
+    fn sw_prepare(&self, tid: usize, ts: &mut ThreadState, rv: u64) -> Result<(), ()> {
+        let heap = &self.heap;
+        // Acquisition plan over wset ∪ rset, deduplicated by lock cell.
+        // Fixed (cell, addr) order avoids livelock between preparers.
+        let mut plan: Vec<(usize, u64, LockWord)> = ts
+            .wset
+            .iter()
+            .map(|e| (e.addr, e.enc))
+            .chain(ts.rset.iter().map(|r| (r.addr, r.enc)))
+            .map(|(a, enc)| {
+                (
+                    heap.lock_cell(a as usize) as *const AtomicU64 as usize,
+                    a,
+                    enc,
+                )
+            })
+            .collect();
+        plan.sort_unstable_by_key(|&(cell, addr, _)| (cell, addr));
+        ts.acquired.clear();
+        let mut last_cell: Option<(usize, LockWord)> = None;
+        for &(cell_id, addr, enc) in &plan {
+            if let Some((lc, lenc)) = last_cell {
+                if lc == cell_id {
+                    // Another address sharing this (table-mapped) lock:
+                    // the encounter values must agree, else the lock
+                    // cycled between the two encounters.
+                    if lenc != enc {
+                        self.sw_release(ts, false);
+                        return Err(());
+                    }
+                    continue;
+                }
+            }
+            last_cell = Some((cell_id, enc));
+            let cell = heap.lock_cell(addr as usize);
+            match self.htm.nt_cas(cell, enc.0, enc.sw_acquired(tid).0) {
+                Ok(_) => ts.acquired.push((addr, enc)),
+                Err(_) => {
+                    self.sw_release(ts, false);
+                    return Err(());
+                }
+            }
+        }
+        // CAS-from-encounter success on every read-set lock *is* the read
+        // validation: nothing changed since the encounter, and nothing
+        // can change until release. Publish on the global clock like any
+        // committing software writer (see sw_commit).
+        if self.cfg.progress == Progress::Strong && !ts.wset.is_empty() {
+            pmem::latency::spin_ns(self.cfg.clock_ns);
+            if self
+                .gclock
+                .compare_exchange(rv, rv + 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_err()
+            {
+                self.gclock.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+        // Stage the writes durably *below* the current pver.
+        let meta = Meta::pack(tid, ts.pver);
+        ts.pundo.clear();
+        for e in &ts.wset {
+            let data = heap.data_cell(e.addr as usize);
+            let old = data.load(Ordering::Acquire);
+            ts.pundo.push((e.addr, old));
+            self.pmem
+                .persist_entry(tid, e.addr as usize, old, e.val, meta);
+            data.store(e.val, Ordering::Release);
+        }
+        self.pmem.sfence(tid);
+        Ok(())
+    }
+
     /// Aggregate statistics handle (shared with the pmem pool).
     pub fn stats_handle(&self) -> Arc<TmStats> {
         self.stats.clone()
+    }
+}
+
+impl TmPrepare for NvHalt {
+    fn prepare<R>(
+        &self,
+        tid: usize,
+        body: &mut dyn FnMut(&mut dyn Txn) -> Result<R, Abort>,
+    ) -> TxResult<R> {
+        assert!(tid < self.cfg.max_threads, "tid out of range");
+        let mut guard = self.threads[tid].lock();
+        let ts = &mut *guard;
+        assert!(
+            !ts.prepared,
+            "prepare while a prepared transaction is outstanding"
+        );
+        // Always the software path: the hardware path does not lock its
+        // read set, so it cannot pin a cross-TM snapshot until a decision.
+        let mut attempt = 0usize;
+        loop {
+            self.pmem.pool().crash_point();
+            match self.attempt_prepare(ts, tid, attempt, body) {
+                Outcome::Committed(r) => return Ok(r),
+                Outcome::Cancelled => return Err(Cancelled),
+                Outcome::Aborted(_) => {
+                    ts.seed = ts.seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    self.cfg.policy.backoff(ts.seed, attempt);
+                }
+            }
+            attempt += 1;
+        }
+    }
+
+    fn commit_prepared(&self, tid: usize) {
+        let mut guard = self.threads[tid].lock();
+        let ts = &mut *guard;
+        assert!(ts.prepared, "commit_prepared without a prepared txn");
+        self.pmem.pool().crash_point();
+        // Advancing the durable pver past the staged entries *is* the
+        // commit: from here recovery keeps them (Figure 1 epilogue).
+        ts.pver += 1;
+        self.pmem.persist_pver(tid, ts.pver);
+        self.pmem.sfence(tid);
+        self.sw_release(ts, true);
+        self.alloc.commit(tid, &mut ts.alloc_log);
+        ts.pundo.clear();
+        ts.prepared = false;
+        self.stats.bump(tid, Counter::SwCommit);
+    }
+
+    fn abort_prepared(&self, tid: usize) {
+        let mut guard = self.threads[tid].lock();
+        let ts = &mut *guard;
+        assert!(ts.prepared, "abort_prepared without a prepared txn");
+        // Restore the volatile heap, then overwrite each staged entry so
+        // both its data and back fields hold the pre-transaction value: a
+        // later commit by this thread will push the durable pver past the
+        // stale entries, and they must not resurrect the aborted values.
+        let meta = Meta::pack(tid, ts.pver);
+        for &(a, old) in &ts.pundo {
+            self.heap
+                .data_cell(a as usize)
+                .store(old, Ordering::Release);
+            self.pmem.persist_entry(tid, a as usize, old, old, meta);
+        }
+        self.pmem.sfence(tid);
+        // Release with a version bump (not the pre-acquire word): the data
+        // words changed while locked, so restoring the encounter value
+        // would let a stale reader validate across the blip.
+        self.sw_release(ts, true);
+        self.alloc.abort(tid, &mut ts.alloc_log);
+        ts.pundo.clear();
+        ts.prepared = false;
+        self.stats.bump(tid, Counter::Cancelled);
+    }
+
+    fn has_prepared(&self, tid: usize) -> bool {
+        self.threads[tid].lock().prepared
     }
 }
 
@@ -498,6 +737,10 @@ impl Tm for NvHalt {
         assert!(tid < self.cfg.max_threads, "tid out of range");
         let mut guard = self.threads[tid].lock();
         let ts = &mut *guard;
+        assert!(
+            !ts.prepared,
+            "txn while a prepared transaction is outstanding"
+        );
         let mut attempt = 0usize;
         let mut capacity_aborts = 0usize;
         loop {

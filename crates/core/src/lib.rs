@@ -457,4 +457,133 @@ mod tests {
             );
         }
     }
+
+    // ------------------------------------------------------------------
+    // Prepared transactions (two-phase commit participant)
+    // ------------------------------------------------------------------
+
+    use tm::TmPrepare;
+
+    /// A bounded read that cancels instead of spinning forever on a held
+    /// lock — lets tests observe "blocked by a prepared transaction".
+    fn try_read(tmem: &NvHalt, tid: usize, a: Addr) -> Result<u64, Cancelled> {
+        txn(tmem, tid, |tx| {
+            if tx.attempt() >= 6 {
+                return Err(Abort::Cancel);
+            }
+            tx.read(a)
+        })
+    }
+
+    #[test]
+    fn prepared_writes_are_invisible_until_commit() {
+        for tmem in all_variants() {
+            txn(&tmem, 0, |tx| tx.write(Addr(5), 1)).unwrap();
+            tmem.prepare(0, &mut |tx| tx.write(Addr(5), 2)).unwrap();
+            assert!(tmem.has_prepared(0), "{}", tmem.name());
+            // Another thread cannot read past the prepared lock.
+            assert_eq!(
+                try_read(&tmem, 1, Addr(5)),
+                Err(Cancelled),
+                "{}",
+                tmem.name()
+            );
+            tmem.commit_prepared(0);
+            assert!(!tmem.has_prepared(0));
+            assert_eq!(try_read(&tmem, 1, Addr(5)), Ok(2), "{}", tmem.name());
+        }
+    }
+
+    #[test]
+    fn prepare_pins_its_read_set() {
+        let tmem = small(Progress::Strong, LockStrategy::Table { locks_log2: 10 });
+        txn(&tmem, 0, |tx| tx.write(Addr(4), 7)).unwrap();
+        let read = tmem.prepare(0, &mut |tx| tx.read(Addr(4))).unwrap();
+        assert_eq!(read, 7);
+        // A writer to the pinned address is blocked until the decision.
+        let blocked = txn(&tmem, 1, |tx| {
+            if tx.attempt() >= 6 {
+                return Err(Abort::Cancel);
+            }
+            tx.write(Addr(4), 8)
+        });
+        assert_eq!(blocked, Err(Cancelled));
+        tmem.abort_prepared(0);
+        txn(&tmem, 1, |tx| tx.write(Addr(4), 8)).unwrap();
+        assert_eq!(tmem.read_raw(Addr(4)), 8);
+    }
+
+    #[test]
+    fn crash_while_prepared_rolls_back() {
+        let cfg = NvHaltConfig::test(1 << 10, 2);
+        let tmem = NvHalt::new(cfg.clone());
+        txn(&tmem, 0, |tx| tx.write(Addr(6), 10)).unwrap();
+        tmem.prepare(0, &mut |tx| tx.write(Addr(6), 11)).unwrap();
+        tmem.crash();
+        let rec = NvHalt::recover(cfg, &tmem.crash_image(), []);
+        assert_eq!(
+            rec.read_raw(Addr(6)),
+            10,
+            "undecided prepared write must not survive a crash"
+        );
+    }
+
+    #[test]
+    fn commit_prepared_is_durable() {
+        let cfg = NvHaltConfig::test(1 << 10, 2);
+        let tmem = NvHalt::new(cfg.clone());
+        tmem.prepare(0, &mut |tx| tx.write(Addr(6), 21)).unwrap();
+        tmem.commit_prepared(0);
+        tmem.crash();
+        let rec = NvHalt::recover(cfg, &tmem.crash_image(), []);
+        assert_eq!(rec.read_raw(Addr(6)), 21);
+    }
+
+    #[test]
+    fn abort_prepared_holds_durably_across_later_commits() {
+        // The dangerous schedule: abort a prepared write, then commit more
+        // transactions on the same thread (pushing the durable pver past
+        // the aborted entries), then crash. The aborted value must not be
+        // resurrected by recovery trusting the now-superseded entry.
+        let cfg = NvHaltConfig::test(1 << 10, 1);
+        let tmem = NvHalt::new(cfg.clone());
+        txn(&tmem, 0, |tx| tx.write(Addr(3), 1)).unwrap();
+        tmem.prepare(0, &mut |tx| tx.write(Addr(3), 2)).unwrap();
+        tmem.abort_prepared(0);
+        assert_eq!(tmem.read_raw(Addr(3)), 1);
+        for i in 0..4u64 {
+            txn(&tmem, 0, |tx| tx.write(Addr(9), i)).unwrap();
+        }
+        tmem.crash();
+        let rec = NvHalt::recover(cfg, &tmem.crash_image(), []);
+        assert_eq!(rec.read_raw(Addr(3)), 1, "aborted prepared value came back");
+        assert_eq!(rec.read_raw(Addr(9)), 3);
+    }
+
+    #[test]
+    fn prepared_alloc_commits_or_rolls_back_with_the_decision() {
+        let tmem = small(Progress::Weak, LockStrategy::Table { locks_log2: 10 });
+        let a = tmem
+            .prepare(0, &mut |tx| {
+                let a = tx.alloc(4)?;
+                tx.write(a, 5)?;
+                Ok(a)
+            })
+            .unwrap();
+        tmem.commit_prepared(0);
+        assert_eq!(tmem.read_raw(a), 5);
+        // Aborted decision returns the block to the allocator.
+        let b = tmem.prepare(0, &mut |tx| tx.alloc(4)).unwrap();
+        tmem.abort_prepared(0);
+        let again = txn(&tmem, 0, |tx| tx.alloc(4)).unwrap();
+        assert_eq!(again, b, "aborted prepared allocation not recycled");
+    }
+
+    #[test]
+    #[should_panic(expected = "prepared transaction is outstanding")]
+    fn txn_panics_while_prepared() {
+        let tmem = small(Progress::Weak, LockStrategy::Table { locks_log2: 10 });
+        tmem.prepare(0, &mut |tx| tx.write(Addr(2), 1)).unwrap();
+        let _ = txn(&tmem, 0, |tx| tx.read(Addr(3)));
+    }
 }

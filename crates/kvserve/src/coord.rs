@@ -1,0 +1,493 @@
+//! Cross-shard atomicity: two-phase commit over the shards' NV-HALT
+//! instances.
+//!
+//! A multi-op request whose keys route to several shards is executed
+//! inline on the client thread as one **distributed transaction**:
+//!
+//! 1. **Prepare** — per participating shard, run the shard's ops plus a
+//!    *marker* insert (`meta[txid] = 1`) as a prepared transaction
+//!    ([`tm::TmPrepare`]): the writes are durably staged below the
+//!    shard's persistent version and every touched address stays locked,
+//!    so the staged state is invisible to other transactions and a crash
+//!    rolls it back.
+//! 2. **Decide** — append a `COMMITTED` entry (txid + the full op list)
+//!    to the decision log, a linked list in its own NV-HALT instance,
+//!    as one committed transaction. *This commit is the commit point of
+//!    the whole batch.* Aborts are presumed: no entry is ever written
+//!    for them.
+//! 3. **Commit fan-out** — `commit_prepared` on every participant makes
+//!    the staged writes (and the marker) durable and visible.
+//! 4. **Resolve** — flip the entry to `RESOLVED`, then delete the
+//!    markers, then recycle the entry: later decisions rewrite resolved
+//!    blocks in place, so the log's footprint tracks in-flight batches,
+//!    not batches ever committed.
+//!
+//! Recovery replays the log: for every unresolved `COMMITTED` entry, any
+//! shard whose marker is missing lost its prepared state in the crash
+//! and gets the entry's ops re-applied (with the marker) in one
+//! transaction; shards whose marker survived already committed and are
+//! skipped — that is what makes replay idempotent and safe against
+//! *later* committed writes to the same keys. The entry is then resolved
+//! and the markers dropped.
+//!
+//! Phase 1 can deadlock with a concurrent coordinator preparing the same
+//! shards in a different order; every prepare is therefore fuel-bounded
+//! and a cancelled round aborts all prepared participants, backs off and
+//! retries, up to `max_retries`.
+
+use crate::metrics::CoordinatorMetrics;
+use crate::{op_key, Reply, ServeError, Service, ServiceConfig};
+use nvhalt::NvHalt;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tm::{Abort, Addr, Tm, TmPrepare};
+use txstructs::MapOp;
+
+/// Decision-log entry layout (word offsets within an entry block):
+/// `[next, txid, state, nops, cap, (tag, key, val) × cap]`.
+/// `cap` is the block's op capacity; resolved entries are recycled in
+/// place for later decisions with `nops <= cap`, so the log's footprint
+/// tracks the number of *in-flight* cross-shard batches, not the number
+/// ever committed.
+const E_NEXT: u64 = 0;
+const E_TXID: u64 = 1;
+const E_STATE: u64 = 2;
+const E_NOPS: u64 = 3;
+const E_CAP: u64 = 4;
+const E_OPS: u64 = 5;
+const OP_WORDS: u64 = 3;
+
+/// Entry state: decision taken, fan-out possibly incomplete.
+pub(crate) const STATE_COMMITTED: u64 = 1;
+/// Entry state: every participant durably committed; skip at recovery.
+pub(crate) const STATE_RESOLVED: u64 = 2;
+
+/// The 2PC steps a crash-injection hook can observe (and crash at).
+/// Steps strictly before [`TwoPcStep::DecisionLogged`] must roll the
+/// batch back on recovery; that step and later ones must complete it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TwoPcStep {
+    /// Before any participant prepared.
+    BeforePrepare,
+    /// Between two participants' prepares (some prepared, some not).
+    BetweenPrepares,
+    /// All participants prepared, decision not yet logged.
+    Prepared,
+    /// The commit decision is durably logged.
+    DecisionLogged,
+    /// Between two participants' commits (some visible, some still
+    /// prepared).
+    MidCommit,
+    /// All participants committed, entry not yet resolved.
+    Committed,
+}
+
+impl TwoPcStep {
+    /// All steps, in protocol order (for exhaustive crash injection).
+    pub const ALL: [TwoPcStep; 6] = [
+        TwoPcStep::BeforePrepare,
+        TwoPcStep::BetweenPrepares,
+        TwoPcStep::Prepared,
+        TwoPcStep::DecisionLogged,
+        TwoPcStep::MidCommit,
+        TwoPcStep::Committed,
+    ];
+
+    /// True if a crash at this step must leave the batch fully applied
+    /// after recovery (the decision was durably logged).
+    pub fn is_decided(self) -> bool {
+        matches!(
+            self,
+            TwoPcStep::DecisionLogged | TwoPcStep::MidCommit | TwoPcStep::Committed
+        )
+    }
+}
+
+/// Crash-injection hook: called at every [`TwoPcStep`]; returning `true`
+/// poisons all pools and unwinds the calling thread right there.
+pub(crate) type CrashHook = Arc<dyn Fn(TwoPcStep) -> bool + Send + Sync>;
+
+/// The cross-shard commit coordinator: the decision log plus the slots
+/// client threads borrow to act as participants.
+pub(crate) struct Coordinator {
+    /// The decision log's own NV-HALT instance (crashed and recovered
+    /// together with the shards).
+    pub log: Arc<NvHalt>,
+    /// Head word of the decision-entry linked list.
+    pub head: Addr,
+    /// Next transaction id to hand out (recovered as max seen + 1).
+    pub next_txid: AtomicU64,
+    /// One mutex per coordinator slot; holding slot `c` grants TM thread
+    /// id `workers_per_shard + c` on every shard and `c` on the log.
+    slots: Vec<Mutex<()>>,
+    /// Round-robin slot assignment.
+    rr: AtomicUsize,
+    /// Recyclable `RESOLVED` entries, as `(addr, op capacity)`. Entries
+    /// enter only after their markers are dropped (a recycled entry must
+    /// never still be needed to dedupe replay).
+    free: Mutex<Vec<(Addr, u64)>>,
+    pub metrics: Arc<CoordinatorMetrics>,
+    pub hook: Mutex<Option<CrashHook>>,
+}
+
+impl Coordinator {
+    /// Fresh coordinator: new log TM, head allocated and durably zero.
+    pub fn new(cfg: &ServiceConfig) -> Coordinator {
+        let log = Arc::new(NvHalt::new(cfg.log_nvhalt()));
+        let head = log.alloc_raw(0, 1);
+        Coordinator::assemble(cfg, log, head, 1)
+    }
+
+    /// Rebuild over a recovered log TM.
+    pub fn recovered(
+        cfg: &ServiceConfig,
+        log: Arc<NvHalt>,
+        head: Addr,
+        next_txid: u64,
+    ) -> Coordinator {
+        Coordinator::assemble(cfg, log, head, next_txid)
+    }
+
+    fn assemble(cfg: &ServiceConfig, log: Arc<NvHalt>, head: Addr, next_txid: u64) -> Coordinator {
+        Coordinator {
+            log,
+            head,
+            next_txid: AtomicU64::new(next_txid),
+            slots: (0..cfg.coordinators).map(|_| Mutex::new(())).collect(),
+            rr: AtomicUsize::new(0),
+            free: Mutex::new(Vec::new()),
+            metrics: Arc::new(CoordinatorMetrics::new()),
+            hook: Mutex::new(None),
+        }
+    }
+
+    /// Best-fit pop from the recycle list: the smallest resolved entry
+    /// that can hold `nops` ops.
+    fn take_free(&self, nops: u64) -> Option<(Addr, u64)> {
+        let mut free = self.free.lock();
+        let mut best: Option<usize> = None;
+        for (i, &(_, cap)) in free.iter().enumerate() {
+            if cap >= nops {
+                let better = match best {
+                    Some(b) => cap < free[b].1,
+                    None => true,
+                };
+                if better {
+                    best = Some(i);
+                }
+            }
+        }
+        best.map(|i| free.swap_remove(i))
+    }
+
+    /// Hand a fully resolved entry (markers already dropped) back for
+    /// recycling.
+    pub fn release_entry(&self, entry: Addr, cap: u64) {
+        self.free.lock().push((entry, cap));
+    }
+
+    /// Durably log a `COMMITTED` entry — the batch's commit point.
+    /// Recycles a resolved entry in place when one is large enough,
+    /// otherwise appends a new block. Either way the flip to `COMMITTED`
+    /// is one committed log transaction. Returns the entry and its op
+    /// capacity.
+    fn log_decision(&self, ltid: usize, txid: u64, ops: &[MapOp]) -> (Addr, u64) {
+        let head = self.head;
+        let nops = ops.len() as u64;
+        let reuse = self.take_free(nops);
+        tm::txn(&*self.log, ltid, |tx| {
+            let (e, cap) = match reuse {
+                Some((e, cap)) => (e, cap),
+                None => {
+                    let e = tx.alloc((E_OPS + nops * OP_WORDS) as usize)?;
+                    tx.write(e.offset(E_CAP), nops)?;
+                    let prev = tx.read(head)?;
+                    tx.write(e.offset(E_NEXT), prev)?;
+                    tx.write(head, e.0)?;
+                    (e, nops)
+                }
+            };
+            tx.write(e.offset(E_TXID), txid)?;
+            tx.write(e.offset(E_NOPS), nops)?;
+            for (i, &op) in ops.iter().enumerate() {
+                let (tag, k, v) = encode_op(op);
+                let base = e.offset(E_OPS + i as u64 * OP_WORDS);
+                tx.write(base, tag)?;
+                tx.write(base.offset(1), k)?;
+                tx.write(base.offset(2), v)?;
+            }
+            tx.write(e.offset(E_STATE), STATE_COMMITTED)?;
+            Ok((e, cap))
+        })
+        .expect("decision-log transactions never cancel")
+    }
+
+    /// Durably flip `entry` to `RESOLVED` (recovery will skip it).
+    pub fn resolve(&self, ltid: usize, entry: Addr) {
+        tm::txn(&*self.log, ltid, |tx| {
+            tx.write(entry.offset(E_STATE), STATE_RESOLVED)
+        })
+        .expect("decision-log transactions never cancel");
+    }
+}
+
+fn encode_op(op: MapOp) -> (u64, u64, u64) {
+    match op {
+        MapOp::Get(k) => (0, k, 0),
+        MapOp::Insert(k, v) => (1, k, v),
+        MapOp::Remove(k) => (2, k, 0),
+    }
+}
+
+fn decode_op(tag: u64, k: u64, v: u64) -> MapOp {
+    match tag {
+        0 => MapOp::Get(k),
+        1 => MapOp::Insert(k, v),
+        2 => MapOp::Remove(k),
+        _ => unreachable!("corrupt decision-log op tag {tag}"),
+    }
+}
+
+/// One decoded decision-log entry.
+pub(crate) struct DecisionEntry {
+    pub addr: Addr,
+    pub txid: u64,
+    pub state: u64,
+    pub cap: u64,
+    pub ops: Vec<MapOp>,
+}
+
+impl DecisionEntry {
+    /// The entry's block size in words (for allocator rebuild).
+    pub fn words(&self) -> usize {
+        (E_OPS + self.cap * OP_WORDS) as usize
+    }
+}
+
+/// Decode the whole log. Only valid on a quiescent TM (recovery).
+///
+/// List position carries no ordering (resolved entries are recycled in
+/// place), and none is needed: per shard and key at most one unresolved
+/// entry can be missing its marker — any later conflicting prepare
+/// required the earlier commit to release its locks, which also made
+/// its marker durable — so replay never re-applies two entries to the
+/// same key.
+pub(crate) fn walk_log(log: &NvHalt, head: Addr) -> Vec<DecisionEntry> {
+    let mut entries = Vec::new();
+    let mut a = Addr(log.read_raw(head));
+    while !a.is_null() {
+        let nops = log.read_raw(a.offset(E_NOPS)) as usize;
+        let ops = (0..nops)
+            .map(|i| {
+                let base = a.offset(E_OPS + i as u64 * OP_WORDS);
+                decode_op(
+                    log.read_raw(base),
+                    log.read_raw(base.offset(1)),
+                    log.read_raw(base.offset(2)),
+                )
+            })
+            .collect();
+        entries.push(DecisionEntry {
+            addr: a,
+            txid: log.read_raw(a.offset(E_TXID)),
+            state: log.read_raw(a.offset(E_STATE)),
+            cap: log.read_raw(a.offset(E_CAP)),
+            ops,
+        });
+        a = Addr(log.read_raw(a.offset(E_NEXT)));
+    }
+    entries
+}
+
+/// Fire the crash-injection hook, if any: poison every pool and unwind.
+fn crash_check(svc: &Service, step: TwoPcStep) {
+    let hook = svc.coord().hook.lock().clone();
+    if let Some(h) = hook {
+        if h(step) {
+            svc.poison();
+            tm::crash::crash_unwind();
+        }
+    }
+}
+
+/// Run a multi-shard batch as one 2PC transaction. Called inside
+/// [`tm::crash::run_crashable`]; a simulated power failure unwinds out
+/// of here and the client observes [`ServeError::Stopped`].
+pub(crate) fn cross_shard(svc: &Service, ops: &[MapOp], deadline: Duration) -> Reply {
+    let co = svc.coord();
+    let cfg = svc.config();
+    let deadline_at = Instant::now() + deadline;
+
+    // Partition ops by shard, remembering original positions so the
+    // reply lines up with the submitted order.
+    let mut groups: Vec<(usize, Vec<(usize, MapOp)>)> = Vec::new();
+    for (i, &op) in ops.iter().enumerate() {
+        let s = svc.shard_of(op_key(op));
+        match groups.iter_mut().find(|g| g.0 == s) {
+            Some(g) => g.1.push((i, op)),
+            None => groups.push((s, vec![(i, op)])),
+        }
+    }
+    debug_assert!(groups.len() >= 2, "single-shard batches take the fast path");
+    let c = &*co.metrics.counters;
+    c.cross_batches.fetch_add(1, Ordering::Relaxed);
+    c.cross_ops.fetch_add(ops.len() as u64, Ordering::Relaxed);
+
+    // Borrow a coordinator slot; it maps to reserved TM thread ids.
+    let slot = co.rr.fetch_add(1, Ordering::Relaxed) % co.slots.len();
+    let _guard = co.slots[slot].lock();
+    let ptid = cfg.workers_per_shard + slot;
+    let ltid = slot;
+
+    let txid = co.next_txid.fetch_add(1, Ordering::Relaxed);
+    let fuel = cfg.attempt_fuel;
+    crash_check(svc, TwoPcStep::BeforePrepare);
+
+    // Phase 1: prepare every participant. Any cancelled prepare aborts
+    // the whole round; the deadline is only honoured here — once the
+    // decision is logged the batch always completes.
+    let mut results: Vec<Option<u64>> = vec![None; ops.len()];
+    let mut retry = 0u32;
+    'round: loop {
+        if Instant::now() >= deadline_at {
+            c.abort_timeout.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Timeout);
+        }
+        let prep_start = Instant::now();
+        let mut prepared: Vec<usize> = Vec::with_capacity(groups.len());
+        for (gi, (s, gops)) in groups.iter().enumerate() {
+            if gi > 0 {
+                crash_check(svc, TwoPcStep::BetweenPrepares);
+            }
+            let sh = svc.shard(*s);
+            let (map, meta) = (sh.map, sh.meta);
+            let res = tm::prepare(&*sh.tm, ptid, |tx| {
+                if tx.attempt() >= fuel {
+                    return Err(Abort::Cancel);
+                }
+                let mut out = Vec::with_capacity(gops.len());
+                for &(_, op) in gops.iter() {
+                    out.push(map.apply_in(tx, op)?);
+                }
+                // The marker commits or rolls back atomically with the
+                // ops; recovery uses it to make replay idempotent.
+                meta.insert_in(tx, txid, 1)?;
+                Ok(out)
+            });
+            match res {
+                Ok(vals) => {
+                    for (&(oi, _), v) in gops.iter().zip(vals) {
+                        results[oi] = v;
+                    }
+                    prepared.push(gi);
+                }
+                Err(tm::Cancelled) => {
+                    for &pgi in &prepared {
+                        svc.shard(groups[pgi].0).tm.abort_prepared(ptid);
+                    }
+                    c.cross_retries.fetch_add(1, Ordering::Relaxed);
+                    if retry >= cfg.max_retries {
+                        c.abort_conflict.fetch_add(1, Ordering::Relaxed);
+                        return Err(ServeError::Aborted);
+                    }
+                    let backoff = cfg
+                        .backoff_base
+                        .saturating_mul(1u32 << retry.min(16))
+                        .min(cfg.backoff_max);
+                    std::thread::sleep(backoff);
+                    retry += 1;
+                    continue 'round;
+                }
+            }
+        }
+        co.metrics.prepare_latency.record(prep_start.elapsed());
+        break;
+    }
+    crash_check(svc, TwoPcStep::Prepared);
+
+    // Commit point.
+    let (entry, cap) = co.log_decision(ltid, txid, ops);
+    crash_check(svc, TwoPcStep::DecisionLogged);
+
+    // Phase 2: fan out the commit. Crashes from here on are repaired by
+    // log replay at recovery.
+    let commit_start = Instant::now();
+    for (gi, (s, _)) in groups.iter().enumerate() {
+        if gi > 0 {
+            crash_check(svc, TwoPcStep::MidCommit);
+        }
+        svc.shard(*s).tm.commit_prepared(ptid);
+    }
+    crash_check(svc, TwoPcStep::Committed);
+
+    // Resolve, then drop the markers (in that order: a marker may only
+    // disappear once the log no longer needs it to dedupe replay), and
+    // only then recycle the entry — a recycled entry overwritten by a
+    // new decision must not leave this txid's markers behind.
+    co.resolve(ltid, entry);
+    for (s, _) in &groups {
+        let sh = svc.shard(*s);
+        let meta = sh.meta;
+        tm::txn(&*sh.tm, ptid, |tx| meta.remove_in(tx, txid))
+            .expect("marker cleanup never cancels");
+    }
+    co.release_entry(entry, cap);
+    co.metrics.commit_latency.record(commit_start.elapsed());
+    Ok(results)
+}
+
+/// Replay the decision log over recovered, quiescent shards: re-apply
+/// every unresolved committed entry on the shards that lost it, resolve
+/// it, and drop markers. Returns how many shard-transactions were
+/// re-applied.
+pub(crate) fn replay(
+    co: &Coordinator,
+    shards: &[(Arc<NvHalt>, txstructs::HashMapTx, txstructs::HashMapTx)],
+    nshards: usize,
+    entries: &[DecisionEntry],
+) -> u64 {
+    let mut replayed = 0u64;
+    for e in entries {
+        let mut by_shard: Vec<(usize, Vec<MapOp>)> = Vec::new();
+        for &op in &e.ops {
+            let s = crate::shard_of_key(op_key(op), nshards);
+            match by_shard.iter_mut().find(|g| g.0 == s) {
+                Some(g) => g.1.push(op),
+                None => by_shard.push((s, vec![op])),
+            }
+        }
+        if e.state == STATE_COMMITTED {
+            for (s, sops) in &by_shard {
+                let (tm, map, meta) = &shards[*s];
+                // A surviving marker means this shard committed its part
+                // before the crash; re-applying would clobber later writes.
+                let done = meta
+                    .get(&**tm, 0, e.txid)
+                    .expect("recovery reads never cancel")
+                    .is_some();
+                if done {
+                    continue;
+                }
+                tm::txn(&**tm, 0, |tx| {
+                    for &op in sops.iter() {
+                        map.apply_in(tx, op)?;
+                    }
+                    meta.insert_in(tx, e.txid, 1)?;
+                    Ok(())
+                })
+                .expect("recovery replay never cancels");
+                replayed += 1;
+            }
+            co.resolve(0, e.addr);
+        }
+        // Resolved either way now: markers are garbage, drop them.
+        for (s, _) in &by_shard {
+            let (tm, _, meta) = &shards[*s];
+            tm::txn(&**tm, 0, |tx| meta.remove_in(tx, e.txid))
+                .expect("marker cleanup never cancels");
+        }
+    }
+    replayed
+}

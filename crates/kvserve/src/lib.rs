@@ -29,12 +29,15 @@
 //! breakdowns from the TM, batch-size distributions, and fixed-bucket
 //! latency histograms — no external dependencies.
 
+mod coord;
 pub mod metrics;
 mod shard;
 
-pub use metrics::{HistogramSnapshot, ServiceSnapshot, ShardSnapshot};
+pub use coord::TwoPcStep;
+pub use metrics::{CoordinatorSnapshot, HistogramSnapshot, ServiceSnapshot, ShardSnapshot};
 pub use txstructs::MapOp;
 
+use coord::Coordinator;
 use nvhalt::{NvHalt, NvHaltConfig};
 use pmem::pool::DurableImage;
 use shard::{Shard, ShardRequest};
@@ -48,6 +51,10 @@ use txstructs::HashMapTx;
 /// Extra time a client waits past its deadline for the worker-side
 /// timeout reply before giving up on the reply channel itself.
 const REPLY_GRACE: Duration = Duration::from_millis(100);
+
+/// Buckets of each shard's 2PC marker map (tiny: it only ever holds the
+/// markers of in-flight cross-shard transactions).
+const META_BUCKETS: usize = 64;
 
 /// Why a request was not served.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -64,8 +71,9 @@ pub enum ServeError {
     /// The service (or its shard workers) stopped — e.g. a simulated
     /// power failure tore the worker down before it could ack.
     Stopped,
-    /// A multi-op request mixed keys from different shards (atomicity is
-    /// per shard).
+    /// A multi-op request mixed keys from different shards. No longer
+    /// produced — such requests now run under two-phase commit — but kept
+    /// so clients written against the pre-2PC service still compile.
     CrossShard,
 }
 
@@ -117,6 +125,12 @@ pub struct ServiceConfig {
     /// TM attempts (across both paths) a batch may burn before the
     /// transaction is voluntarily cancelled back to the service layer.
     pub attempt_fuel: usize,
+    /// Cross-shard coordinator slots: how many client threads may drive
+    /// 2PC batches concurrently. Each slot reserves one extra TM thread
+    /// id on every shard and one on the decision log.
+    pub coordinators: usize,
+    /// Transactional heap words of the decision log's own TM.
+    pub log_heap_words: usize,
     /// NV-HALT template for each shard (variant, policy, latency model).
     pub nvhalt: NvHaltConfig,
 }
@@ -137,16 +151,32 @@ impl ServiceConfig {
             backoff_base: Duration::from_micros(50),
             backoff_max: Duration::from_millis(5),
             attempt_fuel: 16,
+            coordinators: 2,
+            log_heap_words: 1 << 16,
             nvhalt: NvHaltConfig::test(1 << 16, 1),
         }
     }
 
     /// The per-shard NV-HALT configuration derived from the template.
+    /// Thread slots: `workers_per_shard` for the shard's own workers,
+    /// then one participant slot per cross-shard coordinator.
     fn shard_nvhalt(&self) -> NvHaltConfig {
         let mut c = self.nvhalt.clone();
+        let threads = self.workers_per_shard + self.coordinators;
         c.heap_words = self.heap_words_per_shard;
-        c.max_threads = self.workers_per_shard;
-        c.pm.max_threads = self.workers_per_shard;
+        c.max_threads = threads;
+        c.pm.max_threads = threads;
+        c
+    }
+
+    /// The decision log's NV-HALT configuration (one thread slot per
+    /// coordinator; slot 0 doubles as the recovery thread).
+    fn log_nvhalt(&self) -> NvHaltConfig {
+        let mut c = self.nvhalt.clone();
+        let threads = self.coordinators.max(1);
+        c.heap_words = self.log_heap_words;
+        c.max_threads = threads;
+        c.pm.max_threads = threads;
         c
     }
 }
@@ -167,13 +197,21 @@ pub struct ShardImage {
     pub buckets: Addr,
     /// Bucket count of the shard's hashmap.
     pub nbuckets: usize,
+    /// Bucket-array address of the shard's 2PC marker map.
+    pub meta_buckets: Addr,
+    /// Bucket count of the shard's 2PC marker map.
+    pub meta_nbuckets: usize,
 }
 
-/// Everything [`Service::recover`] needs: the config and one
-/// [`ShardImage`] per shard.
+/// Everything [`Service::recover`] needs: the config, one [`ShardImage`]
+/// per shard, and the decision log's durable remains.
 pub struct CrashDump {
     cfg: ServiceConfig,
     shards: Vec<ShardImage>,
+    /// Durable image of the decision log's TM.
+    log: DurableImage,
+    /// Head word of the decision-entry list inside `log`.
+    log_head: Addr,
 }
 
 impl CrashDump {
@@ -188,6 +226,7 @@ impl CrashDump {
 pub struct Service {
     cfg: ServiceConfig,
     shards: Vec<Shard>,
+    coord: Coordinator,
 }
 
 impl Service {
@@ -198,15 +237,19 @@ impl Service {
         assert!(cfg.workers_per_shard >= 1, "need at least one worker");
         assert!(cfg.batch_max >= 1, "batch_max must be positive");
         assert!(cfg.queue_depth >= 1, "queue_depth must be positive");
+        assert!(cfg.coordinators >= 1, "need at least one coordinator slot");
         let shards = (0..cfg.shards)
             .map(|i| {
                 let tm = Arc::new(NvHalt::new(cfg.shard_nvhalt()));
                 let map = HashMapTx::create(&*tm, 0, cfg.buckets_per_shard)
                     .expect("creating a map on a fresh TM cannot cancel");
-                Shard::start(&cfg, i, tm, map)
+                let meta = HashMapTx::create(&*tm, 0, META_BUCKETS)
+                    .expect("creating a map on a fresh TM cannot cancel");
+                Shard::start(&cfg, i, tm, map, meta)
             })
             .collect();
-        Service { cfg, shards }
+        let coord = Coordinator::new(&cfg);
+        Service { cfg, shards, coord }
     }
 
     /// The service's configuration.
@@ -222,6 +265,23 @@ impl Service {
     /// Which shard serves `key`.
     pub fn shard_of(&self, key: u64) -> usize {
         shard_of_key(key, self.shards.len())
+    }
+
+    pub(crate) fn shard(&self, i: usize) -> &Shard {
+        &self.shards[i]
+    }
+
+    pub(crate) fn coord(&self) -> &Coordinator {
+        &self.coord
+    }
+
+    /// Install (or clear) the 2PC crash-injection hook: called at every
+    /// [`TwoPcStep`] of every cross-shard batch; returning `true` poisons
+    /// all pools and unwinds the submitting thread right there, exactly
+    /// as a power failure at that protocol step would. Test-only plumbing
+    /// for deterministic crash injection.
+    pub fn set_twopc_crash_hook(&self, hook: Option<Arc<dyn Fn(TwoPcStep) -> bool + Send + Sync>>) {
+        *self.coord.hook.lock() = hook;
     }
 
     /// Look up `key` under the default deadline.
@@ -254,9 +314,10 @@ impl Service {
     }
 
     /// Run several ops as **one atomic, durable transaction** under the
-    /// default deadline. All keys must route to the same shard (use
-    /// [`shard_of_key`] to build such batches); otherwise
-    /// [`ServeError::CrossShard`].
+    /// default deadline. Batches whose keys all route to one shard take
+    /// the queued fast path; mixed batches run under two-phase commit
+    /// across the participating shards (still atomic and durable, at the
+    /// cost of the 2PC round trips).
     pub fn batch(&self, ops: Vec<MapOp>) -> Result<Vec<Option<u64>>, ServeError> {
         self.batch_deadline(ops, self.cfg.default_deadline)
     }
@@ -271,10 +332,16 @@ impl Service {
             return Ok(Vec::new());
         };
         let shard = self.shard_of(op_key(first));
-        if ops.iter().any(|&op| self.shard_of(op_key(op)) != shard) {
-            return Err(ServeError::CrossShard);
+        if ops.iter().all(|&op| self.shard_of(op_key(op)) == shard) {
+            return self.submit(shard, ops, deadline);
         }
-        self.submit(shard, ops, deadline)
+        // Cross-shard: run 2PC inline on this thread. A simulated power
+        // failure mid-protocol unwinds the coordinator; the client sees
+        // `Stopped`, never an ack.
+        match tm::crash::run_crashable(|| coord::cross_shard(self, &ops, deadline)) {
+            Some(reply) => reply,
+            None => Err(ServeError::Stopped),
+        }
     }
 
     fn submit(
@@ -318,10 +385,12 @@ impl Service {
         for s in &self.shards {
             s.metrics.reset();
         }
+        self.coord.metrics.reset();
     }
 
     /// Point-in-time observability snapshot: per-shard counters, latency
-    /// and batch-size histograms, and TM statistics (abort causes).
+    /// and batch-size histograms, TM statistics (abort causes), and the
+    /// cross-shard coordinator's 2PC counters and phase latencies.
     pub fn snapshot(&self) -> ServiceSnapshot {
         ServiceSnapshot {
             shards: self
@@ -330,6 +399,7 @@ impl Service {
                 .enumerate()
                 .map(|(i, s)| s.metrics.snapshot(i, s.tm.stats()))
                 .collect(),
+            coordinator: self.coord.metrics.snapshot(),
         }
     }
 
@@ -343,6 +413,7 @@ impl Service {
         for s in &self.shards {
             s.tm.crash();
         }
+        self.coord.log.crash();
     }
 
     /// Simulate a power failure: poison every shard's persistent pool
@@ -353,6 +424,7 @@ impl Service {
         for s in &self.shards {
             s.tm.crash();
         }
+        self.coord.log.crash();
         // …then wake idle workers and collect them.
         let mut shards = std::mem::take(&mut self.shards);
         for s in &shards {
@@ -369,30 +441,75 @@ impl Service {
                 image: s.tm.crash_image(),
                 buckets: s.map.buckets_addr(),
                 nbuckets: s.map.nbuckets(),
+                meta_buckets: s.meta.buckets_addr(),
+                meta_nbuckets: s.meta.nbuckets(),
             })
             .collect();
         CrashDump {
             cfg: self.cfg.clone(),
             shards: images,
+            log: self.coord.log.crash_image(),
+            log_head: self.coord.head,
         }
     }
 
     /// Recover a service from a crash dump: replay each shard's TM
-    /// recovery, re-attach its hashmap, rebuild the allocator from a heap
-    /// walk, and restart the workers.
+    /// recovery, re-attach its hashmaps, rebuild the allocators from heap
+    /// walks, replay the cross-shard decision log over the quiescent
+    /// shards, and restart the workers.
     pub fn recover(dump: CrashDump) -> Service {
-        let CrashDump { cfg, shards } = dump;
-        let shards = shards
-            .into_iter()
-            .enumerate()
-            .map(|(i, si)| {
+        let CrashDump {
+            cfg,
+            shards,
+            log,
+            log_head,
+        } = dump;
+        // Decision log first: TM recovery, then rebuild its allocator
+        // from a walk of the entry list (plus the head word itself).
+        let log_tm = Arc::new(NvHalt::recover_with(cfg.log_nvhalt(), &log));
+        let entries = coord::walk_log(&log_tm, log_head);
+        log_tm.rebuild_allocator(
+            std::iter::once((log_head.0, 1)).chain(entries.iter().map(|e| (e.addr.0, e.words()))),
+        );
+        let next_txid = entries.iter().map(|e| e.txid).max().unwrap_or(0) + 1;
+        let coord = Coordinator::recovered(&cfg, log_tm, log_head, next_txid);
+
+        // Shard TMs next, still quiescent (no workers yet).
+        let recovered: Vec<(Arc<NvHalt>, HashMapTx, HashMapTx)> = shards
+            .iter()
+            .map(|si| {
                 let tm = Arc::new(NvHalt::recover_with(cfg.shard_nvhalt(), &si.image));
                 let map = HashMapTx::attach(si.buckets, si.nbuckets);
-                tm.rebuild_allocator(map.used_blocks(&*tm));
-                Shard::start(&cfg, i, tm, map)
+                let meta = HashMapTx::attach(si.meta_buckets, si.meta_nbuckets);
+                let blocks: Vec<(u64, usize)> = map
+                    .used_blocks(&*tm)
+                    .into_iter()
+                    .chain(meta.used_blocks(&*tm))
+                    .collect();
+                tm.rebuild_allocator(blocks);
+                (tm, map, meta)
             })
             .collect();
-        Service { cfg, shards }
+
+        // Replay undecided cross-shard commits before any new traffic.
+        let replayed = coord::replay(&coord, &recovered, recovered.len(), &entries);
+        coord
+            .metrics
+            .counters
+            .replayed
+            .fetch_add(replayed, Ordering::Relaxed);
+        // Replay left every entry resolved with its markers dropped, so
+        // all of them are recyclable.
+        for e in &entries {
+            coord.release_entry(e.addr, e.cap);
+        }
+
+        let shards = recovered
+            .into_iter()
+            .enumerate()
+            .map(|(i, (tm, map, meta))| Shard::start(&cfg, i, tm, map, meta))
+            .collect();
+        Service { cfg, shards, coord }
     }
 }
 
@@ -409,11 +526,28 @@ impl Drop for Service {
     }
 }
 
+/// The key an op addresses (what routing hashes).
 #[inline]
-fn op_key(op: MapOp) -> u64 {
+pub fn op_key(op: MapOp) -> u64 {
     match op {
         MapOp::Get(k) | MapOp::Insert(k, _) | MapOp::Remove(k) => k,
     }
+}
+
+/// Partition a batch by shard: `(shard, original op indices)` per
+/// participating shard, in order of first appearance. This is exactly
+/// the grouping the 2PC coordinator uses; exposed so tests and load
+/// generators can predict a batch's participants.
+pub fn partition_by_shard(ops: &[MapOp], shards: usize) -> Vec<(usize, Vec<usize>)> {
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (i, &op) in ops.iter().enumerate() {
+        let s = shard_of_key(op_key(op), shards);
+        match groups.iter_mut().find(|g| g.0 == s) {
+            Some(g) => g.1.push(i),
+            None => groups.push((s, vec![i])),
+        }
+    }
+    groups
 }
 
 #[cfg(test)]
@@ -473,14 +607,95 @@ mod tests {
     }
 
     #[test]
-    fn cross_shard_batch_is_rejected() {
+    fn cross_shard_batch_commits_atomically() {
         let svc = Service::new(test_cfg(4));
         let a = 1u64;
         let b = (2..).find(|&k| svc.shard_of(k) != svc.shard_of(a)).unwrap();
+        // A batch spanning two shards commits as one transaction, with
+        // results in submission order.
+        let vals = svc
+            .batch(vec![
+                MapOp::Insert(a, 1),
+                MapOp::Insert(b, 2),
+                MapOp::Get(a),
+            ])
+            .unwrap();
+        assert_eq!(vals, vec![None, None, Some(1)]);
+        assert_eq!(svc.get(a), Ok(Some(1)));
+        assert_eq!(svc.get(b), Ok(Some(2)));
+        // Previous values come back on overwrite, across shards.
+        let vals = svc
+            .batch(vec![MapOp::Insert(a, 10), MapOp::Remove(b)])
+            .unwrap();
+        assert_eq!(vals, vec![Some(1), Some(2)]);
+        let snap = svc.snapshot();
+        assert_eq!(snap.coordinator.cross_batches, 2);
+        assert_eq!(snap.coordinator.cross_ops, 5);
+        // No markers leak: resolution removed them all.
+        for sh in &svc.shards {
+            assert!(sh.meta.collect_raw(&*sh.tm).is_empty());
+        }
+    }
+
+    #[test]
+    fn cross_shard_batch_spanning_all_shards() {
+        let svc = Service::new(test_cfg(4));
+        // One key per shard; insert all four in one batch, then read all
+        // four in another.
+        let mut keys = [None; 4];
+        let mut k = 1u64;
+        while keys.iter().any(Option::is_none) {
+            keys[svc.shard_of(k)].get_or_insert(k);
+            k += 1;
+        }
+        let keys: Vec<u64> = keys.iter().map(|k| k.unwrap()).collect();
+        let ins: Vec<MapOp> = keys.iter().map(|&k| MapOp::Insert(k, k * 7)).collect();
+        assert_eq!(svc.batch(ins).unwrap(), vec![None; 4]);
+        let gets: Vec<MapOp> = keys.iter().map(|&k| MapOp::Get(k)).collect();
+        let expect: Vec<Option<u64>> = keys.iter().map(|&k| Some(k * 7)).collect();
+        assert_eq!(svc.batch(gets).unwrap(), expect);
+    }
+
+    #[test]
+    fn single_shard_batch_bypasses_two_phase_commit() {
+        let svc = Service::new(test_cfg(4));
+        let a = 1u64;
+        let b = (2..).find(|&k| svc.shard_of(k) == svc.shard_of(a)).unwrap();
+        svc.batch(vec![MapOp::Insert(a, 1), MapOp::Insert(b, 2)])
+            .unwrap();
+        assert_eq!(svc.snapshot().coordinator.cross_batches, 0);
+    }
+
+    #[test]
+    fn cross_shard_batches_survive_crash_and_recovery() {
+        let svc = Service::new(test_cfg(4));
+        let a = 1u64;
+        let b = (2..).find(|&k| svc.shard_of(k) != svc.shard_of(a)).unwrap();
+        svc.batch(vec![MapOp::Insert(a, 5), MapOp::Insert(b, 6)])
+            .unwrap();
+        let svc = Service::recover(svc.crash());
+        assert_eq!(svc.get(a), Ok(Some(5)));
+        assert_eq!(svc.get(b), Ok(Some(6)));
+        // The recovered coordinator keeps serving cross-shard batches
+        // (fresh txids, working log).
+        let vals = svc.batch(vec![MapOp::Get(a), MapOp::Get(b)]).unwrap();
+        assert_eq!(vals, vec![Some(5), Some(6)]);
+    }
+
+    #[test]
+    fn crash_hook_tears_down_before_ack() {
+        let svc = Service::new(test_cfg(4));
+        let a = 1u64;
+        let b = (2..).find(|&k| svc.shard_of(k) != svc.shard_of(a)).unwrap();
+        svc.set_twopc_crash_hook(Some(Arc::new(|step| step == TwoPcStep::Prepared)));
         assert_eq!(
             svc.batch(vec![MapOp::Insert(a, 1), MapOp::Insert(b, 2)]),
-            Err(ServeError::CrossShard)
+            Err(ServeError::Stopped)
         );
+        // Undecided at the crash: recovery rolls the batch back whole.
+        let svc = Service::recover(svc.crash());
+        assert_eq!(svc.get(a), Ok(None));
+        assert_eq!(svc.get(b), Ok(None));
     }
 
     #[test]

@@ -282,11 +282,130 @@ impl ShardSnapshot {
     }
 }
 
+/// Hot-path counters of the cross-shard 2PC coordinator.
+#[derive(Default)]
+pub struct CoordinatorCounters {
+    /// Cross-shard batches attempted (any outcome).
+    pub cross_batches: AtomicU64,
+    /// Ops summed over attempted cross-shard batches.
+    pub cross_ops: AtomicU64,
+    /// Prepare rounds that cancelled and were retried.
+    pub cross_retries: AtomicU64,
+    /// Batches answered `Aborted` (prepare retry budget exhausted).
+    pub abort_conflict: AtomicU64,
+    /// Batches answered `Timeout` before their decision was logged.
+    pub abort_timeout: AtomicU64,
+    /// Shard-transactions re-applied from the decision log at recovery.
+    pub replayed: AtomicU64,
+}
+
+/// Coordinator metrics: 2PC counters plus per-phase latency histograms.
+pub struct CoordinatorMetrics {
+    /// Hot-path counters.
+    pub counters: CachePadded<CoordinatorCounters>,
+    /// Latency of a successful prepare round (all participants).
+    pub prepare_latency: Histogram,
+    /// Latency from decision logged to markers dropped.
+    pub commit_latency: Histogram,
+}
+
+impl CoordinatorMetrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> CoordinatorMetrics {
+        CoordinatorMetrics {
+            counters: CachePadded::new(CoordinatorCounters::default()),
+            prepare_latency: Histogram::new(),
+            commit_latency: Histogram::new(),
+        }
+    }
+
+    /// Zero every counter and histogram.
+    pub fn reset(&self) {
+        let c = &*self.counters;
+        for counter in [
+            &c.cross_batches,
+            &c.cross_ops,
+            &c.cross_retries,
+            &c.abort_conflict,
+            &c.abort_timeout,
+            &c.replayed,
+        ] {
+            counter.store(0, Ordering::Relaxed);
+        }
+        self.prepare_latency.reset();
+        self.commit_latency.reset();
+    }
+
+    /// Immutable copy.
+    pub fn snapshot(&self) -> CoordinatorSnapshot {
+        let c = &*self.counters;
+        CoordinatorSnapshot {
+            cross_batches: c.cross_batches.load(Ordering::Relaxed),
+            cross_ops: c.cross_ops.load(Ordering::Relaxed),
+            cross_retries: c.cross_retries.load(Ordering::Relaxed),
+            abort_conflict: c.abort_conflict.load(Ordering::Relaxed),
+            abort_timeout: c.abort_timeout.load(Ordering::Relaxed),
+            replayed: c.replayed.load(Ordering::Relaxed),
+            prepare: self.prepare_latency.snapshot(),
+            commit: self.commit_latency.snapshot(),
+        }
+    }
+}
+
+impl Default for CoordinatorMetrics {
+    fn default() -> CoordinatorMetrics {
+        CoordinatorMetrics::new()
+    }
+}
+
+/// Point-in-time view of the 2PC coordinator.
+#[derive(Clone, Debug)]
+pub struct CoordinatorSnapshot {
+    /// Cross-shard batches attempted.
+    pub cross_batches: u64,
+    /// Ops summed over attempted cross-shard batches.
+    pub cross_ops: u64,
+    /// Retried prepare rounds.
+    pub cross_retries: u64,
+    /// Batches aborted on conflict (retry budget exhausted).
+    pub abort_conflict: u64,
+    /// Batches timed out before their decision.
+    pub abort_timeout: u64,
+    /// Shard-transactions replayed from the log at recovery.
+    pub replayed: u64,
+    /// Prepare-round latency histogram.
+    pub prepare: HistogramSnapshot,
+    /// Decision-to-resolution latency histogram.
+    pub commit: HistogramSnapshot,
+}
+
+impl fmt::Display for CoordinatorSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "2pc: batches={} ops={} retries={} ab_conflict={} ab_timeout={} \
+             replayed={} prep_p50={} prep_p99={} commit_p50={} commit_p99={}",
+            self.cross_batches,
+            self.cross_ops,
+            self.cross_retries,
+            self.abort_conflict,
+            self.abort_timeout,
+            self.replayed,
+            fmt_dur(self.prepare.quantile(0.50)),
+            fmt_dur(self.prepare.quantile(0.99)),
+            fmt_dur(self.commit.quantile(0.50)),
+            fmt_dur(self.commit.quantile(0.99)),
+        )
+    }
+}
+
 /// Point-in-time view of the whole service.
 #[derive(Clone, Debug)]
 pub struct ServiceSnapshot {
     /// One entry per shard, in shard order.
     pub shards: Vec<ShardSnapshot>,
+    /// The cross-shard coordinator's metrics.
+    pub coordinator: CoordinatorSnapshot,
 }
 
 impl ServiceSnapshot {
@@ -392,6 +511,9 @@ impl fmt::Display for ServiceSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for s in &self.shards {
             writeln!(f, "{s}")?;
+        }
+        if self.coordinator.cross_batches > 0 || self.coordinator.replayed > 0 {
+            writeln!(f, "{}", self.coordinator)?;
         }
         write!(
             f,

@@ -40,6 +40,9 @@ pub(crate) struct ShardRequest {
 pub(crate) struct Shard {
     pub tm: Arc<NvHalt>,
     pub map: HashMapTx,
+    /// 2PC marker map: `txid -> 1` while a cross-shard transaction's
+    /// commit on this shard awaits resolution (see `coord`).
+    pub meta: HashMapTx,
     pub metrics: Arc<ShardMetrics>,
     pub queue: Sender<ShardRequest>,
     /// Kept so the channel stays connected (and `try_send` reports `Full`,
@@ -67,7 +70,13 @@ struct WorkerCtx {
 impl Shard {
     /// Spawn the shard's workers over an existing TM + map (fresh or
     /// recovered).
-    pub fn start(cfg: &ServiceConfig, index: usize, tm: Arc<NvHalt>, map: HashMapTx) -> Shard {
+    pub fn start(
+        cfg: &ServiceConfig,
+        index: usize,
+        tm: Arc<NvHalt>,
+        map: HashMapTx,
+        meta: HashMapTx,
+    ) -> Shard {
         let (queue, queue_rx) = channel::bounded::<ShardRequest>(cfg.queue_depth);
         let stop = Arc::new(AtomicBool::new(false));
         let metrics = Arc::new(ShardMetrics::new());
@@ -95,6 +104,7 @@ impl Shard {
         Shard {
             tm,
             map,
+            meta,
             metrics,
             queue,
             queue_rx,

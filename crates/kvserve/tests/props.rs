@@ -1,0 +1,107 @@
+//! Property tests for request routing and the single/cross-shard split.
+//!
+//! Three properties over random op batches and shard counts:
+//! - `partition_by_shard` is a true partition (every op exactly once, in
+//!   its key's shard, groups ordered by first appearance);
+//! - the service is sequentially equivalent to a `HashMap` model no
+//!   matter how batches mix shards (single-shard fast path and 2PC must
+//!   agree on semantics);
+//! - single-shard batches never engage the 2PC coordinator, and every
+//!   multi-shard batch does.
+
+use proptest::prelude::*;
+use proptest::proptest;
+use std::collections::HashMap;
+
+use kvserve::{op_key, partition_by_shard, shard_of_key, MapOp, Service, ServiceConfig};
+
+fn op_strategy() -> impl Strategy<Value = MapOp> {
+    (0u8..3, 0u64..48, 0u64..1000).prop_map(|(tag, k, v)| match tag {
+        0 => MapOp::Get(k),
+        1 => MapOp::Insert(k, v),
+        _ => MapOp::Remove(k),
+    })
+}
+
+fn batches_strategy() -> impl Strategy<Value = Vec<Vec<MapOp>>> {
+    proptest::collection::vec(proptest::collection::vec(op_strategy(), 1..8), 1..16)
+}
+
+fn model_apply(model: &mut HashMap<u64, u64>, op: MapOp) -> Option<u64> {
+    match op {
+        MapOp::Get(k) => model.get(&k).copied(),
+        MapOp::Insert(k, v) => model.insert(k, v),
+        MapOp::Remove(k) => model.remove(&k),
+    }
+}
+
+fn small_cfg(shards: usize) -> ServiceConfig {
+    let mut cfg = ServiceConfig::new(shards);
+    cfg.heap_words_per_shard = 1 << 13;
+    cfg.buckets_per_shard = 32;
+    cfg.log_heap_words = 1 << 13;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Every op index lands in exactly one group, each group's ops all
+    /// route to that group's shard, shards are distinct, and groups are
+    /// ordered by first appearance.
+    #[test]
+    fn partition_is_exact(
+        shards in 1usize..9,
+        ops in proptest::collection::vec(op_strategy(), 0..32),
+    ) {
+        let groups = partition_by_shard(&ops, shards);
+        let mut seen = vec![false; ops.len()];
+        let mut first_seen_order = Vec::new();
+        for (s, idxs) in &groups {
+            prop_assert!(*s < shards);
+            prop_assert!(!idxs.is_empty());
+            for &i in idxs {
+                prop_assert!(!seen[i], "op {} in two groups", i);
+                seen[i] = true;
+                prop_assert_eq!(shard_of_key(op_key(ops[i]), shards), *s);
+            }
+            first_seen_order.push(idxs[0]);
+        }
+        prop_assert!(seen.iter().all(|&b| b), "some op not partitioned");
+        let mut sorted = first_seen_order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(first_seen_order, sorted, "groups not in first-appearance order");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// The service agrees with a sequential `HashMap` model over random
+    /// batches regardless of how they split across shards — and the 2PC
+    /// coordinator is engaged for exactly the multi-shard batches.
+    #[test]
+    fn batches_match_model_and_fast_path_bypasses_2pc(
+        shards in 1usize..5,
+        batches in batches_strategy(),
+    ) {
+        let svc = Service::new(small_cfg(shards));
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut expect_cross = 0u64;
+        for ops in &batches {
+            if partition_by_shard(ops, shards).len() > 1 {
+                expect_cross += 1;
+            }
+            let expected: Vec<Option<u64>> =
+                ops.iter().map(|&op| model_apply(&mut model, op)).collect();
+            let got = svc.batch(ops.clone());
+            prop_assert_eq!(got.as_ref(), Ok(&expected));
+        }
+        let snap = svc.snapshot();
+        prop_assert_eq!(snap.coordinator.cross_batches, expect_cross);
+        // Final state agrees key by key.
+        for k in 0..48u64 {
+            prop_assert_eq!(svc.get(k), Ok(model.get(&k).copied()));
+        }
+    }
+}

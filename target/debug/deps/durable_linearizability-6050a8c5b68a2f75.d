@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/durable_linearizability-6050a8c5b68a2f75.d: tests/durable_linearizability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdurable_linearizability-6050a8c5b68a2f75.rmeta: tests/durable_linearizability.rs Cargo.toml
+
+tests/durable_linearizability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eadr-cf70b16c2d6307a2.d: tests/eadr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeadr-cf70b16c2d6307a2.rmeta: tests/eadr.rs Cargo.toml
+
+tests/eadr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

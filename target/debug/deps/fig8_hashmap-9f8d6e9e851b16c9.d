@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_hashmap-9f8d6e9e851b16c9.d: crates/bench/benches/fig8_hashmap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_hashmap-9f8d6e9e851b16c9.rmeta: crates/bench/benches/fig8_hashmap.rs Cargo.toml
+
+crates/bench/benches/fig8_hashmap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_tree-27997290905b591c.d: crates/bench/benches/fig8_tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_tree-27997290905b591c.rmeta: crates/bench/benches/fig8_tree.rs Cargo.toml
+
+crates/bench/benches/fig8_tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

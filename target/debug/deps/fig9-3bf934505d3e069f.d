@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9-3bf934505d3e069f.d: crates/bench/src/bin/fig9.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9-3bf934505d3e069f.rmeta: crates/bench/src/bin/fig9.rs Cargo.toml
+
+crates/bench/src/bin/fig9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_ablation-d446eeb80f6304cf.d: crates/bench/benches/fig9_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_ablation-d446eeb80f6304cf.rmeta: crates/bench/benches/fig9_ablation.rs Cargo.toml
+
+crates/bench/benches/fig9_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

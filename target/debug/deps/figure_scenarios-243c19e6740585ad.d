@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure_scenarios-243c19e6740585ad.d: tests/figure_scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure_scenarios-243c19e6740585ad.rmeta: tests/figure_scenarios.rs Cargo.toml
+
+tests/figure_scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

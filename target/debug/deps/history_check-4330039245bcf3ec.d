@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/history_check-4330039245bcf3ec.d: tests/history_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhistory_check-4330039245bcf3ec.rmeta: tests/history_check.rs Cargo.toml
+
+tests/history_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

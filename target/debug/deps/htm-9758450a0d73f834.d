@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/htm-9758450a0d73f834.d: crates/htm/src/lib.rs crates/htm/src/txn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtm-9758450a0d73f834.rmeta: crates/htm/src/lib.rs crates/htm/src/txn.rs Cargo.toml
+
+crates/htm/src/lib.rs:
+crates/htm/src/txn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

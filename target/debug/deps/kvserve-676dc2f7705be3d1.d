@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/kvserve-676dc2f7705be3d1.d: crates/kvserve/src/lib.rs crates/kvserve/src/metrics.rs crates/kvserve/src/shard.rs
+/root/repo/target/debug/deps/kvserve-676dc2f7705be3d1.d: crates/kvserve/src/lib.rs crates/kvserve/src/coord.rs crates/kvserve/src/metrics.rs crates/kvserve/src/shard.rs
 
-/root/repo/target/debug/deps/libkvserve-676dc2f7705be3d1.rlib: crates/kvserve/src/lib.rs crates/kvserve/src/metrics.rs crates/kvserve/src/shard.rs
+/root/repo/target/debug/deps/libkvserve-676dc2f7705be3d1.rlib: crates/kvserve/src/lib.rs crates/kvserve/src/coord.rs crates/kvserve/src/metrics.rs crates/kvserve/src/shard.rs
 
-/root/repo/target/debug/deps/libkvserve-676dc2f7705be3d1.rmeta: crates/kvserve/src/lib.rs crates/kvserve/src/metrics.rs crates/kvserve/src/shard.rs
+/root/repo/target/debug/deps/libkvserve-676dc2f7705be3d1.rmeta: crates/kvserve/src/lib.rs crates/kvserve/src/coord.rs crates/kvserve/src/metrics.rs crates/kvserve/src/shard.rs
 
 crates/kvserve/src/lib.rs:
+crates/kvserve/src/coord.rs:
 crates/kvserve/src/metrics.rs:
 crates/kvserve/src/shard.rs:

@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/kvserve-8231dc51ea670932.d: crates/kvserve/src/lib.rs crates/kvserve/src/metrics.rs crates/kvserve/src/shard.rs
+/root/repo/target/debug/deps/kvserve-8231dc51ea670932.d: crates/kvserve/src/lib.rs crates/kvserve/src/coord.rs crates/kvserve/src/metrics.rs crates/kvserve/src/shard.rs
 
-/root/repo/target/debug/deps/kvserve-8231dc51ea670932: crates/kvserve/src/lib.rs crates/kvserve/src/metrics.rs crates/kvserve/src/shard.rs
+/root/repo/target/debug/deps/kvserve-8231dc51ea670932: crates/kvserve/src/lib.rs crates/kvserve/src/coord.rs crates/kvserve/src/metrics.rs crates/kvserve/src/shard.rs
 
 crates/kvserve/src/lib.rs:
+crates/kvserve/src/coord.rs:
 crates/kvserve/src/metrics.rs:
 crates/kvserve/src/shard.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/kvserve-a0a88085cda48969.d: crates/kvserve/src/lib.rs crates/kvserve/src/coord.rs crates/kvserve/src/metrics.rs crates/kvserve/src/shard.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkvserve-a0a88085cda48969.rmeta: crates/kvserve/src/lib.rs crates/kvserve/src/coord.rs crates/kvserve/src/metrics.rs crates/kvserve/src/shard.rs Cargo.toml
+
+crates/kvserve/src/lib.rs:
+crates/kvserve/src/coord.rs:
+crates/kvserve/src/metrics.rs:
+crates/kvserve/src/shard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

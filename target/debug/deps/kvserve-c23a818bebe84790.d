@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/kvserve-c23a818bebe84790.d: crates/kvserve/src/lib.rs crates/kvserve/src/coord.rs crates/kvserve/src/metrics.rs crates/kvserve/src/shard.rs
+
+/root/repo/target/debug/deps/kvserve-c23a818bebe84790: crates/kvserve/src/lib.rs crates/kvserve/src/coord.rs crates/kvserve/src/metrics.rs crates/kvserve/src/shard.rs
+
+crates/kvserve/src/lib.rs:
+crates/kvserve/src/coord.rs:
+crates/kvserve/src/metrics.rs:
+crates/kvserve/src/shard.rs:

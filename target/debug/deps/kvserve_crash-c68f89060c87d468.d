@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kvserve_crash-c68f89060c87d468.d: tests/kvserve_crash.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkvserve_crash-c68f89060c87d468.rmeta: tests/kvserve_crash.rs Cargo.toml
+
+tests/kvserve_crash.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

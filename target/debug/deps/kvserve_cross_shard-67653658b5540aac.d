@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kvserve_cross_shard-67653658b5540aac.d: tests/kvserve_cross_shard.rs
+
+/root/repo/target/debug/deps/kvserve_cross_shard-67653658b5540aac: tests/kvserve_cross_shard.rs
+
+tests/kvserve_cross_shard.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kvserve_cross_shard-f03946d6bfa23009.d: tests/kvserve_cross_shard.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkvserve_cross_shard-f03946d6bfa23009.rmeta: tests/kvserve_cross_shard.rs Cargo.toml
+
+tests/kvserve_cross_shard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/list_tests-948d6e2d49b382c4.d: crates/txstructs/tests/list_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblist_tests-948d6e2d49b382c4.rmeta: crates/txstructs/tests/list_tests.rs Cargo.toml
+
+crates/txstructs/tests/list_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

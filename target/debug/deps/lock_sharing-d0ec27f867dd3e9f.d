@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lock_sharing-d0ec27f867dd3e9f.d: crates/core/tests/lock_sharing.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblock_sharing-d0ec27f867dd3e9f.rmeta: crates/core/tests/lock_sharing.rs Cargo.toml
+
+crates/core/tests/lock_sharing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

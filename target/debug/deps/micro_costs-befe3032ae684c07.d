@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_costs-befe3032ae684c07.d: crates/bench/benches/micro_costs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_costs-befe3032ae684c07.rmeta: crates/bench/benches/micro_costs.rs Cargo.toml
+
+crates/bench/benches/micro_costs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

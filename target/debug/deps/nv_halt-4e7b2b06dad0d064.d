@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nv_halt-4e7b2b06dad0d064.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnv_halt-4e7b2b06dad0d064.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nvhalt-e500959aefad31ea.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/heap.rs crates/core/src/lock.rs crates/core/src/recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnvhalt-e500959aefad31ea.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/heap.rs crates/core/src/lock.rs crates/core/src/recovery.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/heap.rs:
+crates/core/src/lock.rs:
+crates/core/src/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ordering-42090af2a2ce8660.d: crates/spht/tests/ordering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libordering-42090af2a2ce8660.rmeta: crates/spht/tests/ordering.rs Cargo.toml
+
+crates/spht/tests/ordering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

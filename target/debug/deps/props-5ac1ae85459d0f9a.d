@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-5ac1ae85459d0f9a.d: crates/kvserve/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-5ac1ae85459d0f9a.rmeta: crates/kvserve/tests/props.rs Cargo.toml
+
+crates/kvserve/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

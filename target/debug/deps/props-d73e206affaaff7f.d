@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-d73e206affaaff7f.d: crates/kvserve/tests/props.rs
+
+/root/repo/target/debug/deps/props-d73e206affaaff7f: crates/kvserve/tests/props.rs
+
+crates/kvserve/tests/props.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-588a377d6ddd4771.d: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-588a377d6ddd4771.rmeta: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs Cargo.toml
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

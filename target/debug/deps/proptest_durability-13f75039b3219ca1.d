@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_durability-13f75039b3219ca1.d: tests/proptest_durability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_durability-13f75039b3219ca1.rmeta: tests/proptest_durability.rs Cargo.toml
+
+tests/proptest_durability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_htm-b45b6a78321db12d.d: crates/htm/tests/proptest_htm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_htm-b45b6a78321db12d.rmeta: crates/htm/tests/proptest_htm.rs Cargo.toml
+
+crates/htm/tests/proptest_htm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_locks-a7aa97ea99e3dc8e.d: crates/core/tests/proptest_locks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_locks-a7aa97ea99e3dc8e.rmeta: crates/core/tests/proptest_locks.rs Cargo.toml
+
+crates/core/tests/proptest_locks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

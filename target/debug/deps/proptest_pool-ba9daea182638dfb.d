@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_pool-ba9daea182638dfb.d: crates/pmem/tests/proptest_pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_pool-ba9daea182638dfb.rmeta: crates/pmem/tests/proptest_pool.rs Cargo.toml
+
+crates/pmem/tests/proptest_pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery-0eb5184569128124.d: crates/bench/src/bin/recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery-0eb5184569128124.rmeta: crates/bench/src/bin/recovery.rs Cargo.toml
+
+crates/bench/src/bin/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/service-b46cbec02acfb4ea.d: crates/bench/src/bin/service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libservice-b46cbec02acfb4ea.rmeta: crates/bench/src/bin/service.rs Cargo.toml
+
+crates/bench/src/bin/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/service-eb526f747060c4b8.d: crates/bench/src/bin/service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libservice-eb526f747060c4b8.rmeta: crates/bench/src/bin/service.rs Cargo.toml
+
+crates/bench/src/bin/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sp_semantics-3fc4cdce1960d9ba.d: crates/core/tests/sp_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsp_semantics-3fc4cdce1960d9ba.rmeta: crates/core/tests/sp_semantics.rs Cargo.toml
+
+crates/core/tests/sp_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

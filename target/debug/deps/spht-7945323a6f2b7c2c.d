@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spht-7945323a6f2b7c2c.d: crates/spht/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspht-7945323a6f2b7c2c.rmeta: crates/spht/src/lib.rs Cargo.toml
+
+crates/spht/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spht-cf7fc2f68491af2b.d: crates/spht/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspht-cf7fc2f68491af2b.rmeta: crates/spht/src/lib.rs Cargo.toml
+
+crates/spht/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stats_accounting-dcaa490d2d0d67a1.d: tests/stats_accounting.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstats_accounting-dcaa490d2d0d67a1.rmeta: tests/stats_accounting.rs Cargo.toml
+
+tests/stats_accounting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tl2_semantics-faa7c678c4f68efb.d: crates/trinity/tests/tl2_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtl2_semantics-faa7c678c4f68efb.rmeta: crates/trinity/tests/tl2_semantics.rs Cargo.toml
+
+crates/trinity/tests/tl2_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

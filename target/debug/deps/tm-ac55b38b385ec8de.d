@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tm-ac55b38b385ec8de.d: crates/tm/src/lib.rs crates/tm/src/check.rs crates/tm/src/crash.rs crates/tm/src/policy.rs crates/tm/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtm-ac55b38b385ec8de.rmeta: crates/tm/src/lib.rs crates/tm/src/check.rs crates/tm/src/crash.rs crates/tm/src/policy.rs crates/tm/src/stats.rs Cargo.toml
+
+crates/tm/src/lib.rs:
+crates/tm/src/check.rs:
+crates/tm/src/crash.rs:
+crates/tm/src/policy.rs:
+crates/tm/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tm_conformance-81c1e52acb103a6a.d: tests/tm_conformance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtm_conformance-81c1e52acb103a6a.rmeta: tests/tm_conformance.rs Cargo.toml
+
+tests/tm_conformance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trinity-39556683fba7eea1.d: crates/trinity/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrinity-39556683fba7eea1.rmeta: crates/trinity/src/lib.rs Cargo.toml
+
+crates/trinity/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trinity-f9c511668c3de910.d: crates/trinity/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrinity-f9c511668c3de910.rmeta: crates/trinity/src/lib.rs Cargo.toml
+
+crates/trinity/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

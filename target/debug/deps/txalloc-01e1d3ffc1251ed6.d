@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/txalloc-01e1d3ffc1251ed6.d: crates/txalloc/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtxalloc-01e1d3ffc1251ed6.rmeta: crates/txalloc/src/lib.rs Cargo.toml
+
+crates/txalloc/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/txalloc-31287f17244549f6.d: crates/txalloc/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtxalloc-31287f17244549f6.rmeta: crates/txalloc/src/lib.rs Cargo.toml
+
+crates/txalloc/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/txstructs-a9040a9920e7f354.d: crates/txstructs/src/lib.rs crates/txstructs/src/abtree.rs crates/txstructs/src/hashmap.rs crates/txstructs/src/list.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtxstructs-a9040a9920e7f354.rmeta: crates/txstructs/src/lib.rs crates/txstructs/src/abtree.rs crates/txstructs/src/hashmap.rs crates/txstructs/src/list.rs Cargo.toml
+
+crates/txstructs/src/lib.rs:
+crates/txstructs/src/abtree.rs:
+crates/txstructs/src/hashmap.rs:
+crates/txstructs/src/list.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

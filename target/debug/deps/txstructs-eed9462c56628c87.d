@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/txstructs-eed9462c56628c87.d: crates/txstructs/src/lib.rs crates/txstructs/src/abtree.rs crates/txstructs/src/hashmap.rs crates/txstructs/src/list.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtxstructs-eed9462c56628c87.rmeta: crates/txstructs/src/lib.rs crates/txstructs/src/abtree.rs crates/txstructs/src/hashmap.rs crates/txstructs/src/list.rs Cargo.toml
+
+crates/txstructs/src/lib.rs:
+crates/txstructs/src/abtree.rs:
+crates/txstructs/src/hashmap.rs:
+crates/txstructs/src/list.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/contention_study-c413578a355f8e22.d: examples/contention_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcontention_study-c413578a355f8e22.rmeta: examples/contention_study.rs Cargo.toml
+
+examples/contention_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

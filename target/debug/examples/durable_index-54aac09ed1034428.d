@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/durable_index-54aac09ed1034428.d: examples/durable_index.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdurable_index-54aac09ed1034428.rmeta: examples/durable_index.rs Cargo.toml
+
+examples/durable_index.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

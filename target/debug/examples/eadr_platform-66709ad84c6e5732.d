@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/eadr_platform-66709ad84c6e5732.d: examples/eadr_platform.rs Cargo.toml
+
+/root/repo/target/debug/examples/libeadr_platform-66709ad84c6e5732.rmeta: examples/eadr_platform.rs Cargo.toml
+
+examples/eadr_platform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/persistent_kv-2cbd68aee49965e4.d: examples/persistent_kv.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpersistent_kv-2cbd68aee49965e4.rmeta: examples/persistent_kv.rs Cargo.toml
+
+examples/persistent_kv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

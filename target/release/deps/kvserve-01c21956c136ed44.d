@@ -1,9 +1,10 @@
-/root/repo/target/release/deps/kvserve-01c21956c136ed44.d: crates/kvserve/src/lib.rs crates/kvserve/src/metrics.rs crates/kvserve/src/shard.rs
+/root/repo/target/release/deps/kvserve-01c21956c136ed44.d: crates/kvserve/src/lib.rs crates/kvserve/src/coord.rs crates/kvserve/src/metrics.rs crates/kvserve/src/shard.rs
 
-/root/repo/target/release/deps/libkvserve-01c21956c136ed44.rlib: crates/kvserve/src/lib.rs crates/kvserve/src/metrics.rs crates/kvserve/src/shard.rs
+/root/repo/target/release/deps/libkvserve-01c21956c136ed44.rlib: crates/kvserve/src/lib.rs crates/kvserve/src/coord.rs crates/kvserve/src/metrics.rs crates/kvserve/src/shard.rs
 
-/root/repo/target/release/deps/libkvserve-01c21956c136ed44.rmeta: crates/kvserve/src/lib.rs crates/kvserve/src/metrics.rs crates/kvserve/src/shard.rs
+/root/repo/target/release/deps/libkvserve-01c21956c136ed44.rmeta: crates/kvserve/src/lib.rs crates/kvserve/src/coord.rs crates/kvserve/src/metrics.rs crates/kvserve/src/shard.rs
 
 crates/kvserve/src/lib.rs:
+crates/kvserve/src/coord.rs:
 crates/kvserve/src/metrics.rs:
 crates/kvserve/src/shard.rs:

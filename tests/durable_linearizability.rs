@@ -160,3 +160,122 @@ fn cross_thread_reads_from_prefix_is_closed() {
          transaction survived the crash while its dependency did not"
     );
 }
+
+/// Multi-shard histories: one logical transaction spans several shard
+/// TMs (kvserve's 2PC), yet the combined history — keys mapped into one
+/// logical address space — must still pass the same TM-agnostic checker
+/// used for single-TM runs, and must still be durably linearizable
+/// across a crash.
+///
+/// Every batch is a cross-shard read-modify-write (`Insert` returns the
+/// previous value = the read observation), with globally unique written
+/// values. That makes two checks sharp:
+/// - `tm::check::check_history` over all acked batches plus one
+///   post-recovery snapshot read (thin-air reads, causality cycles);
+/// - per key, the acked `(previous, written)` pairs must chain
+///   `0 → v → v' → …` with the recovered value at the head — a lost
+///   update or a torn acked batch breaks the chain.
+#[test]
+fn cross_shard_batches_form_a_durably_linearizable_history() {
+    use kvserve::{MapOp, ServeError, Service, ServiceConfig};
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+    use tm::check::{check_history, HistoryRecorder};
+
+    const CLIENTS: usize = 3;
+    const ROUNDS: u64 = 50;
+    const KEYS: u64 = 12;
+
+    let mut cfg = ServiceConfig::new(3);
+    cfg.heap_words_per_shard = 1 << 14;
+    cfg.buckets_per_shard = 64;
+    cfg.coordinators = CLIENTS;
+    let svc = Service::new(cfg);
+
+    let rec = HistoryRecorder::new();
+    // Acked read-modify-write links: (key, observed previous, written).
+    let links: Mutex<Vec<(u64, u64, u64)>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|s| {
+        for c in 0..CLIENTS {
+            let (svc, rec, links) = (&svc, &rec, &links);
+            s.spawn(move || {
+                for round in 0..ROUNDS {
+                    let k1 = (c as u64 * 17 + round) % KEYS;
+                    let k2 = (0..KEYS)
+                        .map(|d| (k1 + 1 + d) % KEYS)
+                        .find(|&k| svc.shard_of(k) != svc.shard_of(k1))
+                        .expect("key space covers several shards");
+                    let v1 = ((c as u64 + 1) << 40) | (round * 2 + 1);
+                    let v2 = ((c as u64 + 1) << 40) | (round * 2 + 2);
+                    let ops = vec![MapOp::Insert(k1, v1), MapOp::Insert(k2, v2)];
+                    let begin = rec.begin();
+                    let vals = loop {
+                        match svc.batch(ops.clone()) {
+                            Ok(v) => break v,
+                            Err(ServeError::Overloaded { retry_after }) => {
+                                std::thread::sleep(retry_after)
+                            }
+                            Err(ServeError::Aborted) => {
+                                std::thread::sleep(std::time::Duration::from_micros(100))
+                            }
+                            Err(e) => panic!("client {c}: {e}"),
+                        }
+                    };
+                    let (p1, p2) = (vals[0].unwrap_or(0), vals[1].unwrap_or(0));
+                    rec.commit(
+                        c,
+                        begin,
+                        vec![(Addr(k1 + 1), p1), (Addr(k2 + 1), p2)],
+                        vec![(Addr(k1 + 1), v1), (Addr(k2 + 1), v2)],
+                    );
+                    links.lock().unwrap().extend([(k1, p1, v1), (k2, p2, v2)]);
+                }
+            });
+        }
+    });
+
+    // Quiescent crash: every submitted batch is acked and recorded.
+    let svc = Service::recover(svc.crash());
+
+    // One post-recovery snapshot read joins the history as a final
+    // read-only transaction.
+    let begin = rec.begin();
+    let mut final_val: HashMap<u64, u64> = HashMap::new();
+    let mut final_reads = Vec::new();
+    for k in 0..KEYS {
+        let v = svc.get(k).unwrap().unwrap_or(0);
+        final_reads.push((Addr(k + 1), v));
+        final_val.insert(k, v);
+    }
+    rec.commit(0, begin, final_reads, Vec::new());
+
+    assert_eq!(check_history(&rec.history(), &HashMap::new()), Ok(()));
+
+    // Sharp per-key check: acked links chain 0 → … → recovered value.
+    let links = links.into_inner().unwrap();
+    for k in 0..KEYS {
+        let mut next: HashMap<u64, u64> = HashMap::new();
+        let mut count = 0usize;
+        for &(lk, prev, written) in &links {
+            if lk == k {
+                assert!(
+                    next.insert(prev, written).is_none(),
+                    "key {k}: two acked batches observed previous value {prev} (lost update)"
+                );
+                count += 1;
+            }
+        }
+        let mut cur = 0u64;
+        let mut used = 0usize;
+        while let Some(&w) = next.get(&cur) {
+            cur = w;
+            used += 1;
+        }
+        assert_eq!(used, count, "key {k}: acked update chain is broken");
+        assert_eq!(
+            cur, final_val[&k],
+            "key {k}: recovered value is not the head of the acked chain"
+        );
+    }
+}
