@@ -25,6 +25,7 @@ use kvserve::{MapOp, ServeError, Service, ServiceConfig};
 use pmem::LatencyModel;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+use tm::stats::Counter;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Mix {
@@ -184,6 +185,30 @@ fn run_cell(sweep: &Sweep, mix: Mix, shards: usize, batch: usize) {
         outcomes.overloaded.load(Ordering::Relaxed),
         outcomes.timeout.load(Ordering::Relaxed),
         outcomes.aborted.load(Ordering::Relaxed),
+    );
+    // Persist-overhead for the measurement window, summed over the shard
+    // TMs: flushes and fences per committed transaction show how well
+    // batching amortizes the persist cost, and redundant flushes (lines
+    // flushed with no store since their last flush) are pure waste the
+    // sanitizer's perf class counts.
+    let (mut flushes, mut redundant, mut fences, mut commits) = (0u64, 0u64, 0u64, 0u64);
+    for s in &snap.shards {
+        flushes += s.tm.get(Counter::Flush);
+        redundant += s.tm.get(Counter::RedundantFlush);
+        fences += s.tm.get(Counter::Fence);
+        commits += s.tm.commits();
+    }
+    let per_commit = |n: u64| {
+        if commits == 0 {
+            0.0
+        } else {
+            n as f64 / commits as f64
+        }
+    };
+    println!(
+        "  persist: flushes={flushes} ({:.2}/commit) redundant={redundant} fences={fences} ({:.2}/commit)",
+        per_commit(flushes),
+        per_commit(fences),
     );
     if snap.coordinator.cross_batches > 0 {
         println!("  {}", snap.coordinator);

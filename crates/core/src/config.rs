@@ -76,6 +76,7 @@ impl NvHaltConfig {
                 flush: FlushPolicy::Eager,
                 eviction: EvictionPolicy::None,
                 seed: 0x5eed_0001,
+                psan: pmem::PsanMode::Off,
             },
             htm: HtmConfig::test(),
             instr_ns: 0,

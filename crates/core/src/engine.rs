@@ -300,6 +300,7 @@ impl NvHalt {
     /// persist the thread's pver, then release the locks (Figure 5,
     /// commit epilogue).
     fn persist_hw_commit(&self, tid: usize, ts: &mut ThreadState) {
+        let _psan = self.pmem.pool().psan_scope(tid, "nvhalt::hw_commit");
         let meta = Meta::pack(tid, ts.pver);
         for &(a, old) in &ts.hlog {
             // Stable: the address is locked by us until release below.
@@ -468,6 +469,7 @@ impl NvHalt {
 
         // Guaranteed to commit: persist and apply the write set while the
         // locks are held (Figure 1 lines 16–21).
+        let _psan = self.pmem.pool().psan_scope(tid, "nvhalt::sw_commit");
         let meta = Meta::pack(tid, ts.pver);
         for e in &ts.wset {
             let data = self.heap.data_cell(e.addr as usize);
@@ -630,6 +632,7 @@ impl NvHalt {
             }
         }
         // Stage the writes durably *below* the current pver.
+        let _psan = self.pmem.pool().psan_scope(tid, "nvhalt::prepare");
         let meta = Meta::pack(tid, ts.pver);
         ts.pundo.clear();
         for e in &ts.wset {
@@ -641,6 +644,11 @@ impl NvHalt {
             data.store(e.val, Ordering::Release);
         }
         self.pmem.sfence(tid);
+        // The coordinator may record its durable decision as soon as
+        // `prepare` returns: every staged entry must already be fenced.
+        self.pmem
+            .pool()
+            .durability_point(tid, "nvhalt::prepare_staged");
         Ok(())
     }
 
@@ -667,7 +675,7 @@ impl TmPrepare for NvHalt {
         // read set, so it cannot pin a cross-TM snapshot until a decision.
         let mut attempt = 0usize;
         loop {
-            self.pmem.pool().crash_point();
+            self.pmem.pool().crash_point(tid);
             match self.attempt_prepare(ts, tid, attempt, body) {
                 Outcome::Committed(r) => return Ok(r),
                 Outcome::Cancelled => return Err(Cancelled),
@@ -684,9 +692,10 @@ impl TmPrepare for NvHalt {
         let mut guard = self.threads[tid].lock();
         let ts = &mut *guard;
         assert!(ts.prepared, "commit_prepared without a prepared txn");
-        self.pmem.pool().crash_point();
+        self.pmem.pool().crash_point(tid);
         // Advancing the durable pver past the staged entries *is* the
         // commit: from here recovery keeps them (Figure 1 epilogue).
+        let _psan = self.pmem.pool().psan_scope(tid, "nvhalt::commit_prepared");
         ts.pver += 1;
         self.pmem.persist_pver(tid, ts.pver);
         self.pmem.sfence(tid);
@@ -705,6 +714,7 @@ impl TmPrepare for NvHalt {
         // both its data and back fields hold the pre-transaction value: a
         // later commit by this thread will push the durable pver past the
         // stale entries, and they must not resurrect the aborted values.
+        let _psan = self.pmem.pool().psan_scope(tid, "nvhalt::abort_prepared");
         let meta = Meta::pack(tid, ts.pver);
         for &(a, old) in &ts.pundo {
             self.heap
@@ -744,7 +754,7 @@ impl Tm for NvHalt {
         let mut attempt = 0usize;
         let mut capacity_aborts = 0usize;
         loop {
-            self.pmem.pool().crash_point();
+            self.pmem.pool().crash_point(tid);
             let choice = self.cfg.policy.choose(attempt, capacity_aborts);
             let outcome = match choice {
                 PathChoice::Hw => self.attempt_hw(ts, tid, attempt, body),

@@ -49,7 +49,7 @@ pub struct HtmThread {
     abort_kind: AbortKind,
 }
 
-// The raw cell pointers stored in the write set are only dereferenced
+// SAFETY: the raw cell pointers in the write set are only dereferenced
 // inside `execute`, under the `'env` bound that guarantees the cells
 // outlive the call; the buffers are cleared before `execute` returns.
 unsafe impl Send for HtmThread {}

@@ -197,6 +197,11 @@ impl Coordinator {
         let head = self.head;
         let nops = ops.len() as u64;
         let reuse = self.take_free(nops);
+        let _psan = self
+            .log
+            .pmem()
+            .pool()
+            .psan_scope(ltid, "kvserve::coord::log_decision");
         tm::txn(&*self.log, ltid, |tx| {
             let (e, cap) = match reuse {
                 Some((e, cap)) => (e, cap),
@@ -363,6 +368,11 @@ pub(crate) fn cross_shard(svc: &Service, ops: &[MapOp], deadline: Duration) -> R
             }
             let sh = svc.shard(*s);
             let (map, meta) = (sh.map, sh.meta);
+            let _psan = sh
+                .tm
+                .pmem()
+                .pool()
+                .psan_scope(ptid, "kvserve::coord::prepare");
             let res = tm::prepare(&*sh.tm, ptid, |tx| {
                 if tx.attempt() >= fuel {
                     return Err(Abort::Cancel);
@@ -418,7 +428,13 @@ pub(crate) fn cross_shard(svc: &Service, ops: &[MapOp], deadline: Duration) -> R
         if gi > 0 {
             crash_check(svc, TwoPcStep::MidCommit);
         }
-        svc.shard(*s).tm.commit_prepared(ptid);
+        let sh = svc.shard(*s);
+        let _psan = sh
+            .tm
+            .pmem()
+            .pool()
+            .psan_scope(ptid, "kvserve::coord::commit");
+        sh.tm.commit_prepared(ptid);
     }
     crash_check(svc, TwoPcStep::Committed);
 

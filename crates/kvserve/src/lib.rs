@@ -275,6 +275,23 @@ impl Service {
         &self.coord
     }
 
+    /// Drain the persist-order sanitizer's diagnostics from every pool
+    /// (each shard's TM plus the decision log). Empty when the sanitizer
+    /// is off. Test plumbing: crash suites assert this stays free of
+    /// correctness diagnostics.
+    pub fn psan_diagnostics(&self) -> Vec<pmem::Diagnostic> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            if let Some(p) = s.tm.pmem().pool().psan() {
+                out.extend(p.take_diagnostics());
+            }
+        }
+        if let Some(p) = self.coord.log.pmem().pool().psan() {
+            out.extend(p.take_diagnostics());
+        }
+        out
+    }
+
     /// Install (or clear) the 2PC crash-injection hook: called at every
     /// [`TwoPcStep`] of every cross-shard batch; returning `true` poisons
     /// all pools and unwinds the submitting thread right there, exactly

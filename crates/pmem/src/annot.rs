@@ -24,6 +24,7 @@
 //! ```
 
 use crate::pool::{DurableImage, PmemConfig, PmemPool, LINE_WORDS};
+use psan::EntryRole;
 use std::sync::Arc;
 use tm::stats::TmStats;
 
@@ -162,11 +163,42 @@ impl AnnotPmem {
 
     /// Persist one write-set entry: `back = old`, `meta`, `data = new`,
     /// then flush the entry's line — Figure 1 lines 17–19.
+    ///
+    /// Built from the role-typed store building blocks below so the
+    /// persist-order sanitizer can enforce the epoch protocol (and so
+    /// adversarial fixtures can call them out of order on purpose).
     pub fn persist_entry(&self, tid: usize, a: usize, old: u64, new: u64, meta: Meta) {
+        self.store_back(tid, a, old);
+        self.store_meta(tid, a, meta);
+        self.store_data(tid, a, new);
+        self.flush_entry(tid, a);
+    }
+
+    /// Store user word `a`'s `back` (undo replica) word — step one of the
+    /// entry protocol.
+    pub fn store_back(&self, tid: usize, a: usize, old: u64) {
         let base = self.layout.entry_base(a);
-        self.pool.write(tid, base + F_BACK, old);
-        self.pool.write(tid, base + F_META, meta.0);
-        self.pool.write(tid, base + F_DATA, new);
+        self.pool
+            .write_role(tid, base + F_BACK, old, EntryRole::Back);
+    }
+
+    /// Store user word `a`'s `meta` (`{tid, pver}`) word — step two.
+    pub fn store_meta(&self, tid: usize, a: usize, meta: Meta) {
+        let base = self.layout.entry_base(a);
+        self.pool
+            .write_role(tid, base + F_META, meta.0, EntryRole::Meta);
+    }
+
+    /// Store user word `a`'s `data` (new value) word — step three.
+    pub fn store_data(&self, tid: usize, a: usize, new: u64) {
+        let base = self.layout.entry_base(a);
+        self.pool
+            .write_role(tid, base + F_DATA, new, EntryRole::Data);
+    }
+
+    /// Flush user word `a`'s entry line — the final step of the protocol.
+    pub fn flush_entry(&self, tid: usize, a: usize) {
+        let base = self.layout.entry_base(a);
         self.pool.flush_line(tid, base);
     }
 
@@ -181,7 +213,13 @@ impl AnnotPmem {
 
     /// Persist thread `tid`'s new persistent version number (Figure 1
     /// line 21): store + flush. The caller orders it with a fence.
+    ///
+    /// This is the commit-marker store — the moment recovery semantics
+    /// flip from "roll the staged entries back" to "keep them" — so it is
+    /// a strict sanitizer durability point: every line `tid` persisted
+    /// for this transaction must already be fenced.
     pub fn persist_pver(&self, tid: usize, ver: u64) {
+        self.pool.durability_point(tid, "annot::persist_pver");
         let w = self.layout.pver_word(tid);
         self.pool.write(tid, w, ver);
         self.pool.flush_line(tid, w);
@@ -234,6 +272,7 @@ mod tests {
             flush: FlushPolicy::Eager,
             eviction: EvictionPolicy::None,
             seed: 7,
+            psan: crate::PsanMode::Off,
         }
     }
 
@@ -296,6 +335,7 @@ mod tests {
         };
         let ap = AnnotPmem::new(l, &settings(), None);
         ap.persist_entry(0, 3, 1, 2, Meta::pack(0, 7));
+        ap.sfence(0);
         ap.persist_pver(0, 8);
         ap.pool().crash();
         let img = ap.pool().snapshot_durable();

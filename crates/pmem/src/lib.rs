@@ -38,5 +38,7 @@ pub mod pool;
 pub use annot::{AnnotPmem, Meta, ENTRY_WORDS};
 pub use latency::LatencyModel;
 pub use pool::{
-    DurableImage, EvictionPolicy, FlushPolicy, PmemConfig, PmemMode, PmemPool, LINE_WORDS,
+    DurableImage, EvictionPolicy, FlushPolicy, PmemConfig, PmemMode, PmemPool, PsanScope,
+    LINE_WORDS,
 };
+pub use psan::{DiagClass, Diagnostic, EntryRole, Psan, PsanMode};

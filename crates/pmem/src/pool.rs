@@ -36,6 +36,7 @@
 
 use crate::latency::{spin_ns, LatencyModel};
 use crossbeam::utils::CachePadded;
+use psan::{EntryRole, Psan, PsanMode};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use tm::crash::crash_unwind;
@@ -115,6 +116,10 @@ pub struct PmemConfig {
     pub eviction: EvictionPolicy,
     /// Seed for the per-thread RNG streams.
     pub seed: u64,
+    /// Persist-order sanitizer mode. `Off` (the default) costs nothing;
+    /// the `PSAN` environment variable upgrades `Off` at construction
+    /// (see [`PsanMode::env_upgraded`]).
+    pub psan: PsanMode,
 }
 
 impl PmemConfig {
@@ -129,6 +134,7 @@ impl PmemConfig {
             flush: FlushPolicy::Eager,
             eviction: EvictionPolicy::None,
             seed: 0x5eed_1234,
+            psan: PsanMode::Off,
         }
     }
 }
@@ -177,6 +183,9 @@ pub struct PmemPool {
     flush: FlushPolicy,
     eviction: EvictionPolicy,
     stats: Option<Arc<TmStats>>,
+    /// The persist-order sanitizer, when enabled. `None` keeps the hot
+    /// paths at a single never-taken branch.
+    psan: Option<Arc<Psan>>,
 }
 
 impl PmemPool {
@@ -244,6 +253,10 @@ impl PmemPool {
             flush: cfg.flush,
             eviction: cfg.eviction,
             stats,
+            psan: match cfg.psan.env_upgraded() {
+                PsanMode::Off => None,
+                mode => Some(Arc::new(Psan::new(mode, cfg.max_threads.max(1)))),
+            },
         }
     }
 
@@ -306,6 +319,25 @@ impl PmemPool {
     /// Store `v` to persistent word `w` (takes effect in the cache layer).
     pub fn write(&self, tid: usize, w: usize, v: u64) {
         self.check_crash();
+        if let Some(p) = &self.psan {
+            p.on_store(tid, w);
+        }
+        self.write_unsanitized(tid, w, v);
+    }
+
+    /// Store `v` to word `w` playing `role` in a colocated-undo entry, so
+    /// the sanitizer can enforce the `back` → `meta` → `data` epoch
+    /// protocol. Identical to [`PmemPool::write`] when the sanitizer is
+    /// off.
+    pub fn write_role(&self, tid: usize, w: usize, v: u64, role: EntryRole) {
+        self.check_crash();
+        if let Some(p) = &self.psan {
+            p.on_entry_store(tid, w, role);
+        }
+        self.write_unsanitized(tid, w, v);
+    }
+
+    fn write_unsanitized(&self, tid: usize, w: usize, v: u64) {
         spin_ns(self.lat.pm_write_ns);
         let line = w / LINE_WORDS;
         self.lock_line(line);
@@ -325,8 +357,11 @@ impl PmemPool {
     }
 
     /// Load persistent word `w` from the cache layer.
-    pub fn read(&self, _tid: usize, w: usize) -> u64 {
+    pub fn read(&self, tid: usize, w: usize) -> u64 {
         self.check_crash();
+        if let Some(p) = &self.psan {
+            p.on_load(tid, w);
+        }
         spin_ns(self.lat.pm_read_ns);
         self.cache[w].load(Ordering::Acquire)
     }
@@ -335,12 +370,19 @@ impl PmemPool {
     /// its write-back (completion per [`FlushPolicy`]).
     pub fn flush_line(&self, tid: usize, w: usize) {
         self.check_crash();
+        // The sanitizer tracks call discipline in every mode (eADR
+        // programs must still order their stores), before the mode
+        // early-outs below.
+        let redundant = self.psan.as_ref().is_some_and(|p| p.on_flush(tid, w));
         if self.mode != PmemMode::Nvram {
             return;
         }
         spin_ns(self.lat.flush_ns);
         if let Some(s) = &self.stats {
             s.bump(tid, Counter::Flush);
+            if redundant {
+                s.bump(tid, Counter::RedundantFlush);
+            }
         }
         let line = w / LINE_WORDS;
         let pt = &self.per_thread[tid];
@@ -362,6 +404,9 @@ impl PmemPool {
     /// `sfence`: block until this thread's initiated flushes are durable.
     pub fn sfence(&self, tid: usize) {
         self.check_crash();
+        if let Some(p) = &self.psan {
+            p.on_fence(tid);
+        }
         if self.mode != PmemMode::Nvram {
             return;
         }
@@ -393,6 +438,11 @@ impl PmemPool {
     /// operation unwinds its thread with a crash signal. Pending (unfenced)
     /// flushes are lost.
     pub fn crash(&self) {
+        // A crash legitimately strands unfenced lines on every thread;
+        // the sanitizer stops checking.
+        if let Some(p) = &self.psan {
+            p.on_crash();
+        }
         self.crashed.store(true, Ordering::SeqCst);
     }
 
@@ -404,9 +454,43 @@ impl PmemPool {
     /// Unwind the calling thread if the pool has crashed. TMs call this at
     /// transaction boundaries and inside spin loops so that threads blocked
     /// on volatile synchronization also go down with the power failure.
+    ///
+    /// A crash point is also a (relaxed) durability claim: the calling
+    /// thread is at a protocol boundary and must own no stored-but-never-
+    /// flushed lines, which the sanitizer checks when enabled.
     #[inline]
-    pub fn crash_point(&self) {
+    pub fn crash_point(&self, tid: usize) {
         self.check_crash();
+        if let Some(p) = &self.psan {
+            p.relaxed_point(tid, "crash_point");
+        }
+    }
+
+    /// Assert a **strict** durability point for `tid`: the program is
+    /// about to treat everything this thread persisted as durable (e.g.
+    /// a commit-marker store or prepared-transaction staging), so the
+    /// sanitizer demands all its lines fenced and all its cross-thread
+    /// dependencies resolved. A no-op when the sanitizer is off.
+    #[inline]
+    pub fn durability_point(&self, tid: usize, site: &'static str) {
+        if let Some(p) = &self.psan {
+            p.durability_point(tid, site);
+        }
+    }
+
+    /// Push sanitizer site label `site` for `tid`, popped when the guard
+    /// drops. Diagnostics report the innermost label active at the
+    /// offending store. Returns `None` (no tracking) when the sanitizer
+    /// is off.
+    pub fn psan_scope(&self, tid: usize, site: &'static str) -> Option<PsanScope<'_>> {
+        let p = self.psan.as_deref()?;
+        p.push_site(tid, site);
+        Some(PsanScope { psan: p, tid })
+    }
+
+    /// The sanitizer, when enabled (tests drain its diagnostics).
+    pub fn psan(&self) -> Option<&Arc<Psan>> {
+        self.psan.as_ref()
     }
 
     /// Capture the durable layer. Callers must have joined all worker
@@ -414,6 +498,15 @@ impl PmemPool {
     /// every thread has unwound). On an eADR platform the cache survives
     /// the power failure, so the image is the cache layer itself.
     pub fn snapshot_durable(&self) -> DurableImage {
+        // On a live NVM pool this is a whole-pool durability claim: any
+        // unfenced line would silently vanish from the image. (After a
+        // crash the sanitizer is disabled; on eADR everything stored
+        // survives, so there is nothing to check.)
+        if self.mode == PmemMode::Nvram && !self.is_crashed() {
+            if let Some(p) = &self.psan {
+                p.quiescent_check("snapshot_durable");
+            }
+        }
         let layer = if self.mode == PmemMode::Eadr {
             &self.cache
         } else {
@@ -437,6 +530,18 @@ impl PmemPool {
     /// Read a cache word without latency or crash checks (verification).
     pub fn cache_word(&self, w: usize) -> u64 {
         self.cache[w].load(Ordering::Relaxed)
+    }
+}
+
+/// RAII guard for a sanitizer site label (see [`PmemPool::psan_scope`]).
+pub struct PsanScope<'a> {
+    psan: &'a Psan,
+    tid: usize,
+}
+
+impl Drop for PsanScope<'_> {
+    fn drop(&mut self) {
+        self.psan.pop_site(self.tid);
     }
 }
 

@@ -70,6 +70,7 @@ fn run_against_model(ops: &[PoolOp], flush: FlushPolicy, words: usize) {
         flush,
         eviction: EvictionPolicy::None,
         seed: 1,
+        psan: pmem::PsanMode::Off,
     };
     let pool = PmemPool::new(&cfg, None);
     let mut model = Model {

@@ -1,0 +1,922 @@
+//! `psan` — a pmemcheck-style dynamic persist-order sanitizer.
+//!
+//! Every persistence protocol in this workspace (NV-HALT, Trinity's
+//! colocated-undo entries, SPHT's redo logs) is correct only because its
+//! stores to persistent memory are flushed and fenced in a precise order
+//! before each durability point. The sanitizer tracks that discipline at
+//! the call level: each `(thread, cache line)` pair moves through a small
+//! state machine —
+//!
+//! ```text
+//!             store              flush              fence
+//! (untracked) ─────▶ Dirty ────────────▶ FlushedPending ─────▶ (untracked)
+//!                      ▲                       │
+//!                      └──────── store ────────┘        (re-dirtied)
+//! ```
+//!
+//! — and violations of the protocol are reported as [`Diagnostic`]s in
+//! four classes:
+//!
+//! * **(a) unfenced durability point** — a point where the program treats
+//!   prior stores as durable (commit-marker store, `crash_point`,
+//!   `snapshot_durable`, prepared-transaction staging) is reached while
+//!   the thread still owns unfenced lines;
+//! * **(b) entry-protocol epoch violations** — the Trinity colocated-undo
+//!   entry must be written `back` → `meta` → `data` and only then
+//!   flushed; stores out of that order, a flush before the `data` store,
+//!   or a store into an entry already flushed this epoch are reported;
+//! * **(c) redundant flushes** — a flush of a line with no store since its
+//!   last flush does no work but costs full flush latency; counted as a
+//!   performance diagnostic (never fatal);
+//! * **(d) cross-thread persist races** — a thread reads another thread's
+//!   unfenced line and then reaches a durability point: its durable
+//!   decision depends on data that a crash can still lose.
+//!
+//! The sanitizer is wired into `pmem::PmemPool` behind an
+//! `Option<Arc<Psan>>` hook: when off (the default) the pool carries
+//! `None` and the hot paths pay nothing but a branch. Enable it per pool
+//! via `PmemConfig::psan` or globally with the `PSAN=1` (panic on first
+//! diagnostic) / `PSAN=record` (collect silently) environment variable.
+//!
+//! Diagnostics carry **site labels**: protocols push a label for the
+//! protocol step they are executing (e.g. `nvhalt::sw_commit`,
+//! `kvserve::coord::log_decision`) and each diagnostic reports both the
+//! label where it fired and the label under which the offending line was
+//! last stored.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Words per 64-byte cache line (mirrors `pmem::LINE_WORDS`; the crate is
+/// dependency-free so the constant is repeated here).
+const LINE_WORDS: usize = 8;
+
+/// How the sanitizer reacts to diagnostics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PsanMode {
+    /// Not tracking anything (the pool carries no sanitizer at all).
+    Off,
+    /// Track and collect diagnostics; never panic. Fixture tests use this
+    /// to inspect what fired.
+    Record,
+    /// Track and panic on the first non-perf diagnostic (redundant
+    /// flushes are only counted). Test suites run under this mode so an
+    /// ordering bug fails the offending test at the point of the bug.
+    Panic,
+}
+
+impl PsanMode {
+    /// The mode requested by the `PSAN` environment variable: `1`/`panic`
+    /// mean [`PsanMode::Panic`], `record` means [`PsanMode::Record`],
+    /// anything else (or unset) means [`PsanMode::Off`]. Parsed once.
+    pub fn from_env() -> PsanMode {
+        static ENV: OnceLock<PsanMode> = OnceLock::new();
+        *ENV.get_or_init(|| match std::env::var("PSAN").as_deref() {
+            Ok("1") | Ok("panic") => PsanMode::Panic,
+            Ok("record") => PsanMode::Record,
+            _ => PsanMode::Off,
+        })
+    }
+
+    /// This mode, upgraded by the environment: an explicit configuration
+    /// wins, `Off` defers to `PSAN`.
+    pub fn env_upgraded(self) -> PsanMode {
+        match self {
+            PsanMode::Off => PsanMode::from_env(),
+            explicit => explicit,
+        }
+    }
+}
+
+/// Which word of a Trinity colocated-undo entry a store targets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EntryRole {
+    /// The `back` (undo replica) word — must be stored first.
+    Back,
+    /// The `meta` (`{tid, pver}`) word — after `back`, before `data`.
+    Meta,
+    /// The `data` (new value) word — last, immediately before the flush.
+    Data,
+}
+
+/// What kind of violation a [`Diagnostic`] reports.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DiagClass {
+    /// Class (a): a durability point reached with unfenced lines.
+    UnfencedDurabilityPoint,
+    /// Class (b): entry stored out of `back` → `meta` → `data` order.
+    EntryStoreOrder,
+    /// Class (b): entry line flushed before its `data` store.
+    FlushBeforeStore,
+    /// Class (b): store into an entry already flushed this epoch.
+    StoreAfterFlush,
+    /// Class (c): flush of a line with no store since its last flush.
+    RedundantFlush,
+    /// Class (d): a durable decision depends on another thread's
+    /// unfenced line.
+    CrossThreadRace,
+}
+
+impl DiagClass {
+    /// Short label used in reports and assertions.
+    pub fn label(self) -> &'static str {
+        match self {
+            DiagClass::UnfencedDurabilityPoint => "unfenced-durability-point",
+            DiagClass::EntryStoreOrder => "entry-store-order",
+            DiagClass::FlushBeforeStore => "flush-before-store",
+            DiagClass::StoreAfterFlush => "store-after-flush",
+            DiagClass::RedundantFlush => "redundant-flush",
+            DiagClass::CrossThreadRace => "cross-thread-race",
+        }
+    }
+
+    /// True for purely performance-related diagnostics (never panic).
+    pub fn is_perf(self) -> bool {
+        matches!(self, DiagClass::RedundantFlush)
+    }
+}
+
+/// One sanitizer finding.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// The violation class.
+    pub class: DiagClass,
+    /// Thread that triggered the diagnostic.
+    pub tid: usize,
+    /// Cache line (index, not word) the diagnostic is about.
+    pub line: usize,
+    /// Site label active where the diagnostic fired (for durability
+    /// points, the point's own label).
+    pub site: String,
+    /// Site label under which the offending line was last stored.
+    pub store_site: String,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "psan[{}] tid={} line={} at `{}` (stored at `{}`): {}",
+            self.class.label(),
+            self.tid,
+            self.line,
+            self.site,
+            self.store_site,
+            self.detail
+        )
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LineState {
+    Dirty,
+    FlushedPending,
+}
+
+struct LineTrack {
+    state: LineState,
+    /// Innermost site label at the time of the last store.
+    store_site: &'static str,
+    /// Generation stamp distinguishing re-uses of the same `(tid, line)`
+    /// slot, so stale cross-thread dependencies do not misfire.
+    generation: u64,
+}
+
+#[derive(Default)]
+struct EntryEpoch {
+    back: bool,
+    meta: bool,
+    data: bool,
+    flushed: bool,
+}
+
+struct Dep {
+    writer: usize,
+    line: usize,
+    generation: u64,
+    store_site: &'static str,
+}
+
+struct State {
+    /// Per-thread stack of site labels (innermost last).
+    sites: Vec<Vec<&'static str>>,
+    /// `(tid, line)` → tracked state.
+    lines: HashMap<(usize, usize), LineTrack>,
+    /// `(tid, entry base word)` → per-epoch entry protocol progress.
+    entries: HashMap<(usize, usize), EntryEpoch>,
+    /// Per-thread cross-thread dependencies collected by loads.
+    deps: Vec<Vec<Dep>>,
+    /// Monotone generation counter for [`LineTrack::generation`].
+    next_generation: u64,
+}
+
+/// The sanitizer: one per [`pmem` pool], shared by all its threads.
+pub struct Psan {
+    mode: PsanMode,
+    state: Mutex<State>,
+    /// Per-thread count of lines in `Dirty` state (fast path for the very
+    /// hot relaxed checks in spin loops).
+    dirty: Vec<AtomicU32>,
+    /// Per-thread count of tracked (dirty or flushed-pending) lines.
+    tracked: Vec<AtomicU32>,
+    /// Per-thread "has recorded cross-thread deps" flag.
+    has_deps: Vec<AtomicBool>,
+    /// Total tracked lines across all threads (fast path for loads).
+    total_tracked: AtomicU32,
+    /// Count of redundant flushes observed (performance class).
+    redundant: AtomicU64,
+    diags: Mutex<Vec<Diagnostic>>,
+    /// Set on pool crash: a poisoned pool legitimately strands unfenced
+    /// lines on every thread, so checking stops.
+    disabled: AtomicBool,
+}
+
+impl Psan {
+    /// A sanitizer for `max_threads` thread slots.
+    pub fn new(mode: PsanMode, max_threads: usize) -> Psan {
+        let n = max_threads.max(1);
+        Psan {
+            mode,
+            state: Mutex::new(State {
+                sites: vec![Vec::new(); n],
+                lines: HashMap::new(),
+                entries: HashMap::new(),
+                deps: (0..n).map(|_| Vec::new()).collect(),
+                next_generation: 1,
+            }),
+            dirty: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            tracked: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            has_deps: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            total_tracked: AtomicU32::new(0),
+            redundant: AtomicU64::new(0),
+            diags: Mutex::new(Vec::new()),
+            disabled: AtomicBool::new(false),
+        }
+    }
+
+    /// The configured reaction mode.
+    pub fn mode(&self) -> PsanMode {
+        self.mode
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // A Panic-mode diagnostic unwinds through this mutex; keep later
+        // hooks (and test teardown) working instead of cascading poison.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[inline]
+    fn off(&self) -> bool {
+        self.disabled.load(Ordering::Relaxed)
+    }
+
+    /// Push a site label for thread `tid`; diagnostics report the
+    /// innermost label. Balance with [`Psan::pop_site`].
+    pub fn push_site(&self, tid: usize, site: &'static str) {
+        if self.off() {
+            return;
+        }
+        self.lock().sites[tid].push(site);
+    }
+
+    /// Pop the innermost site label of thread `tid`.
+    pub fn pop_site(&self, tid: usize) {
+        if self.off() {
+            return;
+        }
+        self.lock().sites[tid].pop();
+    }
+
+    fn site_of(state: &State, tid: usize) -> &'static str {
+        state.sites[tid].last().copied().unwrap_or("?")
+    }
+
+    /// Record `diag`; returns the panic message if the mode demands one
+    /// (the caller panics after dropping its locks).
+    fn record(&self, diag: Diagnostic) -> Option<String> {
+        let fatal = self.mode == PsanMode::Panic && !diag.class.is_perf();
+        let msg = fatal.then(|| diag.to_string());
+        self.diags
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(diag);
+        msg
+    }
+
+    fn track_store(&self, state: &mut State, tid: usize, line: usize) {
+        let site = Self::site_of(state, tid);
+        let generation = state.next_generation;
+        match state.lines.entry((tid, line)) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let t = e.get_mut();
+                if t.state == LineState::FlushedPending {
+                    // Re-dirtied between flush and fence: legitimate
+                    // (e.g. SPHT's checkpoint re-stores), just tracked.
+                    t.state = LineState::Dirty;
+                    self.dirty[tid].fetch_add(1, Ordering::Relaxed);
+                }
+                t.store_site = site;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(LineTrack {
+                    state: LineState::Dirty,
+                    store_site: site,
+                    generation,
+                });
+                state.next_generation += 1;
+                self.dirty[tid].fetch_add(1, Ordering::Relaxed);
+                self.tracked[tid].fetch_add(1, Ordering::Relaxed);
+                self.total_tracked.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// A plain store by `tid` to pool word `w`.
+    pub fn on_store(&self, tid: usize, w: usize) {
+        if self.off() {
+            return;
+        }
+        let mut state = self.lock();
+        self.track_store(&mut state, tid, w / LINE_WORDS);
+    }
+
+    /// A store by `tid` to word `w` playing `role` in a colocated-undo
+    /// entry (the Trinity protocol's `back` → `meta` → `data` epochs).
+    pub fn on_entry_store(&self, tid: usize, w: usize, role: EntryRole) {
+        if self.off() {
+            return;
+        }
+        let base = match role {
+            EntryRole::Data => w,
+            EntryRole::Back => w - 1,
+            EntryRole::Meta => w - 2,
+        };
+        let mut state = self.lock();
+        let site = Self::site_of(&state, tid);
+        let epoch = state.entries.entry((tid, base)).or_default();
+        let mut violation: Option<(DiagClass, String)> = None;
+        if epoch.flushed {
+            violation = Some((
+                DiagClass::StoreAfterFlush,
+                format!("{role:?} store into entry @{base} already flushed this epoch"),
+            ));
+        } else {
+            match role {
+                EntryRole::Back => {}
+                EntryRole::Meta if !epoch.back => {
+                    violation = Some((
+                        DiagClass::EntryStoreOrder,
+                        format!("meta stored before back in entry @{base}"),
+                    ));
+                }
+                EntryRole::Data if !epoch.meta => {
+                    violation = Some((
+                        DiagClass::EntryStoreOrder,
+                        format!("data stored before meta in entry @{base}"),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        match role {
+            EntryRole::Back => epoch.back = true,
+            EntryRole::Meta => epoch.meta = true,
+            EntryRole::Data => epoch.data = true,
+        }
+        self.track_store(&mut state, tid, w / LINE_WORDS);
+        drop(state);
+        if let Some((class, detail)) = violation {
+            let msg = self.record(Diagnostic {
+                class,
+                tid,
+                line: w / LINE_WORDS,
+                site: site.to_string(),
+                store_site: site.to_string(),
+                detail,
+            });
+            if let Some(m) = msg {
+                panic!("{m}");
+            }
+        }
+    }
+
+    /// A flush by `tid` of the line containing word `w`. Returns `true`
+    /// if the flush was redundant (no store since the last flush), so
+    /// the pool can count it into its statistics.
+    pub fn on_flush(&self, tid: usize, w: usize) -> bool {
+        if self.off() {
+            return false;
+        }
+        let line = w / LINE_WORDS;
+        let lo = line * LINE_WORDS;
+        let hi = lo + LINE_WORDS;
+        let mut state = self.lock();
+        let site = Self::site_of(&state, tid);
+        // Entry epochs living on this line: flushing before the data
+        // store persists a half-written entry.
+        let mut violation: Option<(DiagClass, String)> = None;
+        for ((t, base), epoch) in state.entries.iter_mut() {
+            if *t == tid && (lo..hi).contains(base) {
+                if (epoch.back || epoch.meta) && !epoch.data && violation.is_none() {
+                    violation = Some((
+                        DiagClass::FlushBeforeStore,
+                        format!("entry @{base} flushed before its data store"),
+                    ));
+                }
+                epoch.flushed = true;
+            }
+        }
+        let redundant = match state.lines.get_mut(&(tid, line)) {
+            Some(t) if t.state == LineState::Dirty => {
+                t.state = LineState::FlushedPending;
+                self.dirty[tid].fetch_sub(1, Ordering::Relaxed);
+                false
+            }
+            _ => true,
+        };
+        let store_site = state
+            .lines
+            .get(&(tid, line))
+            .map(|t| t.store_site)
+            .unwrap_or("?");
+        drop(state);
+        if redundant {
+            self.redundant.fetch_add(1, Ordering::Relaxed);
+            // Perf class: recorded, never fatal.
+            self.record(Diagnostic {
+                class: DiagClass::RedundantFlush,
+                tid,
+                line,
+                site: site.to_string(),
+                store_site: store_site.to_string(),
+                detail: "flush of a line with no store since its last flush".to_string(),
+            });
+        }
+        if let Some((class, detail)) = violation {
+            let msg = self.record(Diagnostic {
+                class,
+                tid,
+                line,
+                site: site.to_string(),
+                store_site: store_site.to_string(),
+                detail,
+            });
+            if let Some(m) = msg {
+                panic!("{m}");
+            }
+        }
+        redundant
+    }
+
+    /// A persist fence by `tid`: its flushed-pending lines become
+    /// durable (untracked); dirty lines survive the fence. Entry epochs
+    /// end here.
+    pub fn on_fence(&self, tid: usize) {
+        if self.off() {
+            return;
+        }
+        let mut state = self.lock();
+        let mut fenced = 0u32;
+        state.lines.retain(|&(t, _), track| {
+            if t == tid && track.state == LineState::FlushedPending {
+                fenced += 1;
+                false
+            } else {
+                true
+            }
+        });
+        state.entries.retain(|&(t, _), _| t != tid);
+        drop(state);
+        if fenced > 0 {
+            self.tracked[tid].fetch_sub(fenced, Ordering::Relaxed);
+            self.total_tracked.fetch_sub(fenced, Ordering::Relaxed);
+        }
+    }
+
+    /// A load by `tid` of pool word `w`: if another thread currently owns
+    /// the line unfenced, `tid`'s next durable decision depends on data a
+    /// crash can still lose — remember the dependency.
+    pub fn on_load(&self, tid: usize, w: usize) {
+        if self.off() || self.total_tracked.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let line = w / LINE_WORDS;
+        let mut state = self.lock();
+        let found = state.iter_writers(tid, line);
+        if let Some((writer, generation, store_site)) = found {
+            let deps = &mut state.deps[tid];
+            if !deps
+                .iter()
+                .any(|d| d.writer == writer && d.line == line && d.generation == generation)
+            {
+                deps.push(Dep {
+                    writer,
+                    line,
+                    generation,
+                    store_site,
+                });
+                self.has_deps[tid].store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// A **relaxed** durability point for `tid` (`crash_point`): the
+    /// thread is at a protocol boundary and must not own lines it stored
+    /// but never even flushed. Flushed-pending lines are tolerated (the
+    /// protocol may batch several flushes before one fence).
+    pub fn relaxed_point(&self, tid: usize, site: &'static str) {
+        if self.off() || self.dirty[tid].load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let state = self.lock();
+        let offender = state
+            .lines
+            .iter()
+            .find(|(&(t, _), track)| t == tid && track.state == LineState::Dirty)
+            .map(|(&(_, line), track)| (line, track.store_site));
+        drop(state);
+        if let Some((line, store_site)) = offender {
+            let msg = self.record(Diagnostic {
+                class: DiagClass::UnfencedDurabilityPoint,
+                tid,
+                line,
+                site: site.to_string(),
+                store_site: store_site.to_string(),
+                detail: "crash-consistency boundary reached with an unflushed line".to_string(),
+            });
+            if let Some(m) = msg {
+                panic!("{m}");
+            }
+        }
+    }
+
+    /// A **strict** durability point for `tid` (commit-marker store,
+    /// prepared-transaction staging): everything this thread stored must
+    /// be fenced, and every cross-thread line it depends on must be too.
+    pub fn durability_point(&self, tid: usize, site: &'static str) {
+        if self.off() {
+            return;
+        }
+        if self.tracked[tid].load(Ordering::Relaxed) == 0
+            && !self.has_deps[tid].load(Ordering::Relaxed)
+        {
+            return;
+        }
+        let mut state = self.lock();
+        let own = state
+            .lines
+            .iter()
+            .find(|(&(t, _), _)| t == tid)
+            .map(|(&(_, line), track)| (line, track.store_site));
+        let race = {
+            let deps = std::mem::take(&mut state.deps[tid]);
+            self.has_deps[tid].store(false, Ordering::Relaxed);
+            deps.into_iter().find(|d| {
+                state
+                    .lines
+                    .get(&(d.writer, d.line))
+                    .is_some_and(|t| t.generation == d.generation)
+            })
+        };
+        drop(state);
+        let mut msgs = Vec::new();
+        if let Some((line, store_site)) = own {
+            if let Some(m) = self.record(Diagnostic {
+                class: DiagClass::UnfencedDurabilityPoint,
+                tid,
+                line,
+                site: site.to_string(),
+                store_site: store_site.to_string(),
+                detail: "durability point reached with an unfenced line".to_string(),
+            }) {
+                msgs.push(m);
+            }
+        }
+        if let Some(d) = race {
+            if let Some(m) = self.record(Diagnostic {
+                class: DiagClass::CrossThreadRace,
+                tid,
+                line: d.line,
+                site: site.to_string(),
+                store_site: d.store_site.to_string(),
+                detail: format!(
+                    "durable decision depends on thread {}'s unfenced line",
+                    d.writer
+                ),
+            }) {
+                msgs.push(m);
+            }
+        }
+        if let Some(m) = msgs.into_iter().next() {
+            panic!("{m}");
+        }
+    }
+
+    /// A whole-pool durability claim (`snapshot_durable` on a live,
+    /// non-crashed pool): no thread may own unfenced lines.
+    pub fn quiescent_check(&self, site: &'static str) {
+        if self.off() || self.total_tracked.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let state = self.lock();
+        let offender = state
+            .lines
+            .iter()
+            .next()
+            .map(|(&(tid, line), track)| (tid, line, track.store_site));
+        drop(state);
+        if let Some((tid, line, store_site)) = offender {
+            let msg = self.record(Diagnostic {
+                class: DiagClass::UnfencedDurabilityPoint,
+                tid,
+                line,
+                site: site.to_string(),
+                store_site: store_site.to_string(),
+                detail: "durable snapshot taken while a line is unfenced".to_string(),
+            });
+            if let Some(m) = msg {
+                panic!("{m}");
+            }
+        }
+    }
+
+    /// The pool crashed: every thread legitimately strands its in-flight
+    /// lines, so tracking stops for good.
+    pub fn on_crash(&self) {
+        self.disabled.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`Psan::on_crash`] ran.
+    pub fn is_disabled(&self) -> bool {
+        self.off()
+    }
+
+    /// Redundant flushes observed so far (performance class (c)).
+    pub fn redundant_flushes(&self) -> u64 {
+        self.redundant.load(Ordering::Relaxed)
+    }
+
+    /// Number of diagnostics collected so far.
+    pub fn diag_count(&self) -> usize {
+        self.diags.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Drain and return the collected diagnostics.
+    pub fn take_diagnostics(&self) -> Vec<Diagnostic> {
+        std::mem::take(&mut *self.diags.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl State {
+    /// The first other thread currently owning `line` unfenced, if any.
+    fn iter_writers(&self, reader: usize, line: usize) -> Option<(usize, u64, &'static str)> {
+        self.lines.iter().find_map(|(&(t, l), track)| {
+            (t != reader && l == line).then_some((t, track.generation, track.store_site))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn psan() -> Psan {
+        Psan::new(PsanMode::Record, 4)
+    }
+
+    fn classes(p: &Psan) -> Vec<DiagClass> {
+        p.take_diagnostics().iter().map(|d| d.class).collect()
+    }
+
+    #[test]
+    fn clean_store_flush_fence_cycle_has_no_diagnostics() {
+        let p = psan();
+        p.on_store(0, 3);
+        p.on_flush(0, 3);
+        p.on_fence(0);
+        p.durability_point(0, "test");
+        assert!(classes(&p).is_empty());
+        assert_eq!(p.redundant_flushes(), 0);
+    }
+
+    #[test]
+    fn strict_point_reports_unfenced_line() {
+        let p = psan();
+        p.push_site(0, "writer");
+        p.on_store(0, 3);
+        p.pop_site(0);
+        p.durability_point(0, "marker");
+        let d = p.take_diagnostics();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].class, DiagClass::UnfencedDurabilityPoint);
+        assert_eq!(d[0].site, "marker");
+        assert_eq!(d[0].store_site, "writer");
+    }
+
+    #[test]
+    fn flushed_but_unfenced_still_fails_strict_point() {
+        let p = psan();
+        p.on_store(0, 3);
+        p.on_flush(0, 3);
+        p.durability_point(0, "marker");
+        assert_eq!(classes(&p), vec![DiagClass::UnfencedDurabilityPoint]);
+    }
+
+    #[test]
+    fn relaxed_point_tolerates_flushed_pending() {
+        let p = psan();
+        p.on_store(0, 3);
+        p.on_flush(0, 3);
+        p.relaxed_point(0, "crash_point");
+        assert!(classes(&p).is_empty());
+        p.on_store(0, 11);
+        p.relaxed_point(0, "crash_point");
+        assert_eq!(classes(&p), vec![DiagClass::UnfencedDurabilityPoint]);
+    }
+
+    #[test]
+    fn fence_clears_only_flushed_lines() {
+        let p = psan();
+        p.on_store(0, 0); // line 0, flushed below
+        p.on_store(0, 8); // line 1, left dirty
+        p.on_flush(0, 0);
+        p.on_fence(0);
+        p.relaxed_point(0, "crash_point");
+        let d = p.take_diagnostics();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn entry_epoch_order_enforced() {
+        let p = psan();
+        // Correct order: back (base+1), meta (base+2), data (base).
+        p.on_entry_store(0, 41, EntryRole::Back);
+        p.on_entry_store(0, 42, EntryRole::Meta);
+        p.on_entry_store(0, 40, EntryRole::Data);
+        p.on_flush(0, 40);
+        p.on_fence(0);
+        assert!(classes(&p).is_empty());
+        // Data before meta.
+        p.on_entry_store(0, 41, EntryRole::Back);
+        p.on_entry_store(0, 40, EntryRole::Data);
+        assert_eq!(classes(&p), vec![DiagClass::EntryStoreOrder]);
+        // Meta before back (new epoch after a fence).
+        p.on_fence(0);
+        p.on_entry_store(0, 42, EntryRole::Meta);
+        assert_eq!(classes(&p), vec![DiagClass::EntryStoreOrder]);
+    }
+
+    #[test]
+    fn flush_before_data_store_detected() {
+        let p = psan();
+        p.on_entry_store(0, 41, EntryRole::Back);
+        p.on_entry_store(0, 42, EntryRole::Meta);
+        p.on_flush(0, 40);
+        assert_eq!(classes(&p), vec![DiagClass::FlushBeforeStore]);
+    }
+
+    #[test]
+    fn store_after_flush_detected() {
+        let p = psan();
+        p.on_entry_store(0, 41, EntryRole::Back);
+        p.on_entry_store(0, 42, EntryRole::Meta);
+        p.on_entry_store(0, 40, EntryRole::Data);
+        p.on_flush(0, 40);
+        p.on_entry_store(0, 40, EntryRole::Data);
+        assert_eq!(classes(&p), vec![DiagClass::StoreAfterFlush]);
+    }
+
+    #[test]
+    fn redundant_flush_counted_not_fatal() {
+        let p = Psan::new(PsanMode::Panic, 1);
+        p.on_store(0, 3);
+        assert!(!p.on_flush(0, 3));
+        assert!(p.on_flush(0, 3), "second flush with no store is redundant");
+        assert_eq!(p.redundant_flushes(), 1);
+        assert_eq!(classes(&p), vec![DiagClass::RedundantFlush]);
+    }
+
+    #[test]
+    fn flush_of_untouched_line_is_redundant() {
+        let p = psan();
+        assert!(p.on_flush(0, 64));
+        assert_eq!(p.redundant_flushes(), 1);
+    }
+
+    #[test]
+    fn redirty_between_flush_and_fence_is_legitimate() {
+        let p = psan();
+        p.on_store(0, 3);
+        p.on_flush(0, 3);
+        p.on_store(0, 4); // same line, re-dirty
+        assert!(!p.on_flush(0, 4), "re-dirtied line needs its flush");
+        p.on_fence(0);
+        p.durability_point(0, "marker");
+        assert!(classes(&p).is_empty());
+    }
+
+    #[test]
+    fn cross_thread_race_detected_and_cleared() {
+        let p = psan();
+        p.push_site(1, "writer-site");
+        p.on_store(1, 8);
+        p.pop_site(1);
+        p.on_load(0, 8);
+        p.durability_point(0, "decision");
+        let d = p.take_diagnostics();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].class, DiagClass::CrossThreadRace);
+        assert_eq!(d[0].site, "decision");
+        assert_eq!(d[0].store_site, "writer-site");
+        // Deps were consumed by the check.
+        p.durability_point(0, "decision");
+        assert!(classes(&p).is_empty());
+    }
+
+    #[test]
+    fn no_race_when_writer_fenced_first() {
+        let p = psan();
+        p.on_store(1, 8);
+        p.on_load(0, 8);
+        p.on_flush(1, 8);
+        p.on_fence(1);
+        p.durability_point(0, "decision");
+        assert!(classes(&p).is_empty());
+    }
+
+    #[test]
+    fn stale_generation_does_not_misfire() {
+        let p = psan();
+        p.on_store(1, 8);
+        p.on_load(0, 8);
+        p.on_flush(1, 8);
+        p.on_fence(1);
+        // Writer re-dirties the same line with a *new* store; the old dep
+        // must not blame the new store.
+        p.on_store(1, 8);
+        p.durability_point(0, "decision");
+        assert!(classes(&p).is_empty());
+    }
+
+    #[test]
+    fn quiescent_check_sees_any_thread() {
+        let p = psan();
+        p.on_store(2, 8);
+        p.quiescent_check("snapshot_durable");
+        let d = p.take_diagnostics();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].tid, 2);
+        assert_eq!(d[0].site, "snapshot_durable");
+    }
+
+    #[test]
+    fn crash_disables_checking() {
+        let p = psan();
+        p.on_store(0, 3);
+        p.on_crash();
+        assert!(p.is_disabled());
+        p.durability_point(0, "marker");
+        p.quiescent_check("snapshot");
+        assert!(classes(&p).is_empty());
+    }
+
+    #[test]
+    fn panic_mode_panics_on_violation() {
+        let p = Psan::new(PsanMode::Panic, 1);
+        p.on_store(0, 3);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.durability_point(0, "marker");
+        }));
+        let err = r.expect_err("must panic");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("unfenced-durability-point"), "{msg}");
+        assert!(msg.contains("marker"), "{msg}");
+    }
+
+    #[test]
+    fn site_stack_nests() {
+        let p = psan();
+        p.push_site(0, "outer");
+        p.push_site(0, "inner");
+        p.on_store(0, 3);
+        p.pop_site(0);
+        p.pop_site(0);
+        p.durability_point(0, "point");
+        let d = p.take_diagnostics();
+        assert_eq!(d[0].store_site, "inner");
+    }
+
+    #[test]
+    fn env_upgrade_only_applies_to_off() {
+        assert_eq!(PsanMode::Record.env_upgraded(), PsanMode::Record);
+        assert_eq!(PsanMode::Panic.env_upgraded(), PsanMode::Panic);
+        // `Off.env_upgraded()` depends on the environment; both outcomes
+        // are consistent with `from_env`.
+        assert_eq!(PsanMode::Off.env_upgraded(), PsanMode::from_env());
+    }
+}

@@ -236,6 +236,7 @@ impl Spht {
             ts.log_head + need < self.cfg.log_words,
             "transaction write set larger than the SPHT log"
         );
+        let _psan = self.pmem.psan_scope(tid, "spht::write_record");
         let base = self.layout.log_base(tid) + ts.log_head;
         self.pmem.write(tid, base, ts.redo.len() as u64);
         for (i, &(a, v)) in ts.redo.iter().enumerate() {
@@ -248,17 +249,22 @@ impl Spht {
             w += LINE_WORDS;
         }
         self.pmem.sfence(tid);
+        // Truncate the *next* record slot (reads n = 0) before the validity
+        // marker, so the marker's flush/fence batch below also covers the
+        // truncation store (it must not still be in the cache when the
+        // record is declared complete).
+        let next = base + need;
+        if ts.log_head + need < self.cfg.log_words {
+            self.pmem.write(tid, next, 0);
+            if next / LINE_WORDS != (base + need - 1) / LINE_WORDS {
+                self.pmem.flush_line(tid, next);
+            }
+        }
         // Validity marker last: a record is complete iff its ts is set.
         self.pmem.write(tid, base + need - 1, cts);
         self.pmem.flush_line(tid, base + need - 1);
         self.pmem.sfence(tid);
         ts.log_head += need;
-        // Truncate: the next record slot reads n = 0.
-        let next = self.layout.log_base(tid) + ts.log_head;
-        if ts.log_head < self.cfg.log_words {
-            self.pmem.write(tid, next, 0);
-            self.pmem.flush_line(tid, next);
-        }
     }
 
     /// Block until every thread whose current timestamp precedes `cts` has
@@ -274,7 +280,7 @@ impl Spht {
                 if (s >> 1) > cts || s & 1 == 1 {
                     break;
                 }
-                self.pmem.crash_point();
+                self.pmem.crash_point(tid);
                 std::hint::spin_loop();
                 std::thread::yield_now();
             }
@@ -286,6 +292,7 @@ impl Spht {
     /// Advance the durable global marker to at least `cts` before the
     /// commit returns (threads free-ride on larger flushes).
     fn advance_marker(&self, tid: usize, cts: u64) {
+        let _psan = self.pmem.psan_scope(tid, "spht::advance_marker");
         let mut m = self.marker.lock();
         if m.0 < cts {
             m.0 = cts;
@@ -297,6 +304,9 @@ impl Spht {
             self.pmem.sfence(tid);
             m.1 = target;
         }
+        // The marker claims every record at or below `cts` durable; nothing
+        // of ours may still be sitting unfenced in the cache.
+        self.pmem.durability_point(tid, "spht::marker_durable");
     }
 
     /// The full post-`xend` durability protocol for a writing transaction.
@@ -423,8 +433,9 @@ impl Spht {
             let base = self.layout.log_base(t);
             self.pmem.write(t, base, 0);
             self.pmem.flush_line(t, base);
+            // Fence per thread: each tid issued its own truncation flush.
+            self.pmem.sfence(t);
         }
-        self.pmem.sfence(0);
         let n = total.load(Ordering::Relaxed);
         self.stats.add(0, Counter::Replayed, n);
         n
@@ -571,7 +582,7 @@ impl Spht {
         // abort). The nt_cas bumps the lock's HTM slot, dooming in-flight
         // subscribers — exactly the coherence effect on real hardware.
         loop {
-            self.pmem.crash_point();
+            self.pmem.crash_point(tid);
             if self.htm.nt_cas(&self.global_lock, 0, 1).is_ok() {
                 break;
             }
@@ -667,7 +678,7 @@ impl Tm for Spht {
         let mut attempt = 0usize;
         let mut capacity_aborts = 0usize;
         loop {
-            self.pmem.crash_point();
+            self.pmem.crash_point(tid);
             let choice = self.cfg.policy.choose(attempt, capacity_aborts);
             let out = match choice {
                 PathChoice::Hw => self.attempt_hw(ts, tid, attempt, body),

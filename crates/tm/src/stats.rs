@@ -30,6 +30,9 @@ pub enum Counter {
     Cancelled,
     /// Cache-line flushes issued.
     Flush,
+    /// Flushes of lines with no store since their last flush (wasted
+    /// flush latency; reported by the persist-order sanitizer).
+    RedundantFlush,
     /// Persist fences issued.
     Fence,
     /// Words written back to persistent memory.
@@ -55,6 +58,7 @@ impl Counter {
         Counter::SwAbort,
         Counter::Cancelled,
         Counter::Flush,
+        Counter::RedundantFlush,
         Counter::Fence,
         Counter::PmWords,
         Counter::OrderWaitNs,
@@ -73,6 +77,7 @@ impl Counter {
             Counter::SwAbort => "sw_abort",
             Counter::Cancelled => "cancelled",
             Counter::Flush => "flush",
+            Counter::RedundantFlush => "flush_redundant",
             Counter::Fence => "fence",
             Counter::PmWords => "pm_words",
             Counter::OrderWaitNs => "order_wait_ns",

@@ -324,6 +324,7 @@ impl Trinity {
         }
         // Persist (Trinity) and apply the write set, then release locks
         // stamped with the commit version wv.
+        let _psan = self.pmem.pool().psan_scope(tid, "trinity::commit");
         let meta = Meta::pack(tid, ts.pver);
         for &(a, val) in ts.wset.iter() {
             let old = self.vol[a as usize].load(Ordering::Acquire);
@@ -432,6 +433,7 @@ impl Trinity {
         ts.pwv = self.gvc.fetch_add(1, Ordering::AcqRel) + 1;
         // Stage the writes durably *below* the current pver: a crash before
         // the decision recovers them as incomplete and rolls them back.
+        let _psan = self.pmem.pool().psan_scope(tid, "trinity::prepare");
         ts.pundo.clear();
         let meta = Meta::pack(tid, ts.pver);
         for &(a, val) in ts.wset.iter() {
@@ -441,6 +443,11 @@ impl Trinity {
             self.vol[a as usize].store(val, Ordering::Release);
         }
         self.pmem.sfence(tid);
+        // The coordinator may record its durable decision as soon as
+        // `prepare` returns: every staged entry must already be fenced.
+        self.pmem
+            .pool()
+            .durability_point(tid, "trinity::prepare_staged");
         true
     }
 }
@@ -460,7 +467,7 @@ impl TmPrepare for Trinity {
         );
         let mut attempt = 0usize;
         loop {
-            self.pmem.pool().crash_point();
+            self.pmem.pool().crash_point(tid);
             match self.attempt_prepare(ts, tid, attempt, body)? {
                 Some(r) => return Ok(r),
                 None => {
@@ -479,7 +486,8 @@ impl TmPrepare for Trinity {
             ts.prepared,
             "commit_prepared without a prepared transaction"
         );
-        self.pmem.pool().crash_point();
+        self.pmem.pool().crash_point(tid);
+        let _psan = self.pmem.pool().psan_scope(tid, "trinity::commit_prepared");
         ts.pver += 1;
         self.pmem.persist_pver(tid, ts.pver);
         self.pmem.sfence(tid);
@@ -495,9 +503,10 @@ impl TmPrepare for Trinity {
         let mut guard = self.threads[tid].lock();
         let ts = &mut *guard;
         assert!(ts.prepared, "abort_prepared without a prepared transaction");
-        self.pmem.pool().crash_point();
+        self.pmem.pool().crash_point(tid);
         // Durably restore the old values with `back == data` so a later
         // pver bump by this thread cannot resurrect the aborted writes.
+        let _psan = self.pmem.pool().psan_scope(tid, "trinity::abort_prepared");
         let meta = Meta::pack(tid, ts.pver);
         for &(a, old) in ts.pundo.iter() {
             self.vol[a as usize].store(old, Ordering::Release);
@@ -532,7 +541,7 @@ impl Tm for Trinity {
         );
         let mut attempt = 0usize;
         loop {
-            self.pmem.pool().crash_point();
+            self.pmem.pool().crash_point(tid);
             match self.attempt(ts, tid, attempt, body)? {
                 Some(r) => return Ok(r),
                 None => {

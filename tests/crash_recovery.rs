@@ -7,7 +7,7 @@
 
 use nv_halt::prelude::*;
 use nvhalt::NvHaltConfig;
-use pmem::{EvictionPolicy, FlushPolicy};
+use pmem::{EvictionPolicy, FlushPolicy, PsanMode};
 use std::collections::HashMap as StdHashMap;
 use std::sync::Mutex;
 use tm::crash::run_crashable;
@@ -281,4 +281,56 @@ fn repeated_crash_recover_cycles_converge() {
         tm.crash();
         image = Some(tm.crash_image());
     }
+}
+
+// ----------------------------------------------------------------------
+// Persist-order sanitizer: the same crash workloads with psan recording
+// must produce zero correctness diagnostics, before and after recovery.
+// ----------------------------------------------------------------------
+
+fn assert_psan_clean(p: &pmem::PmemPool, what: &str) {
+    let diags: Vec<_> = p
+        .psan()
+        .expect("sanitizer enabled")
+        .take_diagnostics()
+        .into_iter()
+        .filter(|d| !d.class.is_perf())
+        .collect();
+    assert!(diags.is_empty(), "{what}: {diags:?}");
+}
+
+#[test]
+fn nvhalt_crash_workload_is_psan_clean() {
+    let mut cfg = nv_cfg(FlushPolicy::Deferred, EvictionPolicy::None);
+    cfg.pm.psan = PsanMode::Record;
+    let tm = NvHalt::new(cfg.clone());
+    let committed = run_workload_and_crash(&tm);
+    assert_psan_clean(tm.pmem().pool(), "nvhalt pre-crash");
+    let rec = NvHalt::recover(cfg, &tm.crash_image(), []);
+    check_slots(&committed, |s| rec.read_raw(Addr(s)));
+    assert_psan_clean(rec.pmem().pool(), "nvhalt post-recovery");
+}
+
+#[test]
+fn trinity_crash_workload_is_psan_clean() {
+    let mut cfg = TrinityConfig::test(1 << 12, THREADS);
+    cfg.pm.psan = PsanMode::Record;
+    let tm = Trinity::new(cfg.clone());
+    let committed = run_workload_and_crash(&tm);
+    assert_psan_clean(tm.pmem().pool(), "trinity pre-crash");
+    let rec = Trinity::recover(cfg, &tm.crash_image(), []);
+    check_slots(&committed, |s| rec.read_raw(Addr(s)));
+    assert_psan_clean(rec.pmem().pool(), "trinity post-recovery");
+}
+
+#[test]
+fn spht_crash_workload_is_psan_clean() {
+    let mut cfg = SphtConfig::test(1 << 12, THREADS);
+    cfg.pm.psan = PsanMode::Record;
+    let tm = Spht::new(cfg.clone());
+    let committed = run_workload_and_crash(&tm);
+    assert_psan_clean(tm.pool(), "spht pre-crash");
+    let rec = Spht::recover(cfg, &tm.crash_image());
+    check_slots(&committed, |s| rec.read_raw(Addr(s)));
+    assert_psan_clean(rec.pool(), "spht post-recovery");
 }

@@ -198,3 +198,57 @@ fn recovery_of_idle_service_is_lossless() {
         assert_eq!(svc.get(k), Ok(Some(k + 7)));
     }
 }
+
+/// Mid-flight crash cycles with the persist-order sanitizer recording:
+/// the service's shard TMs and decision log must produce zero
+/// correctness diagnostics, before every crash and after recovery.
+#[test]
+fn crash_cycles_are_psan_clean() {
+    let mut cfg = torture_cfg();
+    cfg.nvhalt.pm.psan = pmem::PsanMode::Record;
+    let mut svc = Service::new(cfg);
+
+    for cycle in 0..10u64 {
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let svc = &svc;
+            let stop = &stop;
+            for w in 0..2u64 {
+                scope.spawn(move || {
+                    let mut v = cycle * 10_000 + 1;
+                    while !stop.load(Ordering::Acquire) {
+                        match svc.put(w, v) {
+                            Ok(_) => v += 1,
+                            Err(ServeError::Overloaded { retry_after }) => {
+                                std::thread::sleep(retry_after)
+                            }
+                            Err(ServeError::Timeout) | Err(ServeError::Stopped) => break,
+                            Err(e) => panic!("unexpected service error: {e}"),
+                        }
+                    }
+                });
+            }
+            std::thread::sleep(Duration::from_micros(400 + cycle * 211));
+            svc.poison();
+            stop.store(true, Ordering::Release);
+        });
+        let diags: Vec<_> = svc
+            .psan_diagnostics()
+            .into_iter()
+            .filter(|d| !d.class.is_perf())
+            .collect();
+        assert!(diags.is_empty(), "cycle {cycle}: {diags:?}");
+        svc = Service::recover(svc.crash());
+    }
+
+    // The recovered pools record too: a clean tail workload stays clean.
+    for k in 0..64u64 {
+        svc.put(k, k).unwrap();
+    }
+    let diags: Vec<_> = svc
+        .psan_diagnostics()
+        .into_iter()
+        .filter(|d| !d.class.is_perf())
+        .collect();
+    assert!(diags.is_empty(), "post-recovery: {diags:?}");
+}

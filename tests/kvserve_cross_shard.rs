@@ -180,3 +180,42 @@ fn seeded_random_crash_cycles_match_a_model() {
         }
     }
 }
+
+/// Crash the 2PC protocol at every step with the persist-order sanitizer
+/// recording: neither the shard TMs nor the decision log may produce a
+/// correctness diagnostic at any step, before or after recovery.
+#[test]
+fn twopc_crash_steps_are_psan_clean() {
+    let mut c = cfg();
+    c.nvhalt.pm.psan = pmem::PsanMode::Record;
+    let mut svc = Service::new(c);
+    let keys = keys_per_shard(&svc);
+    let seed: Vec<MapOp> = keys.iter().map(|&k| MapOp::Insert(k, k)).collect();
+    svc.batch(seed).expect("seeding batch must commit");
+
+    for (i, &step) in TwoPcStep::ALL.iter().enumerate() {
+        let ops: Vec<MapOp> = keys
+            .iter()
+            .map(|&k| MapOp::Insert(k, i as u64 * 100 + k))
+            .collect();
+        svc.set_twopc_crash_hook(Some(Arc::new(move |s| s == step)));
+        assert_eq!(svc.batch(ops), Err(ServeError::Stopped));
+        let diags: Vec<_> = svc
+            .psan_diagnostics()
+            .into_iter()
+            .filter(|d| !d.class.is_perf())
+            .collect();
+        assert!(diags.is_empty(), "step {step:?} pre-crash: {diags:?}");
+        svc = Service::recover(svc.crash());
+    }
+
+    // A clean cross-shard batch on the recovered service stays clean.
+    let ops: Vec<MapOp> = keys.iter().map(|&k| MapOp::Insert(k, k + 9)).collect();
+    svc.batch(ops).expect("clean batch after recovery");
+    let diags: Vec<_> = svc
+        .psan_diagnostics()
+        .into_iter()
+        .filter(|d| !d.class.is_perf())
+        .collect();
+    assert!(diags.is_empty(), "post-recovery: {diags:?}");
+}
