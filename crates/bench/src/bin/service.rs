@@ -15,9 +15,17 @@
 //! throughput should rise with `batch_max`); pass `--fast` to zero the
 //! latency model for a quick functional sweep.
 //!
+//! `--repl` runs every cell with per-shard follower replication and
+//! semi-synchronous acks: the report gains the replication lag (entries
+//! the followers' applied state is behind the primaries) and each cell
+//! ends with a full failover — every primary pool dropped, the followers
+//! promoted — reporting the measured failover time.
+//!
 //! ```text
 //! cargo run -p bench --release --bin service -- \
 //!     --shards 1,2,4 --batch 1,8 --clients 8 --seconds 0.4
+//! cargo run -p bench --release --bin service -- \
+//!     --mixes update-heavy --repl --fast
 //! ```
 
 use bench::{fmt_tput, Args};
@@ -78,6 +86,7 @@ struct Sweep {
     seconds: f64,
     keys: u64,
     fast: bool,
+    repl: bool,
 }
 
 fn main() {
@@ -99,13 +108,19 @@ fn main() {
         seconds: args.get_or("seconds", 0.4),
         keys: args.get_or("keys", 1u64 << 13),
         fast: args.get("fast").is_some(),
+        repl: args.get("repl").is_some(),
     };
     println!(
-        "kvserve service benchmark: {} keys, {} clients, {:.2}s per cell, pm={}",
+        "kvserve service benchmark: {} keys, {} clients, {:.2}s per cell, pm={}{}",
         sweep.keys,
         sweep.clients,
         sweep.seconds,
         if sweep.fast { "zero-latency" } else { "optane" },
+        if sweep.repl {
+            ", replication=semi-sync"
+        } else {
+            ""
+        },
     );
     for &mix in &sweep.mixes {
         for &shards in &sweep.shard_counts {
@@ -123,6 +138,7 @@ fn service_config(sweep: &Sweep, shards: usize, batch: usize) -> ServiceConfig {
     cfg.buckets_per_shard = ((sweep.keys as usize / shards).next_power_of_two()).max(64);
     cfg.heap_words_per_shard = (sweep.keys as usize * 8 / shards).max(1 << 16);
     cfg.default_deadline = Duration::from_secs(2);
+    cfg.replication = sweep.repl;
     if !sweep.fast {
         cfg.nvhalt.pm.lat = LatencyModel::optane();
     }
@@ -212,6 +228,21 @@ fn run_cell(sweep: &Sweep, mix: Mix, shards: usize, batch: usize) {
     );
     if snap.coordinator.cross_batches > 0 {
         println!("  {}", snap.coordinator);
+    }
+    if let Some(repl) = &snap.replication {
+        println!("  {repl}");
+    }
+    if sweep.repl {
+        // End the cell with the failure shape replication exists for:
+        // every primary pool is lost and the followers take over. The
+        // reported duration covers log recovery, the receive-log tail
+        // apply, the durable promotion, and the 2PC decision replay.
+        let (promoted, report) = Service::promote(svc.fail_over());
+        println!(
+            "  failover: promoted in {:.3?} (tail_applied={} replayed={})",
+            report.duration, report.tail_applied, report.replayed
+        );
+        drop(promoted);
     }
 }
 

@@ -36,6 +36,7 @@
 //! retries, up to `max_retries`.
 
 use crate::metrics::CoordinatorMetrics;
+use crate::repl::{self, LogKind};
 use crate::{op_key, Reply, ServeError, Service, ServiceConfig};
 use nvhalt::NvHalt;
 use parking_lot::Mutex;
@@ -353,7 +354,12 @@ pub(crate) fn cross_shard(svc: &Service, ops: &[MapOp], deadline: Duration) -> R
     // Phase 1: prepare every participant. Any cancelled prepare aborts
     // the whole round; the deadline is only honoured here — once the
     // decision is logged the batch always completes.
+    let rt = svc.repl().map(|r| &**r);
     let mut results: Vec<Option<u64>> = vec![None; ops.len()];
+    // Per-group LSN of the Prepare entry appended inside the prepared
+    // transaction (0 when replication is off). Valid only for the round
+    // that ends up committing — an aborted round rolls its appends back.
+    let mut prep_lsns = vec![0u64; groups.len()];
     let mut retry = 0u32;
     'round: loop {
         if Instant::now() >= deadline_at {
@@ -368,6 +374,9 @@ pub(crate) fn cross_shard(svc: &Service, ops: &[MapOp], deadline: Duration) -> R
             }
             let sh = svc.shard(*s);
             let (map, meta) = (sh.map, sh.meta);
+            let log_hdr = rt.map(|r| r.primaries[*s].hdr);
+            let muts: Vec<MapOp> =
+                repl::mutations(&gops.iter().map(|&(_, op)| op).collect::<Vec<MapOp>>());
             let _psan = sh
                 .tm
                 .pmem()
@@ -384,13 +393,21 @@ pub(crate) fn cross_shard(svc: &Service, ops: &[MapOp], deadline: Duration) -> R
                 // The marker commits or rolls back atomically with the
                 // ops; recovery uses it to make replay idempotent.
                 meta.insert_in(tx, txid, 1)?;
-                Ok(out)
+                // The follower mirrors the marker too (via the Prepare
+                // entry), so decision-log replay stays idempotent across
+                // a promotion boundary.
+                let lsn = match log_hdr {
+                    Some(h) => repl::append_in(tx, h, LogKind::Prepare, txid, &muts)?,
+                    None => 0,
+                };
+                Ok((out, lsn))
             });
             match res {
-                Ok(vals) => {
+                Ok((vals, lsn)) => {
                     for (&(oi, _), v) in gops.iter().zip(vals) {
                         results[oi] = v;
                     }
+                    prep_lsns[gi] = lsn;
                     prepared.push(gi);
                 }
                 Err(tm::Cancelled) => {
@@ -435,6 +452,16 @@ pub(crate) fn cross_shard(svc: &Service, ops: &[MapOp], deadline: Duration) -> R
             .pool()
             .psan_scope(ptid, "kvserve::coord::commit");
         sh.tm.commit_prepared(ptid);
+        // The Prepare entry just became durable with the rest of the
+        // staged writes; let the shipper at it.
+        if let Some(r) = rt {
+            if prep_lsns[gi] > 0 {
+                r.states[*s]
+                    .appended
+                    .fetch_max(prep_lsns[gi], Ordering::AcqRel);
+                r.states[*s].signal_work();
+            }
+        }
     }
     crash_check(svc, TwoPcStep::Committed);
 
@@ -443,26 +470,56 @@ pub(crate) fn cross_shard(svc: &Service, ops: &[MapOp], deadline: Duration) -> R
     // only then recycle the entry — a recycled entry overwritten by a
     // new decision must not leave this txid's markers behind.
     co.resolve(ltid, entry);
-    for (s, _) in &groups {
+    let mut resolve_lsns = vec![0u64; groups.len()];
+    for (gi, (s, _)) in groups.iter().enumerate() {
         let sh = svc.shard(*s);
         let meta = sh.meta;
-        tm::txn(&*sh.tm, ptid, |tx| meta.remove_in(tx, txid))
-            .expect("marker cleanup never cancels");
+        let log_hdr = rt.map(|r| r.primaries[*s].hdr);
+        let lsn = tm::txn(&*sh.tm, ptid, |tx| {
+            meta.remove_in(tx, txid)?;
+            match log_hdr {
+                Some(h) => repl::append_in(tx, h, LogKind::Resolve, txid, &[]),
+                None => Ok(0),
+            }
+        })
+        .expect("marker cleanup never cancels");
+        resolve_lsns[gi] = lsn;
+        if let Some(r) = rt {
+            if lsn > 0 {
+                r.states[*s].appended.fetch_max(lsn, Ordering::AcqRel);
+                r.states[*s].signal_work();
+            }
+        }
     }
     co.release_entry(entry, cap);
     co.metrics.commit_latency.record(commit_start.elapsed());
+
+    // Semi-synchronous ack: wait until every participant's Resolve entry
+    // is durably in its follower's receive log (per-shard LSN order makes
+    // that cover the Prepare entry too). A miss answers `Timeout` — the
+    // batch committed, but a committed-yet-unacked request is legal.
+    if let Some(r) = rt {
+        for (gi, (s, _)) in groups.iter().enumerate() {
+            if resolve_lsns[gi] > 0 && !r.states[*s].wait_received(resolve_lsns[gi], deadline_at) {
+                return Err(ServeError::Timeout);
+            }
+        }
+    }
     Ok(results)
 }
 
 /// Replay the decision log over recovered, quiescent shards: re-apply
 /// every unresolved committed entry on the shards that lost it, resolve
-/// it, and drop markers. Returns how many shard-transactions were
-/// re-applied.
+/// it, and drop markers. When `logs[s]` names shard `s`'s replication
+/// log, every replay transaction appends the matching Prepare/Resolve
+/// entry so the follower re-converges too. Returns how many
+/// shard-transactions were re-applied.
 pub(crate) fn replay(
     co: &Coordinator,
     shards: &[(Arc<NvHalt>, txstructs::HashMapTx, txstructs::HashMapTx)],
     nshards: usize,
     entries: &[DecisionEntry],
+    logs: &[Option<Addr>],
 ) -> u64 {
     let mut replayed = 0u64;
     for e in entries {
@@ -491,6 +548,9 @@ pub(crate) fn replay(
                         map.apply_in(tx, op)?;
                     }
                     meta.insert_in(tx, e.txid, 1)?;
+                    if let Some(h) = logs[*s] {
+                        repl::append_in(tx, h, LogKind::Prepare, e.txid, &repl::mutations(sops))?;
+                    }
                     Ok(())
                 })
                 .expect("recovery replay never cancels");
@@ -501,8 +561,14 @@ pub(crate) fn replay(
         // Resolved either way now: markers are garbage, drop them.
         for (s, _) in &by_shard {
             let (tm, _, meta) = &shards[*s];
-            tm::txn(&**tm, 0, |tx| meta.remove_in(tx, e.txid))
-                .expect("marker cleanup never cancels");
+            tm::txn(&**tm, 0, |tx| {
+                meta.remove_in(tx, e.txid)?;
+                if let Some(h) = logs[*s] {
+                    repl::append_in(tx, h, LogKind::Resolve, e.txid, &[])?;
+                }
+                Ok(())
+            })
+            .expect("marker cleanup never cancels");
         }
     }
     replayed

@@ -31,19 +31,26 @@
 
 mod coord;
 pub mod metrics;
+pub mod repl;
 mod shard;
 
 pub use coord::TwoPcStep;
-pub use metrics::{CoordinatorSnapshot, HistogramSnapshot, ServiceSnapshot, ShardSnapshot};
+pub use metrics::{
+    CoordinatorSnapshot, HistogramSnapshot, ReplShardSnapshot, ReplSnapshot, ServiceSnapshot,
+    ShardSnapshot,
+};
+pub use repl::{FailoverStep, Follower, LogEntry, LogKind, ReplStep};
 pub use txstructs::MapOp;
 
 use coord::Coordinator;
 use nvhalt::{NvHalt, NvHaltConfig};
 use pmem::pool::DurableImage;
+use repl::{PrimaryLog, ReplRuntime};
 use shard::{Shard, ShardRequest};
 use std::fmt;
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tm::{Addr, Tm};
 use txstructs::HashMapTx;
@@ -54,7 +61,7 @@ const REPLY_GRACE: Duration = Duration::from_millis(100);
 
 /// Buckets of each shard's 2PC marker map (tiny: it only ever holds the
 /// markers of in-flight cross-shard transactions).
-const META_BUCKETS: usize = 64;
+pub(crate) const META_BUCKETS: usize = 64;
 
 /// Why a request was not served.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -131,6 +138,15 @@ pub struct ServiceConfig {
     pub coordinators: usize,
     /// Transactional heap words of the decision log's own TM.
     pub log_heap_words: usize,
+    /// Replicate each shard to a follower NV-HALT instance: mutations
+    /// reach a durable per-shard op log inside their own transaction, a
+    /// shipper streams the log to the follower, and acks wait for the
+    /// durable follower receive (semi-synchronous). Enables
+    /// [`Service::fail_over`] / [`Service::promote`].
+    pub replication: bool,
+    /// Idle poll interval of the per-shard shipping threads (appends also
+    /// wake them eagerly).
+    pub ship_interval: Duration,
     /// NV-HALT template for each shard (variant, policy, latency model).
     pub nvhalt: NvHaltConfig,
 }
@@ -153,16 +169,23 @@ impl ServiceConfig {
             attempt_fuel: 16,
             coordinators: 2,
             log_heap_words: 1 << 16,
+            replication: false,
+            ship_interval: Duration::from_millis(1),
             nvhalt: NvHaltConfig::test(1 << 16, 1),
         }
     }
 
     /// The per-shard NV-HALT configuration derived from the template.
     /// Thread slots: `workers_per_shard` for the shard's own workers,
-    /// then one participant slot per cross-shard coordinator.
-    fn shard_nvhalt(&self) -> NvHaltConfig {
+    /// one participant slot per cross-shard coordinator, then one slot
+    /// for the replication shipper. The shipper slot is reserved even
+    /// with replication off: a pool image's length depends on
+    /// `max_threads`, and keeping it fixed lets primary images, follower
+    /// images, and a promoted follower's image all recover under this
+    /// one configuration.
+    pub(crate) fn shard_nvhalt(&self) -> NvHaltConfig {
         let mut c = self.nvhalt.clone();
-        let threads = self.workers_per_shard + self.coordinators;
+        let threads = self.workers_per_shard + self.coordinators + 1;
         c.heap_words = self.heap_words_per_shard;
         c.max_threads = threads;
         c.pm.max_threads = threads;
@@ -201,13 +224,37 @@ pub struct ShardImage {
     pub meta_buckets: Addr,
     /// Bucket count of the shard's 2PC marker map.
     pub meta_nbuckets: usize,
+    /// Replication-log header block, when the shard was replicating.
+    pub repl_hdr: Option<Addr>,
+    /// Extra live blocks recovery must keep reserved (e.g. a promoted
+    /// follower's old header block).
+    pub keep: Vec<(u64, usize)>,
+}
+
+/// One follower's durable remains: the image plus the roots needed to
+/// re-attach its maps and find its receive log and watermarks.
+pub struct FollowerImage {
+    /// Durable persistent-memory image captured post-crash.
+    pub image: DurableImage,
+    /// Bucket-array address of the follower's data map.
+    pub buckets: Addr,
+    /// Bucket count of the follower's data map.
+    pub nbuckets: usize,
+    /// Bucket-array address of the follower's 2PC marker map.
+    pub meta_buckets: Addr,
+    /// Bucket count of the follower's 2PC marker map.
+    pub meta_nbuckets: usize,
+    /// The follower's header block (receive-log head + watermarks).
+    pub hdr: Addr,
 }
 
 /// Everything [`Service::recover`] needs: the config, one [`ShardImage`]
-/// per shard, and the decision log's durable remains.
+/// per shard, the followers' remains (empty when replication is off),
+/// and the decision log's durable remains.
 pub struct CrashDump {
     cfg: ServiceConfig,
     shards: Vec<ShardImage>,
+    followers: Vec<FollowerImage>,
     /// Durable image of the decision log's TM.
     log: DurableImage,
     /// Head word of the decision-entry list inside `log`.
@@ -221,12 +268,42 @@ impl CrashDump {
     }
 }
 
+/// What survives losing every primary pool: the followers' durable
+/// images and the 2PC decision log. [`Service::promote`] turns this into
+/// a serving service.
+pub struct FailoverDump {
+    cfg: ServiceConfig,
+    followers: Vec<FollowerImage>,
+    log: DurableImage,
+    log_head: Addr,
+}
+
+/// What a promotion did, for reporting.
+#[derive(Clone, Copy, Debug)]
+pub struct FailoverReport {
+    /// Wall-clock time from entering promotion to serving.
+    pub duration: Duration,
+    /// Receive-log tail entries applied during promotion.
+    pub tail_applied: u64,
+    /// Shard-transactions re-applied from the 2PC decision log.
+    pub replayed: u64,
+}
+
+/// A crash injected mid-promotion: every phase is idempotent, so the
+/// carried dump can simply be promoted again.
+pub struct PromotionCrash {
+    /// Fresh durable remains captured at the crash point.
+    pub dump: FailoverDump,
+}
+
 /// The sharded durable KV service. Cheap to share across client threads
 /// by reference; dropped, it stops and joins its workers.
 pub struct Service {
     cfg: ServiceConfig,
     shards: Vec<Shard>,
     coord: Coordinator,
+    repl: Option<Arc<ReplRuntime>>,
+    shippers: Vec<JoinHandle<()>>,
 }
 
 impl Service {
@@ -238,18 +315,45 @@ impl Service {
         assert!(cfg.batch_max >= 1, "batch_max must be positive");
         assert!(cfg.queue_depth >= 1, "queue_depth must be positive");
         assert!(cfg.coordinators >= 1, "need at least one coordinator slot");
-        let shards = (0..cfg.shards)
-            .map(|i| {
+        let parts: Vec<(Arc<NvHalt>, HashMapTx, HashMapTx, Option<Addr>)> = (0..cfg.shards)
+            .map(|_| {
                 let tm = Arc::new(NvHalt::new(cfg.shard_nvhalt()));
                 let map = HashMapTx::create(&*tm, 0, cfg.buckets_per_shard)
                     .expect("creating a map on a fresh TM cannot cancel");
                 let meta = HashMapTx::create(&*tm, 0, META_BUCKETS)
                     .expect("creating a map on a fresh TM cannot cancel");
-                Shard::start(&cfg, i, tm, map, meta)
+                let hdr = cfg
+                    .replication
+                    .then(|| tm.alloc_raw(0, repl::PRIMARY_HDR_WORDS));
+                (tm, map, meta, hdr)
             })
             .collect();
         let coord = Coordinator::new(&cfg);
-        Service { cfg, shards, coord }
+        let rt = cfg.replication.then(|| {
+            let primaries = parts
+                .iter()
+                .map(|(tm, _, _, hdr)| PrimaryLog {
+                    tm: tm.clone(),
+                    hdr: hdr.expect("replicated shard has a log header"),
+                })
+                .collect();
+            Arc::new(ReplRuntime::new(&cfg, primaries, coord.log.clone()))
+        });
+        let shards = parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, (tm, map, meta, hdr))| {
+                Shard::start(&cfg, i, tm, map, meta, hdr, Vec::new(), rt.clone())
+            })
+            .collect();
+        let shippers = rt.as_ref().map(repl::spawn_shippers).unwrap_or_default();
+        Service {
+            cfg,
+            shards,
+            coord,
+            repl: rt,
+            shippers,
+        }
     }
 
     /// The service's configuration.
@@ -275,6 +379,10 @@ impl Service {
         &self.coord
     }
 
+    pub(crate) fn repl(&self) -> Option<&Arc<ReplRuntime>> {
+        self.repl.as_ref()
+    }
+
     /// Drain the persist-order sanitizer's diagnostics from every pool
     /// (each shard's TM plus the decision log). Empty when the sanitizer
     /// is off. Test plumbing: crash suites assert this stays free of
@@ -289,7 +397,29 @@ impl Service {
         if let Some(p) = self.coord.log.pmem().pool().psan() {
             out.extend(p.take_diagnostics());
         }
+        if let Some(rt) = &self.repl {
+            for cell in &rt.followers {
+                if let Some(f) = &*cell.lock() {
+                    if let Some(p) = f.tm.pmem().pool().psan() {
+                        out.extend(p.take_diagnostics());
+                    }
+                }
+            }
+        }
         out
+    }
+
+    /// Install (or clear) the replication crash-injection hook: called at
+    /// every [`ReplStep`]. At the worker steps a `true` poisons the
+    /// *primary* pools (the failure failover exists for); at the shipper
+    /// steps it poisons that shard's *follower* pool (repaired in place by
+    /// [`Service::recover_follower`]).
+    pub fn set_repl_crash_hook(&self, hook: Option<Arc<dyn Fn(ReplStep) -> bool + Send + Sync>>) {
+        let rt = self
+            .repl
+            .as_ref()
+            .expect("set_repl_crash_hook requires cfg.replication");
+        *rt.hook.lock() = hook;
     }
 
     /// Install (or clear) the 2PC crash-injection hook: called at every
@@ -417,6 +547,19 @@ impl Service {
                 .map(|(i, s)| s.metrics.snapshot(i, s.tm.stats()))
                 .collect(),
             coordinator: self.coord.metrics.snapshot(),
+            replication: self.repl.as_ref().map(|rt| ReplSnapshot {
+                shards: rt
+                    .states
+                    .iter()
+                    .enumerate()
+                    .map(|(i, st)| ReplShardSnapshot {
+                        shard: i,
+                        appended: st.appended.load(Ordering::Relaxed),
+                        received: st.received.load(Ordering::Relaxed),
+                        applied: st.applied.load(Ordering::Relaxed),
+                    })
+                    .collect(),
+            }),
         }
     }
 
@@ -431,27 +574,54 @@ impl Service {
             s.tm.crash();
         }
         self.coord.log.crash();
+        if let Some(rt) = &self.repl {
+            // Release semi-sync ack waiters immediately; with the primary
+            // gone nothing will ever advance the receive watermarks.
+            for st in &rt.states {
+                st.down.store(true, Ordering::Release);
+                st.notify_all();
+            }
+        }
     }
 
-    /// Simulate a power failure: poison every shard's persistent pool
-    /// (workers mid-transaction unwind and never ack), stop and join the
-    /// workers, and capture each shard's durable image.
-    pub fn crash(mut self) -> CrashDump {
-        // Poison first so nothing can be acked after the crash point…
-        for s in &self.shards {
-            s.tm.crash();
+    /// Stop and join every worker and shipper thread. Pools must already
+    /// be poisoned (or the service idle); callers then capture images.
+    fn stop_threads(&mut self) {
+        if let Some(rt) = &self.repl {
+            rt.stop.store(true, Ordering::Release);
+            for st in &rt.states {
+                st.notify_all();
+            }
         }
-        self.coord.log.crash();
-        // …then wake idle workers and collect them.
-        let mut shards = std::mem::take(&mut self.shards);
-        for s in &shards {
+        for s in &self.shards {
             s.stop.store(true, Ordering::Release);
         }
-        for s in &mut shards {
+        for s in &mut self.shards {
             for h in s.workers.drain(..) {
                 let _ = h.join();
             }
         }
+        for h in self.shippers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Simulate a power failure of the *whole deployment* — primaries,
+    /// followers, decision log: poison every pool (workers mid-transaction
+    /// unwind and never ack), stop and join all threads, and capture every
+    /// durable image. For the lost-primary failure shape that keeps the
+    /// followers, see [`Service::fail_over`].
+    pub fn crash(mut self) -> CrashDump {
+        // Poison first so nothing can be acked after the crash point…
+        self.poison();
+        if let Some(rt) = &self.repl {
+            for s in 0..rt.followers.len() {
+                rt.poison_follower(s);
+            }
+        }
+        // …then wake idle workers and shippers and collect them.
+        self.stop_threads();
+        let shards = std::mem::take(&mut self.shards);
         let images = shards
             .into_iter()
             .map(|s| ShardImage {
@@ -460,13 +630,222 @@ impl Service {
                 nbuckets: s.map.nbuckets(),
                 meta_buckets: s.meta.buckets_addr(),
                 meta_nbuckets: s.meta.nbuckets(),
+                repl_hdr: s.repl_hdr,
+                keep: s.keep_blocks.clone(),
             })
             .collect();
+        let followers = match &self.repl {
+            Some(rt) => rt
+                .followers
+                .iter()
+                .map(|cell| {
+                    let f = cell.lock().take().expect("follower present until crash");
+                    follower_image(&f)
+                })
+                .collect(),
+            None => Vec::new(),
+        };
         CrashDump {
             cfg: self.cfg.clone(),
             shards: images,
+            followers,
             log: self.coord.log.crash_image(),
             log_head: self.coord.head,
+        }
+    }
+
+    /// Declare every primary pool lost — the failure shape replication
+    /// exists for — and capture only what failover needs: the followers'
+    /// durable images and the decision log. The primary images are
+    /// dropped. Feed the result to [`Service::promote`].
+    pub fn fail_over(mut self) -> FailoverDump {
+        assert!(self.cfg.replication, "fail_over requires cfg.replication");
+        self.poison();
+        let rt = self.repl.clone().expect("replication runtime");
+        for s in 0..rt.followers.len() {
+            rt.poison_follower(s);
+        }
+        self.stop_threads();
+        // The primary pools are lost; drop them with the shards.
+        drop(std::mem::take(&mut self.shards));
+        let followers = rt
+            .followers
+            .iter()
+            .map(|cell| {
+                let f = cell.lock().take().expect("follower present until failover");
+                follower_image(&f)
+            })
+            .collect();
+        FailoverDump {
+            cfg: self.cfg.clone(),
+            followers,
+            log: self.coord.log.crash_image(),
+            log_head: self.coord.head,
+        }
+    }
+
+    /// Promote the followers of a [`FailoverDump`] into a serving
+    /// service: finish applying each receive log's tail, durably commit
+    /// the promotion, replay the 2PC decision log over the promoted
+    /// shards, and start workers over the followers' pools. The promoted
+    /// service runs with replication off (it *is* the surviving replica).
+    pub fn promote(dump: FailoverDump) -> (Service, FailoverReport) {
+        match Service::promote_hooked(dump, None) {
+            Ok(r) => r,
+            Err(_) => unreachable!("promotion without a hook cannot crash"),
+        }
+    }
+
+    /// [`Service::promote`] with a crash-injection hook fired between the
+    /// promotion phases. A `true` from the hook crashes the promotion and
+    /// returns a fresh [`FailoverDump`] inside [`PromotionCrash`]; every
+    /// phase is idempotent, so promoting that dump again completes the
+    /// failover.
+    pub fn promote_hooked(
+        dump: FailoverDump,
+        hook: Option<repl::FailoverHook>,
+    ) -> Result<(Service, FailoverReport), Box<PromotionCrash>> {
+        let start = Instant::now();
+        let FailoverDump {
+            cfg,
+            followers,
+            log,
+            log_head,
+        } = dump;
+        let log_tm = Arc::new(NvHalt::recover_with(cfg.log_nvhalt(), &log));
+        let entries = coord::walk_log(&log_tm, log_head);
+        log_tm.rebuild_allocator(
+            std::iter::once((log_head.0, 1)).chain(entries.iter().map(|e| (e.addr.0, e.words()))),
+        );
+        let next_txid = entries.iter().map(|e| e.txid).max().unwrap_or(0) + 1;
+        let coord = Coordinator::recovered(&cfg, log_tm, log_head, next_txid);
+        let fs: Vec<Follower> = followers
+            .iter()
+            .map(|fi| recover_follower_image(&cfg, fi))
+            .collect();
+
+        let crash = |fs: &[Follower], coord: &Coordinator| -> Box<PromotionCrash> {
+            for f in fs {
+                f.tm.crash();
+            }
+            coord.log.crash();
+            Box::new(PromotionCrash {
+                dump: FailoverDump {
+                    cfg: cfg.clone(),
+                    followers: fs.iter().map(follower_image).collect(),
+                    log: coord.log.crash_image(),
+                    log_head,
+                },
+            })
+        };
+        let check = |step: FailoverStep| hook.as_ref().is_some_and(|h| h(step));
+        if check(FailoverStep::Recovered) {
+            return Err(crash(&fs, &coord));
+        }
+
+        // Finish applying each follower's received-but-unapplied tail:
+        // everything durably received was ackable, so it must be served.
+        let mut tail_applied = 0u64;
+        for f in &fs {
+            for e in f.pending() {
+                if f.apply_entry(&e) {
+                    tail_applied += 1;
+                }
+            }
+        }
+        if check(FailoverStep::TailApplied) {
+            return Err(crash(&fs, &coord));
+        }
+
+        for f in &fs {
+            f.commit_promotion();
+        }
+        if check(FailoverStep::Promoted) {
+            return Err(crash(&fs, &coord));
+        }
+
+        // Resolve cross-shard batches in flight at the failover: the
+        // followers mirror the primaries' 2PC markers (via Prepare
+        // entries), so the same replay that repairs a restart repairs a
+        // promotion.
+        let triples: Vec<(Arc<NvHalt>, HashMapTx, HashMapTx)> =
+            fs.iter().map(|f| (f.tm.clone(), f.data, f.meta)).collect();
+        let logs = vec![None; triples.len()];
+        let replayed = coord::replay(&coord, &triples, triples.len(), &entries, &logs);
+        coord
+            .metrics
+            .counters
+            .replayed
+            .fetch_add(replayed, Ordering::Relaxed);
+        for e in &entries {
+            coord.release_entry(e.addr, e.cap);
+        }
+        if check(FailoverStep::Replayed) {
+            return Err(crash(&fs, &coord));
+        }
+
+        // The receive logs are dead weight now: fully applied, and no
+        // primary left to re-ship from.
+        for f in &fs {
+            f.trim_all();
+        }
+
+        let mut cfg2 = cfg;
+        cfg2.replication = false;
+        let shards = fs
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| {
+                // The old follower header block stays reserved across
+                // future recoveries of the promoted service.
+                let keep = vec![(f.hdr.0, repl::FOLLOWER_HDR_WORDS)];
+                Shard::start(&cfg2, i, f.tm, f.data, f.meta, None, keep, None)
+            })
+            .collect();
+        let report = FailoverReport {
+            duration: start.elapsed(),
+            tail_applied,
+            replayed,
+        };
+        Ok((
+            Service {
+                cfg: cfg2,
+                shards,
+                coord,
+                repl: None,
+                shippers: Vec::new(),
+            },
+            report,
+        ))
+    }
+
+    /// Recover any crashed follower pools in place — the follower-only
+    /// failure shape, injected at the shipper's [`ReplStep`]s. The
+    /// primary keeps serving throughout (replicated writes time out while
+    /// the follower is down); this re-runs TM recovery over the crashed
+    /// follower, rebuilds its allocator, restores the ship watermarks
+    /// from the durable words, and wakes the shipper, which re-ships the
+    /// un-received tail from the primary's log.
+    pub fn recover_follower(&self) {
+        let rt = self
+            .repl
+            .as_ref()
+            .expect("recover_follower requires cfg.replication");
+        for (s, cell) in rt.followers.iter().enumerate() {
+            let mut cell = cell.lock();
+            let crashed = matches!(&*cell, Some(f) if f.tm.pmem().pool().is_crashed());
+            if !crashed {
+                continue;
+            }
+            let f = cell.take().expect("checked above");
+            let fi = follower_image(&f);
+            let nf = recover_follower_image(&self.cfg, &fi);
+            let st = &rt.states[s];
+            st.received.store(nf.received_raw(), Ordering::Release);
+            st.applied.store(nf.applied_lsn(), Ordering::Release);
+            *cell = Some(nf);
+            st.down.store(false, Ordering::Release);
+            st.signal_work();
         }
     }
 
@@ -478,6 +857,7 @@ impl Service {
         let CrashDump {
             cfg,
             shards,
+            followers,
             log,
             log_head,
         } = dump;
@@ -491,25 +871,33 @@ impl Service {
         let next_txid = entries.iter().map(|e| e.txid).max().unwrap_or(0) + 1;
         let coord = Coordinator::recovered(&cfg, log_tm, log_head, next_txid);
 
-        // Shard TMs next, still quiescent (no workers yet).
+        // Shard TMs next, still quiescent (no workers yet). The heap walk
+        // covers the maps, the replication log, and any kept blocks.
         let recovered: Vec<(Arc<NvHalt>, HashMapTx, HashMapTx)> = shards
             .iter()
             .map(|si| {
                 let tm = Arc::new(NvHalt::recover_with(cfg.shard_nvhalt(), &si.image));
                 let map = HashMapTx::attach(si.buckets, si.nbuckets);
                 let meta = HashMapTx::attach(si.meta_buckets, si.meta_nbuckets);
-                let blocks: Vec<(u64, usize)> = map
+                let mut blocks: Vec<(u64, usize)> = map
                     .used_blocks(&*tm)
                     .into_iter()
                     .chain(meta.used_blocks(&*tm))
                     .collect();
+                if let Some(h) = si.repl_hdr {
+                    blocks.extend(repl::primary_used_blocks(&tm, h));
+                }
+                blocks.extend(si.keep.iter().copied());
                 tm.rebuild_allocator(blocks);
                 (tm, map, meta)
             })
             .collect();
 
-        // Replay undecided cross-shard commits before any new traffic.
-        let replayed = coord::replay(&coord, &recovered, recovered.len(), &entries);
+        // Replay undecided cross-shard commits before any new traffic
+        // (appending the matching Prepare/Resolve entries to the
+        // replication logs, so the followers re-converge too).
+        let logs: Vec<Option<Addr>> = shards.iter().map(|si| si.repl_hdr).collect();
+        let replayed = coord::replay(&coord, &recovered, recovered.len(), &entries, &logs);
         coord
             .metrics
             .counters
@@ -521,25 +909,74 @@ impl Service {
             coord.release_entry(e.addr, e.cap);
         }
 
+        // Followers last (after replay, so the ship states see the final
+        // appended watermarks).
+        let rt = cfg.replication.then(|| {
+            let fs: Vec<Follower> = followers
+                .iter()
+                .map(|fi| recover_follower_image(&cfg, fi))
+                .collect();
+            let primaries = recovered
+                .iter()
+                .zip(&shards)
+                .map(|((tm, _, _), si)| PrimaryLog {
+                    tm: tm.clone(),
+                    hdr: si.repl_hdr.expect("replicated shard has a log header"),
+                })
+                .collect();
+            Arc::new(ReplRuntime::assemble(
+                &cfg,
+                primaries,
+                coord.log.clone(),
+                fs,
+            ))
+        });
+
         let shards = recovered
             .into_iter()
+            .zip(shards)
             .enumerate()
-            .map(|(i, (tm, map, meta))| Shard::start(&cfg, i, tm, map, meta))
+            .map(|(i, ((tm, map, meta), si))| {
+                Shard::start(&cfg, i, tm, map, meta, si.repl_hdr, si.keep, rt.clone())
+            })
             .collect();
-        Service { cfg, shards, coord }
+        let shippers = rt.as_ref().map(repl::spawn_shippers).unwrap_or_default();
+        Service {
+            cfg,
+            shards,
+            coord,
+            repl: rt,
+            shippers,
+        }
     }
+}
+
+/// Capture a crashed follower's durable remains.
+fn follower_image(f: &Follower) -> FollowerImage {
+    FollowerImage {
+        image: f.tm.crash_image(),
+        buckets: f.data.buckets_addr(),
+        nbuckets: f.data.nbuckets(),
+        meta_buckets: f.meta.buckets_addr(),
+        meta_nbuckets: f.meta.nbuckets(),
+        hdr: f.hdr,
+    }
+}
+
+/// Recover a follower from its durable remains: TM recovery, map
+/// re-attach, allocator rebuild from the maps + header + receive log.
+fn recover_follower_image(cfg: &ServiceConfig, fi: &FollowerImage) -> Follower {
+    let tm = Arc::new(NvHalt::recover_with(cfg.shard_nvhalt(), &fi.image));
+    let data = HashMapTx::attach(fi.buckets, fi.nbuckets);
+    let meta = HashMapTx::attach(fi.meta_buckets, fi.meta_nbuckets);
+    let f = Follower::attach(tm, data, meta, fi.hdr);
+    f.tm.rebuild_allocator(f.used_blocks());
+    f
 }
 
 impl Drop for Service {
     fn drop(&mut self) {
-        for s in &self.shards {
-            s.stop.store(true, Ordering::Release);
-        }
-        for s in &mut self.shards {
-            for h in s.workers.drain(..) {
-                let _ = h.join();
-            }
-        }
+        self.stop_threads();
     }
 }
 
@@ -812,6 +1249,89 @@ mod tests {
         }
         // The Display form renders without panicking.
         let _ = format!("{snap}");
+    }
+
+    fn repl_cfg(shards: usize) -> ServiceConfig {
+        let mut cfg = test_cfg(shards);
+        cfg.replication = true;
+        cfg
+    }
+
+    #[test]
+    fn replicated_service_serves_and_drains_lag() {
+        let svc = Service::new(repl_cfg(2));
+        for k in 0..32u64 {
+            assert_eq!(svc.put(k, k + 1), Ok(None));
+        }
+        for k in 0..32u64 {
+            assert_eq!(svc.get(k), Ok(Some(k + 1)));
+        }
+        // Acks are semi-synchronous: everything acked is already durably
+        // received, and the apply lag drains within a few ship intervals.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let repl = svc.snapshot().replication.expect("replication on");
+            assert!(repl.shards.iter().all(|s| s.ship_lag() == 0));
+            if repl.lag() == 0 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "apply lag never drained: {repl}");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn fail_over_serves_every_acked_write() {
+        let svc = Service::new(repl_cfg(3));
+        for k in 0..48u64 {
+            assert_eq!(svc.put(k, k * 3), Ok(None));
+        }
+        // A cross-shard batch right before the failover, acked.
+        let a = 1u64;
+        let b = (2..).find(|&k| svc.shard_of(k) != svc.shard_of(a)).unwrap();
+        svc.batch(vec![MapOp::Insert(a, 1000), MapOp::Insert(b, 2000)])
+            .unwrap();
+        let (svc, report) = Service::promote(svc.fail_over());
+        assert!(report.duration > Duration::ZERO);
+        for k in 0..48u64 {
+            let want = if k == a {
+                1000
+            } else if k == b {
+                2000
+            } else {
+                k * 3
+            };
+            assert_eq!(svc.get(k), Ok(Some(want)), "key {k} lost in failover");
+        }
+        // The promoted service is a full service: writes, batches, and
+        // another crash/recover cycle all keep working.
+        assert_eq!(svc.put(a, 7), Ok(Some(1000)));
+        let svc = Service::recover(svc.crash());
+        assert_eq!(svc.get(a), Ok(Some(7)));
+        assert_eq!(svc.get(b), Ok(Some(2000)));
+    }
+
+    #[test]
+    fn replicated_crash_restarts_with_followers() {
+        let svc = Service::new(repl_cfg(2));
+        for k in 0..32u64 {
+            svc.put(k, k + 9).unwrap();
+        }
+        // Whole-deployment restart: primaries, followers, and the ship
+        // watermarks all come back from their durable words.
+        let svc = Service::recover(svc.crash());
+        for k in 0..32u64 {
+            assert_eq!(svc.get(k), Ok(Some(k + 9)));
+        }
+        svc.put(99, 1).unwrap();
+        let repl = svc.snapshot().replication.expect("replication on");
+        assert!(repl.shards.iter().all(|s| s.ship_lag() == 0));
+        // And the restarted deployment can still fail over.
+        let (svc, _) = Service::promote(svc.fail_over());
+        for k in 0..32u64 {
+            assert_eq!(svc.get(k), Ok(Some(k + 9)));
+        }
+        assert_eq!(svc.get(99), Ok(Some(1)));
     }
 
     #[test]

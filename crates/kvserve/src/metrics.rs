@@ -399,6 +399,69 @@ impl fmt::Display for CoordinatorSnapshot {
     }
 }
 
+/// Point-in-time view of one shard's replication pipeline: the three
+/// LSN watermarks. `appended ≥ received ≥ applied` always; the gaps are
+/// the shipping and apply lags.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplShardSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// Highest LSN durably appended to the primary's op log.
+    pub appended: u64,
+    /// Highest LSN durably staged in the follower's receive log.
+    pub received: u64,
+    /// Highest LSN durably applied into the follower's maps.
+    pub applied: u64,
+}
+
+impl ReplShardSnapshot {
+    /// Entries appended but not yet durably received by the follower
+    /// (what a failover at this instant could lose acks over — zero for
+    /// acked writes, which waited out this gap).
+    pub fn ship_lag(&self) -> u64 {
+        self.appended.saturating_sub(self.received)
+    }
+
+    /// Entries received but not yet applied (what promotion's tail
+    /// apply has to finish).
+    pub fn apply_lag(&self) -> u64 {
+        self.received.saturating_sub(self.applied)
+    }
+
+    /// Total entries the follower's applied state is behind the primary.
+    pub fn lag(&self) -> u64 {
+        self.appended.saturating_sub(self.applied)
+    }
+}
+
+/// Replication watermarks for every shard.
+#[derive(Clone, Debug)]
+pub struct ReplSnapshot {
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ReplShardSnapshot>,
+}
+
+impl ReplSnapshot {
+    /// Total entries behind across all shards.
+    pub fn lag(&self) -> u64 {
+        self.shards.iter().map(ReplShardSnapshot::lag).sum()
+    }
+}
+
+impl fmt::Display for ReplSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "repl: lag={}", self.lag())?;
+        for s in &self.shards {
+            write!(
+                f,
+                " s{}[app={} recv={} appl={}]",
+                s.shard, s.appended, s.received, s.applied
+            )?;
+        }
+        Ok(())
+    }
+}
+
 /// Point-in-time view of the whole service.
 #[derive(Clone, Debug)]
 pub struct ServiceSnapshot {
@@ -406,6 +469,8 @@ pub struct ServiceSnapshot {
     pub shards: Vec<ShardSnapshot>,
     /// The cross-shard coordinator's metrics.
     pub coordinator: CoordinatorSnapshot,
+    /// Replication watermarks, when replication is on.
+    pub replication: Option<ReplSnapshot>,
 }
 
 impl ServiceSnapshot {
@@ -514,6 +579,9 @@ impl fmt::Display for ServiceSnapshot {
         }
         if self.coordinator.cross_batches > 0 || self.coordinator.replayed > 0 {
             writeln!(f, "{}", self.coordinator)?;
+        }
+        if let Some(repl) = &self.replication {
+            writeln!(f, "{repl}")?;
         }
         write!(
             f,

@@ -1,0 +1,957 @@
+//! Per-shard replication: a durable op log on every primary shard, a
+//! shipping thread streaming it to a follower instance, and the failover
+//! machinery that promotes the follower when the primary's pool is lost.
+//!
+//! ## The op log
+//!
+//! Each primary shard keeps a replication log *inside its own NV-HALT
+//! heap*: a two-word header `[head, last_lsn]` plus a newest-first linked
+//! list of entries `[next, lsn, kind, txid, nops, (tag, key, val) × nops]`.
+//! Every committed mutation reaches the log **inside the transaction that
+//! performs it** ([`append_in`] is called from the worker's batch
+//! transaction and from the 2PC prepare/resolve transactions), so the log
+//! entry and the data it describes commit or roll back atomically — a
+//! post-commit hook could tear (batch durable, entry lost) and was
+//! deliberately rejected. Because the header's `last_lsn` word is written
+//! by every appending transaction, the log head doubles as a per-shard
+//! serialization point: LSN order equals commit order, and a prepared 2PC
+//! transaction holds the head locked until its decision, so no later
+//! batch can slip an earlier LSN past it.
+//!
+//! Entry kinds mirror everything the follower needs to stay a drop-in
+//! replacement across a promotion:
+//! - [`LogKind::Batch`] — a worker batch's mutations;
+//! - [`LogKind::Prepare`] — a 2PC participant's mutations plus its marker
+//!   (`meta[txid] = 1`), so the follower's marker map mirrors the
+//!   primary's and the coordinator's decision-log replay stays idempotent
+//!   over promoted shards;
+//! - [`LogKind::Resolve`] — drops the marker again.
+//!
+//! ## Shipping
+//!
+//! One shipper thread per shard runs a two-stage protocol against the
+//! follower's own NV-HALT instance:
+//! 1. **receive** — copy each new primary entry into the follower's
+//!    receive log and durably advance `received_lsn`, one transaction per
+//!    entry;
+//! 2. **apply** — re-apply each received entry through the same
+//!    [`HashMapTx`] path the primary used and durably advance
+//!    `applied_lsn` *in the same transaction*, which is what makes
+//!    re-application after a follower crash idempotent: an entry at or
+//!    below the watermark is skipped.
+//!
+//! Acks are **semi-synchronous**: a worker (or 2PC coordinator) only
+//! acks once the follower's `received_lsn` durably covers its entry, so
+//! every acked write survives losing *either* pool. Both logs are
+//! trimmed behind the durable watermarks.
+//!
+//! ## Crash injection
+//!
+//! [`ReplStep`] hooks poison the primary pools (worker steps — the
+//! failure failover exists for) or the follower pool (shipper steps) at
+//! every protocol point; [`FailoverStep`] hooks crash a promotion
+//! between its phases. The top-level `kvserve_replication` suite sweeps
+//! all of them.
+
+use crate::ServiceConfig;
+use nvhalt::{NvHalt, NvHaltConfig};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tm::{Abort, Addr, Tm, Txn};
+use txstructs::{HashMapTx, MapOp};
+
+/// Primary log header layout: `[head, last_lsn]`.
+const P_HEAD: u64 = 0;
+const P_LAST: u64 = 1;
+/// Words in a primary shard's log header block.
+pub(crate) const PRIMARY_HDR_WORDS: usize = 2;
+
+/// Follower header layout: `[recv_head, received_lsn, applied_lsn, role]`.
+const F_HEAD: u64 = 0;
+const F_RECEIVED: u64 = 1;
+const F_APPLIED: u64 = 2;
+const F_ROLE: u64 = 3;
+/// Words in a follower's header block.
+pub(crate) const FOLLOWER_HDR_WORDS: usize = 4;
+
+/// Role word values: follower until a promotion durably flips it.
+const ROLE_FOLLOWER: u64 = 0;
+const ROLE_PRIMARY: u64 = 1;
+
+/// Log entry layout (word offsets within an entry block):
+/// `[next, lsn, kind, txid, nops, (tag, key, val) × nops]`.
+const L_NEXT: u64 = 0;
+const L_LSN: u64 = 1;
+const L_KIND: u64 = 2;
+const L_TXID: u64 = 3;
+const L_NOPS: u64 = 4;
+const L_OPS: u64 = 5;
+const OP_WORDS: u64 = 3;
+
+/// What a log entry carries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LogKind {
+    /// A worker batch's mutations.
+    Batch,
+    /// A 2PC participant's mutations plus its `meta[txid] = 1` marker.
+    Prepare,
+    /// Drop the 2PC marker for `txid` (batch resolved).
+    Resolve,
+}
+
+impl LogKind {
+    fn encode(self) -> u64 {
+        match self {
+            LogKind::Batch => 0,
+            LogKind::Prepare => 1,
+            LogKind::Resolve => 2,
+        }
+    }
+
+    fn decode(w: u64) -> LogKind {
+        match w {
+            0 => LogKind::Batch,
+            1 => LogKind::Prepare,
+            2 => LogKind::Resolve,
+            _ => unreachable!("corrupt replication-log kind {w}"),
+        }
+    }
+}
+
+/// One decoded replication-log entry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LogEntry {
+    /// Per-shard log sequence number; strictly increasing from 1.
+    pub lsn: u64,
+    /// What the entry carries.
+    pub kind: LogKind,
+    /// The 2PC transaction id for `Prepare`/`Resolve`; 0 for batches.
+    pub txid: u64,
+    /// The mutations (never `Get`s — reads are not replicated).
+    pub ops: Vec<MapOp>,
+}
+
+impl LogEntry {
+    /// The entry's block size in words.
+    pub fn words(&self) -> usize {
+        (L_OPS + self.ops.len() as u64 * OP_WORDS) as usize
+    }
+}
+
+fn encode_op(op: MapOp) -> (u64, u64, u64) {
+    match op {
+        MapOp::Get(k) => (0, k, 0),
+        MapOp::Insert(k, v) => (1, k, v),
+        MapOp::Remove(k) => (2, k, 0),
+    }
+}
+
+fn decode_op(tag: u64, k: u64, v: u64) -> MapOp {
+    match tag {
+        0 => MapOp::Get(k),
+        1 => MapOp::Insert(k, v),
+        2 => MapOp::Remove(k),
+        _ => unreachable!("corrupt replication-log op tag {tag}"),
+    }
+}
+
+/// The mutations of `ops` (reads are not replicated).
+pub(crate) fn mutations(ops: &[MapOp]) -> Vec<MapOp> {
+    ops.iter()
+        .copied()
+        .filter(|op| !matches!(op, MapOp::Get(_)))
+        .collect()
+}
+
+/// Append a log entry inside the caller's transaction: allocate the
+/// block, link it at the head, and advance `last_lsn`. Returns the LSN.
+/// Because this runs inside the data transaction, the entry commits (or
+/// rolls back) atomically with the mutations it describes.
+pub(crate) fn append_in<Tx: Txn + ?Sized>(
+    tx: &mut Tx,
+    hdr: Addr,
+    kind: LogKind,
+    txid: u64,
+    ops: &[MapOp],
+) -> Result<u64, Abort> {
+    let lsn = tx.read(hdr.offset(P_LAST))? + 1;
+    let e = tx.alloc((L_OPS + ops.len() as u64 * OP_WORDS) as usize)?;
+    tx.write(e.offset(L_LSN), lsn)?;
+    tx.write(e.offset(L_KIND), kind.encode())?;
+    tx.write(e.offset(L_TXID), txid)?;
+    tx.write(e.offset(L_NOPS), ops.len() as u64)?;
+    for (i, &op) in ops.iter().enumerate() {
+        let (tag, k, v) = encode_op(op);
+        let base = e.offset(L_OPS + i as u64 * OP_WORDS);
+        tx.write(base, tag)?;
+        tx.write(base.offset(1), k)?;
+        tx.write(base.offset(2), v)?;
+    }
+    let prev = tx.read(hdr.offset(P_HEAD))?;
+    tx.write(e.offset(L_NEXT), prev)?;
+    tx.write(hdr.offset(P_HEAD), e.0)?;
+    tx.write(hdr.offset(P_LAST), lsn)?;
+    Ok(lsn)
+}
+
+fn read_entry_in<Tx: Txn + ?Sized>(tx: &mut Tx, a: Addr) -> Result<LogEntry, Abort> {
+    let nops = tx.read(a.offset(L_NOPS))? as usize;
+    let mut ops = Vec::with_capacity(nops);
+    for i in 0..nops {
+        let base = a.offset(L_OPS + i as u64 * OP_WORDS);
+        ops.push(decode_op(
+            tx.read(base)?,
+            tx.read(base.offset(1))?,
+            tx.read(base.offset(2))?,
+        ));
+    }
+    Ok(LogEntry {
+        lsn: tx.read(a.offset(L_LSN))?,
+        kind: LogKind::decode(tx.read(a.offset(L_KIND))?),
+        txid: tx.read(a.offset(L_TXID))?,
+        ops,
+    })
+}
+
+/// Attempts a shipper-side read gets before giving the round up (the
+/// primary's workers keep the log head hot; the next round retries).
+const READ_FUEL: usize = 8;
+
+/// Transactionally read every entry with `lsn > after` from the list
+/// rooted at `head`, in ascending LSN order. `None` if the read
+/// transaction could not win its fuel against concurrent appends.
+pub(crate) fn read_after(tm: &NvHalt, tid: usize, head: Addr, after: u64) -> Option<Vec<LogEntry>> {
+    tm::txn(tm, tid, |tx| {
+        if tx.attempt() >= READ_FUEL {
+            return Err(Abort::Cancel);
+        }
+        let mut out = Vec::new();
+        let mut a = Addr(tx.read(head)?);
+        while !a.is_null() {
+            let lsn = tx.read(a.offset(L_LSN))?;
+            if lsn <= after {
+                break;
+            }
+            out.push(read_entry_in(tx, a)?);
+            a = Addr(tx.read(a.offset(L_NEXT))?);
+        }
+        out.reverse();
+        Ok(out)
+    })
+    .ok()
+}
+
+/// Unlink and free every entry with `lsn <= upto` (the strictly
+/// descending suffix of the newest-first list rooted at `head`). Both
+/// logs are trimmed behind durable watermarks, so a trimmed entry is
+/// never needed again. Best-effort under contention.
+pub(crate) fn trim_through(tm: &NvHalt, tid: usize, head: Addr, upto: u64) {
+    let _ = tm::txn(tm, tid, |tx| {
+        if tx.attempt() >= READ_FUEL {
+            return Err(Abort::Cancel);
+        }
+        let mut prev: Option<Addr> = None;
+        let mut a = Addr(tx.read(head)?);
+        while !a.is_null() {
+            if tx.read(a.offset(L_LSN))? <= upto {
+                break;
+            }
+            prev = Some(a);
+            a = Addr(tx.read(a.offset(L_NEXT))?);
+        }
+        if a.is_null() {
+            return Ok(());
+        }
+        match prev {
+            Some(p) => tx.write(p.offset(L_NEXT), 0)?,
+            None => tx.write(head, 0)?,
+        }
+        while !a.is_null() {
+            let next = Addr(tx.read(a.offset(L_NEXT))?);
+            let nops = tx.read(a.offset(L_NOPS))?;
+            tx.free(a, (L_OPS + nops * OP_WORDS) as usize)?;
+            a = next;
+        }
+        Ok(())
+    });
+}
+
+/// Every heap block a primary shard's log owns: the header plus every
+/// entry. For allocator rebuilds after recovery. Quiescent only.
+pub(crate) fn primary_used_blocks(tm: &NvHalt, hdr: Addr) -> Vec<(u64, usize)> {
+    std::iter::once((hdr.0, PRIMARY_HDR_WORDS))
+        .chain(walk_blocks_raw(tm, hdr.offset(P_HEAD)))
+        .collect()
+}
+
+/// Raw walk of the list rooted at `head`: `(addr, words)` per entry, for
+/// allocator rebuilds. Only valid on a quiescent TM.
+pub(crate) fn walk_blocks_raw(tm: &NvHalt, head: Addr) -> Vec<(u64, usize)> {
+    let mut out = Vec::new();
+    let mut a = Addr(tm.read_raw(head));
+    while !a.is_null() {
+        let nops = tm.read_raw(a.offset(L_NOPS));
+        out.push((a.0, (L_OPS + nops * OP_WORDS) as usize));
+        a = Addr(tm.read_raw(a.offset(L_NEXT)));
+    }
+    out
+}
+
+/// The last LSN durably appended to a primary log. Quiescent only.
+pub(crate) fn last_lsn_raw(tm: &NvHalt, hdr: Addr) -> u64 {
+    tm.read_raw(hdr.offset(P_LAST))
+}
+
+// ---------------------------------------------------------------------
+// Follower
+// ---------------------------------------------------------------------
+
+/// A shard's follower: its own NV-HALT instance holding a mirror of the
+/// primary's data and 2PC-marker maps, a receive log, and the durable
+/// `received`/`applied` watermarks. Only the shard's shipper thread (or
+/// promotion, with the shipper gone) touches it, always as TM thread 0.
+pub struct Follower {
+    pub(crate) tm: Arc<NvHalt>,
+    pub(crate) data: HashMapTx,
+    pub(crate) meta: HashMapTx,
+    pub(crate) hdr: Addr,
+}
+
+/// TM thread id of all follower-side transactions.
+const FOLLOWER_TID: usize = 0;
+
+impl Follower {
+    /// Fresh follower over a new TM: empty maps, zero watermarks.
+    pub(crate) fn create(cfg: NvHaltConfig, buckets: usize, meta_buckets: usize) -> Follower {
+        let tm = Arc::new(NvHalt::new(cfg));
+        let data = HashMapTx::create(&*tm, FOLLOWER_TID, buckets)
+            .expect("creating a map on a fresh TM cannot cancel");
+        let meta = HashMapTx::create(&*tm, FOLLOWER_TID, meta_buckets)
+            .expect("creating a map on a fresh TM cannot cancel");
+        let hdr = tm.alloc_raw(FOLLOWER_TID, FOLLOWER_HDR_WORDS);
+        let f = Follower {
+            tm,
+            data,
+            meta,
+            hdr,
+        };
+        // Raw allocation is durably zero; zero is the follower role.
+        debug_assert_eq!(f.role_raw(), ROLE_FOLLOWER);
+        f
+    }
+
+    /// Standalone fresh follower for tests: `heap_words` of heap, small
+    /// maps. The proptest suite drives [`Follower::ingest`] against this
+    /// directly, with no service around it.
+    pub fn fresh(heap_words: usize) -> Follower {
+        Follower::create(NvHaltConfig::test(heap_words, 1), 64, 64)
+    }
+
+    /// Re-attach over a recovered TM (maps and header already exist).
+    pub(crate) fn attach(tm: Arc<NvHalt>, data: HashMapTx, meta: HashMapTx, hdr: Addr) -> Follower {
+        Follower {
+            tm,
+            data,
+            meta,
+            hdr,
+        }
+    }
+
+    /// Every heap block reachable from the follower's roots: both maps,
+    /// the header, and the receive-log entries. For allocator rebuilds
+    /// after recovery.
+    pub(crate) fn used_blocks(&self) -> Vec<(u64, usize)> {
+        self.data
+            .used_blocks(&*self.tm)
+            .into_iter()
+            .chain(self.meta.used_blocks(&*self.tm))
+            .chain(std::iter::once((self.hdr.0, FOLLOWER_HDR_WORDS)))
+            .chain(walk_blocks_raw(&self.tm, self.hdr.offset(F_HEAD)))
+            .collect()
+    }
+
+    /// Durable `received_lsn`. Quiescent only.
+    pub(crate) fn received_raw(&self) -> u64 {
+        self.tm.read_raw(self.hdr.offset(F_RECEIVED))
+    }
+
+    /// Durable `applied_lsn`. Quiescent only.
+    pub fn applied_lsn(&self) -> u64 {
+        self.tm.read_raw(self.hdr.offset(F_APPLIED))
+    }
+
+    /// Durable role word: has a promotion committed on this follower?
+    pub(crate) fn role_raw(&self) -> u64 {
+        self.tm.read_raw(self.hdr.offset(F_ROLE))
+    }
+
+    /// Stage one entry into the receive log and advance the durable
+    /// `received_lsn`, all in one transaction. Entries at or below the
+    /// watermark are skipped (idempotent re-ship after a follower
+    /// recovery). Returns whether the entry was actually staged.
+    pub(crate) fn receive(&self, e: &LogEntry) -> bool {
+        tm::txn(&*self.tm, FOLLOWER_TID, |tx| {
+            if tx.read(self.hdr.offset(F_RECEIVED))? >= e.lsn {
+                return Ok(false);
+            }
+            let a = tx.alloc(e.words())?;
+            tx.write(a.offset(L_LSN), e.lsn)?;
+            tx.write(a.offset(L_KIND), e.kind.encode())?;
+            tx.write(a.offset(L_TXID), e.txid)?;
+            tx.write(a.offset(L_NOPS), e.ops.len() as u64)?;
+            for (i, &op) in e.ops.iter().enumerate() {
+                let (tag, k, v) = encode_op(op);
+                let base = a.offset(L_OPS + i as u64 * OP_WORDS);
+                tx.write(base, tag)?;
+                tx.write(base.offset(1), k)?;
+                tx.write(base.offset(2), v)?;
+            }
+            let prev = tx.read(self.hdr.offset(F_HEAD))?;
+            tx.write(a.offset(L_NEXT), prev)?;
+            tx.write(self.hdr.offset(F_HEAD), a.0)?;
+            tx.write(self.hdr.offset(F_RECEIVED), e.lsn)?;
+            Ok(true)
+        })
+        .expect("follower transactions never cancel")
+    }
+
+    /// Received-but-unapplied entries, ascending by LSN.
+    pub(crate) fn pending(&self) -> Vec<LogEntry> {
+        tm::txn(&*self.tm, FOLLOWER_TID, |tx| {
+            let applied = tx.read(self.hdr.offset(F_APPLIED))?;
+            let mut out = Vec::new();
+            let mut a = Addr(tx.read(self.hdr.offset(F_HEAD))?);
+            while !a.is_null() {
+                if tx.read(a.offset(L_LSN))? <= applied {
+                    break;
+                }
+                out.push(read_entry_in(tx, a)?);
+                a = Addr(tx.read(a.offset(L_NEXT))?);
+            }
+            out.reverse();
+            Ok(out)
+        })
+        .expect("follower transactions never cancel")
+    }
+
+    /// Apply one entry through the same [`HashMapTx`] path the primary
+    /// used and advance the durable `applied_lsn` in the same
+    /// transaction (the watermark check is what makes re-application
+    /// idempotent). Followed by a psan durability point: the applied
+    /// state must be fully fenced before the watermark can be trusted.
+    /// Returns whether the entry was actually applied.
+    pub(crate) fn apply_entry(&self, e: &LogEntry) -> bool {
+        let applied = tm::txn(&*self.tm, FOLLOWER_TID, |tx| {
+            if tx.read(self.hdr.offset(F_APPLIED))? >= e.lsn {
+                return Ok(false);
+            }
+            match e.kind {
+                LogKind::Batch | LogKind::Prepare => {
+                    for &op in &e.ops {
+                        self.data.apply_in(tx, op)?;
+                    }
+                    if e.kind == LogKind::Prepare {
+                        self.meta.insert_in(tx, e.txid, 1)?;
+                    }
+                }
+                LogKind::Resolve => {
+                    self.meta.remove_in(tx, e.txid)?;
+                }
+            }
+            tx.write(self.hdr.offset(F_APPLIED), e.lsn)?;
+            Ok(true)
+        })
+        .expect("follower transactions never cancel");
+        if let Some(p) = self.tm.pmem().pool().psan() {
+            p.durability_point(FOLLOWER_TID, "kvserve::repl::applied_lsn");
+        }
+        applied
+    }
+
+    /// Drop every receive-log entry at or below the applied watermark.
+    pub(crate) fn trim_applied(&self, upto: u64) {
+        trim_through(&self.tm, FOLLOWER_TID, self.hdr.offset(F_HEAD), upto);
+    }
+
+    /// Drop the whole receive log (promotion epilogue: everything is
+    /// applied and there is no primary left to re-ship from).
+    pub(crate) fn trim_all(&self) {
+        trim_through(&self.tm, FOLLOWER_TID, self.hdr.offset(F_HEAD), u64::MAX);
+    }
+
+    /// Durably mark this follower promoted, then assert the promotion
+    /// record is fully fenced.
+    pub(crate) fn commit_promotion(&self) {
+        tm::txn(&*self.tm, FOLLOWER_TID, |tx| {
+            tx.write(self.hdr.offset(F_ROLE), ROLE_PRIMARY)
+        })
+        .expect("follower transactions never cancel");
+        if let Some(p) = self.tm.pmem().pool().psan() {
+            p.durability_point(FOLLOWER_TID, "kvserve::repl::promotion_commit");
+        }
+        debug_assert_eq!(self.role_raw(), ROLE_PRIMARY);
+    }
+
+    /// Receive and apply a slice of log entries, as the shipper would.
+    /// Test surface for the applied-LSN idempotence property: any split
+    /// of a log into `ingest` calls — including overlapping re-sends —
+    /// must converge to the same state as one whole-log call.
+    pub fn ingest(&self, entries: &[LogEntry]) {
+        for e in entries {
+            self.receive(e);
+        }
+        for e in self.pending() {
+            self.apply_entry(&e);
+        }
+        let applied = tm::txn(&*self.tm, FOLLOWER_TID, |tx| {
+            tx.read(self.hdr.offset(F_APPLIED))
+        })
+        .expect("follower transactions never cancel");
+        self.trim_applied(applied);
+    }
+
+    /// The mirrored data map's contents, sorted by key. Quiescent only.
+    pub fn contents(&self) -> Vec<(u64, u64)> {
+        let mut v = self.data.collect_raw(&*self.tm);
+        v.sort_unstable();
+        v
+    }
+
+    /// The mirrored 2PC marker map's keys, sorted. Quiescent only.
+    pub fn markers(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .meta
+            .collect_raw(&*self.tm)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+// ---------------------------------------------------------------------
+// Crash-injection steps
+// ---------------------------------------------------------------------
+
+/// The replication protocol steps a crash-injection hook can observe.
+/// Worker steps (`BeforeAppend`, `AfterAppend`) poison the *primary*
+/// pools — the failure shape failover exists for; shipper steps poison
+/// only the *follower* pool.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReplStep {
+    /// Worker, before the batch transaction (nothing durable anywhere).
+    BeforeAppend,
+    /// Worker, after the batch + log entry committed on the primary but
+    /// before the follower ack.
+    AfterAppend,
+    /// Shipper, new primary entries read but nothing received yet.
+    BeforeReceive,
+    /// Shipper, entries durably in the receive log, none applied.
+    Received,
+    /// Shipper, first pending entry applied, the rest maybe not.
+    MidApply,
+    /// Shipper, every pending entry applied and both logs trimmed.
+    Applied,
+}
+
+impl ReplStep {
+    /// All steps, in protocol order (for exhaustive crash injection).
+    pub const ALL: [ReplStep; 6] = [
+        ReplStep::BeforeAppend,
+        ReplStep::AfterAppend,
+        ReplStep::BeforeReceive,
+        ReplStep::Received,
+        ReplStep::MidApply,
+        ReplStep::Applied,
+    ];
+
+    /// True for the steps injected on the worker (primary-crash) side.
+    pub fn is_primary(self) -> bool {
+        matches!(self, ReplStep::BeforeAppend | ReplStep::AfterAppend)
+    }
+}
+
+/// The phases of a promotion a crash-injection hook can crash between.
+/// A crashed promotion returns a fresh [`FailoverDump`](crate::FailoverDump)
+/// and promotion is simply run again — every phase is idempotent.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FailoverStep {
+    /// Follower TMs and the decision log recovered, tail not applied.
+    Recovered,
+    /// The receive-log tail fully applied.
+    TailApplied,
+    /// The promotion durably committed (role word flipped).
+    Promoted,
+    /// Decision-log replay over the promoted shards finished.
+    Replayed,
+}
+
+impl FailoverStep {
+    /// All phases, in order.
+    pub const ALL: [FailoverStep; 4] = [
+        FailoverStep::Recovered,
+        FailoverStep::TailApplied,
+        FailoverStep::Promoted,
+        FailoverStep::Replayed,
+    ];
+}
+
+/// Crash-injection hook over [`ReplStep`].
+pub(crate) type ReplHook = Arc<dyn Fn(ReplStep) -> bool + Send + Sync>;
+/// Crash-injection hook over [`FailoverStep`].
+pub type FailoverHook = Arc<dyn Fn(FailoverStep) -> bool + Send + Sync>;
+
+// ---------------------------------------------------------------------
+// Ship state and runtime
+// ---------------------------------------------------------------------
+
+/// Per-shard shipping state: watermark mirrors for waiters and metrics,
+/// plus the condvar gluing workers and the shipper together. The
+/// atomics mirror durable words and only ever lag them.
+pub(crate) struct ShipState {
+    /// Highest LSN durably appended on the primary (worker-maintained).
+    pub appended: AtomicU64,
+    /// Highest LSN durably in the follower's receive log.
+    pub received: AtomicU64,
+    /// Highest LSN durably applied on the follower.
+    pub applied: AtomicU64,
+    /// The follower pool is crashed; ack waiters fail fast instead of
+    /// burning their deadlines.
+    pub down: AtomicBool,
+    /// Unshipped work exists (set by appenders, cleared by the shipper).
+    dirty: AtomicBool,
+    lock: StdMutex<()>,
+    cv: Condvar,
+}
+
+impl ShipState {
+    fn new() -> ShipState {
+        ShipState {
+            appended: AtomicU64::new(0),
+            received: AtomicU64::new(0),
+            applied: AtomicU64::new(0),
+            down: AtomicBool::new(false),
+            dirty: AtomicBool::new(false),
+            lock: StdMutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Wake every waiter (ack waiters and the shipper).
+    pub fn notify_all(&self) {
+        drop(self.lock.lock().unwrap());
+        self.cv.notify_all();
+    }
+
+    /// Tell the shipper there is new work.
+    pub fn signal_work(&self) {
+        self.dirty.store(true, Ordering::Release);
+        self.notify_all();
+    }
+
+    /// Block until the follower durably received `lsn`, the deadline
+    /// passes, or the follower goes down. The ack decision.
+    pub fn wait_received(&self, lsn: u64, deadline: Instant) -> bool {
+        loop {
+            if self.received.load(Ordering::Acquire) >= lsn {
+                return true;
+            }
+            if self.down.load(Ordering::Acquire) {
+                return false;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let guard = self.lock.lock().unwrap();
+            if self.received.load(Ordering::Acquire) >= lsn {
+                return true;
+            }
+            if self.down.load(Ordering::Acquire) {
+                return false;
+            }
+            let wait = (deadline - now).min(Duration::from_millis(5));
+            let _ = self.cv.wait_timeout(guard, wait).unwrap();
+        }
+    }
+
+    /// Shipper-side wait: until new work, a stop, or `interval`.
+    fn wait_work(&self, interval: Duration, stop: &AtomicBool) {
+        let guard = self.lock.lock().unwrap();
+        if self.dirty.swap(false, Ordering::AcqRel) || stop.load(Ordering::Acquire) {
+            return;
+        }
+        let _ = self.cv.wait_timeout(guard, interval).unwrap();
+        self.dirty.store(false, Ordering::Release);
+    }
+}
+
+/// One primary shard's log location.
+pub(crate) struct PrimaryLog {
+    pub tm: Arc<NvHalt>,
+    pub hdr: Addr,
+}
+
+/// Everything the replication layer shares between workers, the 2PC
+/// coordinator, the shipper threads, and the service's crash plumbing.
+pub(crate) struct ReplRuntime {
+    pub primaries: Vec<PrimaryLog>,
+    /// The 2PC decision log's TM, poisoned together with the primaries.
+    pub decision_log: Arc<NvHalt>,
+    pub followers: Vec<Mutex<Option<Follower>>>,
+    pub states: Vec<Arc<ShipState>>,
+    pub hook: Mutex<Option<ReplHook>>,
+    pub stop: AtomicBool,
+    pub ship_interval: Duration,
+    /// The reserved shipper TM thread slot on every primary shard.
+    pub ship_tid: usize,
+}
+
+impl ReplRuntime {
+    /// Fresh runtime: one empty follower per shard, zero watermarks.
+    pub fn new(
+        cfg: &ServiceConfig,
+        primaries: Vec<PrimaryLog>,
+        decision_log: Arc<NvHalt>,
+    ) -> ReplRuntime {
+        let followers = (0..primaries.len())
+            .map(|_| {
+                Follower::create(
+                    cfg.shard_nvhalt(),
+                    cfg.buckets_per_shard,
+                    crate::META_BUCKETS,
+                )
+            })
+            .collect();
+        ReplRuntime::assemble(cfg, primaries, decision_log, followers)
+    }
+
+    /// Assemble over existing (fresh or recovered) followers, seeding
+    /// each shard's ship state from the durable watermarks. Both sides
+    /// must be quiescent.
+    pub fn assemble(
+        cfg: &ServiceConfig,
+        primaries: Vec<PrimaryLog>,
+        decision_log: Arc<NvHalt>,
+        followers: Vec<Follower>,
+    ) -> ReplRuntime {
+        let states = primaries
+            .iter()
+            .zip(&followers)
+            .map(|(p, f)| {
+                let st = ShipState::new();
+                st.appended
+                    .store(last_lsn_raw(&p.tm, p.hdr), Ordering::Relaxed);
+                st.received.store(f.received_raw(), Ordering::Relaxed);
+                st.applied.store(f.applied_lsn(), Ordering::Relaxed);
+                Arc::new(st)
+            })
+            .collect();
+        ReplRuntime {
+            primaries,
+            decision_log,
+            followers: followers.into_iter().map(|f| Mutex::new(Some(f))).collect(),
+            states,
+            hook: Mutex::new(None),
+            stop: AtomicBool::new(false),
+            ship_interval: cfg.ship_interval,
+            ship_tid: cfg.workers_per_shard + cfg.coordinators,
+        }
+    }
+
+    /// The primary-side power failure: poison every shard pool and the
+    /// decision log, leave the followers alive (that is what failover is
+    /// for), and release ack waiters.
+    pub fn poison_primary(&self) {
+        for p in &self.primaries {
+            p.tm.crash();
+        }
+        self.decision_log.crash();
+        for st in &self.states {
+            st.down.store(true, Ordering::Release);
+            st.notify_all();
+        }
+    }
+
+    /// Poison shard `s`'s follower pool (the follower-side power
+    /// failure).
+    pub fn poison_follower(&self, s: usize) {
+        if let Some(f) = &*self.followers[s].lock() {
+            f.tm.crash();
+        }
+    }
+}
+
+/// Worker-side crash check: fires the hook at primary steps, poisoning
+/// the primary pools and unwinding the worker before it can ack.
+pub(crate) fn crash_check(rt: &ReplRuntime, step: ReplStep) {
+    let hook = rt.hook.lock().clone();
+    if let Some(h) = hook {
+        if h(step) {
+            rt.poison_primary();
+            tm::crash::crash_unwind();
+        }
+    }
+}
+
+/// Shipper-side crash check: poisons the follower pool and unwinds the
+/// shipper's round. Takes the follower by reference — the round already
+/// holds the cell lock, so going through [`ReplRuntime::poison_follower`]
+/// here would self-deadlock.
+fn ship_crash_check(rt: &ReplRuntime, f: &Follower, step: ReplStep) {
+    let hook = rt.hook.lock().clone();
+    if let Some(h) = hook {
+        if h(step) {
+            f.tm.crash();
+            tm::crash::crash_unwind();
+        }
+    }
+}
+
+/// Spawn one shipper thread per shard.
+pub(crate) fn spawn_shippers(rt: &Arc<ReplRuntime>) -> Vec<JoinHandle<()>> {
+    (0..rt.primaries.len())
+        .map(|s| {
+            let rt = rt.clone();
+            std::thread::Builder::new()
+                .name(format!("kvserve-ship-{s}"))
+                .spawn(move || shipper(&rt, s))
+                .expect("spawn shipper thread")
+        })
+        .collect()
+}
+
+fn shipper(rt: &ReplRuntime, s: usize) {
+    let state = &rt.states[s];
+    loop {
+        if rt.stop.load(Ordering::Acquire) {
+            return;
+        }
+        match tm::crash::run_crashable(|| ship_round(rt, s)) {
+            Some(()) => {}
+            None => {
+                // A pool died mid-round. A dead primary means the whole
+                // service is crashing or failing over — exit so the
+                // teardown can join us. A dead follower just parks the
+                // shard's shipping until `recover_follower`.
+                if rt.primaries[s].tm.pmem().pool().is_crashed() {
+                    return;
+                }
+                state.down.store(true, Ordering::Release);
+                state.notify_all();
+            }
+        }
+        state.wait_work(rt.ship_interval, &rt.stop);
+    }
+}
+
+/// One shipping round for shard `s`: receive new primary entries, apply
+/// what is pending, trim both logs behind the durable watermarks.
+fn ship_round(rt: &ReplRuntime, s: usize) {
+    let state = &rt.states[s];
+    let cell = rt.followers[s].lock();
+    let Some(f) = &*cell else { return };
+    if f.tm.pmem().pool().is_crashed() {
+        state.down.store(true, Ordering::Release);
+        state.notify_all();
+        return;
+    }
+    let p = &rt.primaries[s];
+    let received = state.received.load(Ordering::Acquire);
+    let Some(fresh) = read_after(&p.tm, rt.ship_tid, p.hdr.offset(P_HEAD), received) else {
+        // Lost the read race against appenders (e.g. a prepared 2PC
+        // transaction holds the log head); the next round — at latest
+        // one ship interval away — retries.
+        return;
+    };
+    if !fresh.is_empty() {
+        ship_crash_check(rt, f, ReplStep::BeforeReceive);
+        for e in &fresh {
+            f.receive(e);
+            state.received.store(e.lsn, Ordering::Release);
+            state.notify_all();
+        }
+        ship_crash_check(rt, f, ReplStep::Received);
+    }
+    let pending = f.pending();
+    if !pending.is_empty() {
+        for (i, e) in pending.iter().enumerate() {
+            f.apply_entry(e);
+            state.applied.store(e.lsn, Ordering::Release);
+            if i == 0 {
+                ship_crash_check(rt, f, ReplStep::MidApply);
+            }
+        }
+        let applied = state.applied.load(Ordering::Acquire);
+        f.trim_applied(applied);
+        trim_through(
+            &p.tm,
+            rt.ship_tid,
+            p.hdr.offset(P_HEAD),
+            state.received.load(Ordering::Acquire),
+        );
+        ship_crash_check(rt, f, ReplStep::Applied);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(lsn: u64, kind: LogKind, txid: u64, ops: Vec<MapOp>) -> LogEntry {
+        LogEntry {
+            lsn,
+            kind,
+            txid,
+            ops,
+        }
+    }
+
+    #[test]
+    fn ingest_is_idempotent_across_the_watermark() {
+        let log = vec![
+            entry(1, LogKind::Batch, 0, vec![MapOp::Insert(1, 10)]),
+            entry(2, LogKind::Prepare, 7, vec![MapOp::Insert(2, 20)]),
+            entry(3, LogKind::Batch, 0, vec![MapOp::Remove(1)]),
+            entry(4, LogKind::Resolve, 7, vec![]),
+        ];
+        let whole = Follower::fresh(1 << 12);
+        whole.ingest(&log);
+        let split = Follower::fresh(1 << 12);
+        split.ingest(&log[..2]);
+        split.ingest(&log); // overlapping re-send: prefix must be skipped
+        assert_eq!(whole.contents(), split.contents());
+        assert_eq!(whole.markers(), split.markers());
+        assert_eq!(whole.applied_lsn(), 4);
+        assert_eq!(split.applied_lsn(), 4);
+        assert_eq!(whole.contents(), vec![(2, 20)]);
+        assert!(whole.markers().is_empty());
+    }
+
+    #[test]
+    fn append_read_trim_roundtrip() {
+        let tm = NvHalt::new(NvHaltConfig::test(1 << 12, 1));
+        let hdr = tm.alloc_raw(0, PRIMARY_HDR_WORDS);
+        for i in 1..=5u64 {
+            let lsn = tm::txn(&tm, 0, |tx| {
+                append_in(tx, hdr, LogKind::Batch, 0, &[MapOp::Insert(i, i * 10)])
+            })
+            .unwrap();
+            assert_eq!(lsn, i);
+        }
+        let all = read_after(&tm, 0, hdr.offset(P_HEAD), 0).unwrap();
+        assert_eq!(all.len(), 5);
+        assert!(all.windows(2).all(|w| w[0].lsn + 1 == w[1].lsn));
+        let late = read_after(&tm, 0, hdr.offset(P_HEAD), 3).unwrap();
+        assert_eq!(late.len(), 2);
+        trim_through(&tm, 0, hdr.offset(P_HEAD), 3);
+        let rest = read_after(&tm, 0, hdr.offset(P_HEAD), 0).unwrap();
+        assert_eq!(rest.len(), 2);
+        assert_eq!(rest[0].lsn, 4);
+        assert_eq!(last_lsn_raw(&tm, hdr), 5);
+    }
+}

@@ -14,6 +14,7 @@
 //! [`ServeError::Stopped`] — never as an ack.
 
 use crate::metrics::ShardMetrics;
+use crate::repl::{self, LogKind, ReplRuntime, ReplStep};
 use crate::{Reply, ServeError, ServiceConfig};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use nvhalt::NvHalt;
@@ -21,7 +22,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use tm::Abort;
+use tm::{Abort, Addr};
 use txstructs::{HashMapTx, MapOp};
 
 /// How often an idle worker re-checks the stop flag.
@@ -51,6 +52,11 @@ pub(crate) struct Shard {
     pub queue_rx: Receiver<ShardRequest>,
     pub stop: Arc<AtomicBool>,
     pub workers: Vec<JoinHandle<()>>,
+    /// This shard's replication-log header block, when replicating.
+    pub repl_hdr: Option<Addr>,
+    /// Extra live blocks future recoveries must keep reserved beyond the
+    /// maps and log — e.g. a promoted follower's old header block.
+    pub keep_blocks: Vec<(u64, usize)>,
 }
 
 struct WorkerCtx {
@@ -65,17 +71,24 @@ struct WorkerCtx {
     backoff_base: Duration,
     backoff_max: Duration,
     attempt_fuel: usize,
+    shard: usize,
+    log_hdr: Option<Addr>,
+    repl: Option<Arc<ReplRuntime>>,
 }
 
 impl Shard {
     /// Spawn the shard's workers over an existing TM + map (fresh or
     /// recovered).
+    #[allow(clippy::too_many_arguments)]
     pub fn start(
         cfg: &ServiceConfig,
         index: usize,
         tm: Arc<NvHalt>,
         map: HashMapTx,
         meta: HashMapTx,
+        repl_hdr: Option<Addr>,
+        keep_blocks: Vec<(u64, usize)>,
+        repl: Option<Arc<ReplRuntime>>,
     ) -> Shard {
         let (queue, queue_rx) = channel::bounded::<ShardRequest>(cfg.queue_depth);
         let stop = Arc::new(AtomicBool::new(false));
@@ -94,6 +107,9 @@ impl Shard {
                     backoff_base: cfg.backoff_base,
                     backoff_max: cfg.backoff_max,
                     attempt_fuel: cfg.attempt_fuel,
+                    shard: index,
+                    log_hdr: repl_hdr,
+                    repl: repl.clone(),
                 };
                 std::thread::Builder::new()
                     .name(format!("kvserve-s{index}-w{w}"))
@@ -110,6 +126,8 @@ impl Shard {
             queue_rx,
             stop,
             workers,
+            repl_hdr,
+            keep_blocks,
         }
     }
 }
@@ -167,6 +185,15 @@ fn execute_batch(ctx: &WorkerCtx, mut batch: Vec<ShardRequest>) {
             return;
         }
         let ops: Vec<MapOp> = batch.iter().flat_map(|r| r.ops.iter().copied()).collect();
+        // Mutations reach the replication log inside the same transaction
+        // as the batch, so the log entry and the data it describes commit
+        // or roll back atomically. Read-only batches skip the log (and
+        // the follower ack) entirely.
+        let muts = repl::mutations(&ops);
+        let append = if muts.is_empty() { None } else { ctx.log_hdr };
+        if let (Some(rt), Some(_)) = (ctx.repl.as_deref(), append) {
+            repl::crash_check(rt, ReplStep::BeforeAppend);
+        }
         let fuel = ctx.attempt_fuel;
         let res = tm::txn(&*ctx.tm, ctx.tid, |tx| {
             if tx.attempt() >= fuel {
@@ -178,10 +205,17 @@ fn execute_batch(ctx: &WorkerCtx, mut batch: Vec<ShardRequest>) {
             for &op in &ops {
                 out.push(ctx.map.apply_in(tx, op)?);
             }
-            Ok(out)
+            let lsn = match append {
+                Some(h) => repl::append_in(tx, h, LogKind::Batch, 0, &muts)?,
+                None => 0,
+            };
+            Ok((out, lsn))
         });
         match res {
-            Ok(vals) => {
+            Ok((vals, lsn)) => {
+                if lsn > 0 && !await_replication(ctx, &batch, lsn) {
+                    return;
+                }
                 reply_batch(ctx, &batch, vals);
                 return;
             }
@@ -206,6 +240,42 @@ fn execute_batch(ctx: &WorkerCtx, mut batch: Vec<ShardRequest>) {
             }
         }
     }
+}
+
+/// Semi-synchronous ack gate: publish the freshly appended LSN to the
+/// shipper, then block until the follower's receive log durably covers
+/// it — only then may the batch be acked, which is what lets an acked
+/// write survive losing *either* pool. Returns `false` if the wait
+/// failed (follower down or deadline passed); the batch is then answered
+/// `Timeout` — it committed locally, but a committed-yet-unacked request
+/// is legal under the ack contract.
+fn await_replication(ctx: &WorkerCtx, batch: &[ShardRequest], lsn: u64) -> bool {
+    let rt = ctx.repl.as_deref().expect("log append implies replication");
+    let state = &rt.states[ctx.shard];
+    state.appended.fetch_max(lsn, Ordering::AcqRel);
+    state.signal_work();
+    repl::crash_check(rt, ReplStep::AfterAppend);
+    if let Some(p) = ctx.tm.pmem().pool().psan() {
+        // The batch and its log entry must be fully fenced before the
+        // follower can be told about them.
+        p.durability_point(ctx.tid, "kvserve::repl::log_append");
+    }
+    let deadline = batch
+        .iter()
+        .map(|r| r.deadline)
+        .max()
+        .expect("non-empty batch");
+    if state.wait_received(lsn, deadline) {
+        return true;
+    }
+    ctx.metrics
+        .counters
+        .timeouts
+        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    for r in batch {
+        let _ = r.reply.send(Err(ServeError::Timeout));
+    }
+    false
 }
 
 fn reply_batch(ctx: &WorkerCtx, batch: &[ShardRequest], vals: Vec<Option<u64>>) {

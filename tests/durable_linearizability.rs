@@ -177,6 +177,22 @@ fn cross_thread_reads_from_prefix_is_closed() {
 ///   update or a torn acked batch breaks the chain.
 #[test]
 fn cross_shard_batches_form_a_durably_linearizable_history() {
+    service_history_round(false);
+}
+
+/// The same history check with the crash replaced by a *failover*: the
+/// service replicates to followers, every primary pool is declared lost,
+/// and the promoted followers serve the post-"crash" reads. Semi-sync
+/// acks make the durable-linearizability obligation identical — every
+/// acked batch must be in the promoted state, whole — even though the
+/// recovered state lives in entirely different pools than the ones the
+/// batches committed into.
+#[test]
+fn failover_spanning_histories_stay_durably_linearizable() {
+    service_history_round(true);
+}
+
+fn service_history_round(failover: bool) {
     use kvserve::{MapOp, ServeError, Service, ServiceConfig};
     use std::collections::HashMap;
     use std::sync::Mutex;
@@ -187,9 +203,12 @@ fn cross_shard_batches_form_a_durably_linearizable_history() {
     const KEYS: u64 = 12;
 
     let mut cfg = ServiceConfig::new(3);
-    cfg.heap_words_per_shard = 1 << 14;
+    // Replication keeps an op log in each shard heap (trimmed behind the
+    // durable watermarks, but with a live tail).
+    cfg.heap_words_per_shard = if failover { 1 << 15 } else { 1 << 14 };
     cfg.buckets_per_shard = 64;
     cfg.coordinators = CLIENTS;
+    cfg.replication = failover;
     let svc = Service::new(cfg);
 
     let rec = HistoryRecorder::new();
@@ -236,7 +255,11 @@ fn cross_shard_batches_form_a_durably_linearizable_history() {
     });
 
     // Quiescent crash: every submitted batch is acked and recorded.
-    let svc = Service::recover(svc.crash());
+    let svc = if failover {
+        Service::promote(svc.fail_over()).0
+    } else {
+        Service::recover(svc.crash())
+    };
 
     // One post-recovery snapshot read joins the history as a final
     // read-only transaction.
