@@ -21,16 +21,37 @@
 //! ends with a full failover — every primary pool dropped, the followers
 //! promoted — reporting the measured failover time.
 //!
+//! `--open-loop` switches from the closed-loop regime (in-flight depth
+//! = client threads, each blocking per request) to an **open-loop**
+//! load generator over the completion ring: a single submitting thread
+//! offers requests at a controlled arrival rate (`--rates`, Poisson or
+//! fixed-interval gaps via `--arrival`), reaps completions without ever
+//! parking per request, and reports latency percentiles *at that
+//! offered rate* — the methodology that exposes coordinated omission.
+//! Keys draw YCSB-Zipfian with `--zipf <theta>` (0 = uniform). Each
+//! open-loop report starts with a sequential in-memory baseline (a
+//! plain `std` HashMap on one thread — no durability, no concurrency)
+//! as the upper bound the durable service is amortizing toward.
+//!
+//! `--out FILE` writes the run as a `kvserve-bench-v1` JSON artifact
+//! (see docs/benchmarking.md) in either mode; CI schema-validates the
+//! committed `BENCH_*.json` files with `cargo xtask check-bench`.
+//!
 //! ```text
 //! cargo run -p bench --release --bin service -- \
 //!     --shards 1,2,4 --batch 1,8 --clients 8 --seconds 0.4
 //! cargo run -p bench --release --bin service -- \
 //!     --mixes update-heavy --repl --fast
+//! cargo run -p bench --release --bin service -- \
+//!     --open-loop --rates 5000,20000,80000 --zipf 0.99 \
+//!     --mixes update-heavy --shards 2 --batch 8 --out BENCH_ring.json
 //! ```
 
+use bench::json::Json;
 use bench::{fmt_tput, Args};
-use kvserve::{MapOp, ServeError, Service, ServiceConfig};
+use kvserve::{MapOp, ServeError, Service, ServiceConfig, Ticket};
 use pmem::LatencyModel;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use tm::stats::Counter;
@@ -78,6 +99,23 @@ struct Outcomes {
     aborted: AtomicU64,
 }
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Arrival {
+    /// Exponentially distributed inter-arrival gaps (Poisson process).
+    Poisson,
+    /// Fixed inter-arrival gaps (deterministic pacing).
+    Fixed,
+}
+
+impl Arrival {
+    fn label(self) -> &'static str {
+        match self {
+            Arrival::Poisson => "poisson",
+            Arrival::Fixed => "fixed",
+        }
+    }
+}
+
 struct Sweep {
     mixes: Vec<Mix>,
     shard_counts: Vec<usize>,
@@ -87,10 +125,16 @@ struct Sweep {
     keys: u64,
     fast: bool,
     repl: bool,
+    /// Open-loop offered rates (requests/sec).
+    rates: Vec<f64>,
+    arrival: Arrival,
+    /// Zipfian skew for open-loop key draws; 0 = uniform.
+    zipf_theta: f64,
 }
 
 fn main() {
     let args = Args::parse();
+    let open_loop = args.get("open-loop").is_some();
     let sweep = Sweep {
         mixes: args
             .list("mixes")
@@ -109,7 +153,46 @@ fn main() {
         keys: args.get_or("keys", 1u64 << 13),
         fast: args.get("fast").is_some(),
         repl: args.get("repl").is_some(),
+        rates: args
+            .list("rates")
+            .map(|v| v.iter().filter_map(|s| s.parse().ok()).collect())
+            .unwrap_or_else(|| vec![5_000.0, 20_000.0, 80_000.0]),
+        arrival: match args.get("arrival") {
+            Some("fixed") => Arrival::Fixed,
+            _ => Arrival::Poisson,
+        },
+        zipf_theta: args.get_or("zipf", 0.0),
     };
+    let cells = if open_loop {
+        run_open_loop(&sweep)
+    } else {
+        run_closed_loop(&sweep)
+    };
+    if let Some(path) = args.get("out") {
+        let report = Json::obj()
+            .field("schema", "kvserve-bench-v1")
+            .field(
+                "mode",
+                if open_loop {
+                    "open-loop"
+                } else {
+                    "closed-loop"
+                },
+            )
+            .field("pm", if sweep.fast { "zero-latency" } else { "optane" })
+            .field("keys", sweep.keys)
+            .field("zipf_theta", sweep.zipf_theta)
+            .field("arrival", sweep.arrival.label())
+            .field("replication", sweep.repl)
+            .field("baseline", baseline_json(&sweep))
+            .field("summary", summary_json(&cells))
+            .field("cells", Json::Arr(cells));
+        std::fs::write(path, format!("{report}\n")).expect("write bench artifact");
+        println!("\nwrote {path}");
+    }
+}
+
+fn run_closed_loop(sweep: &Sweep) -> Vec<Json> {
     println!(
         "kvserve service benchmark: {} keys, {} clients, {:.2}s per cell, pm={}{}",
         sweep.keys,
@@ -122,19 +205,41 @@ fn main() {
             ""
         },
     );
+    let mut cells = Vec::new();
     for &mix in &sweep.mixes {
         for &shards in &sweep.shard_counts {
             for &batch in &sweep.batch_caps {
-                run_cell(&sweep, mix, shards, batch);
+                cells.push(run_cell(sweep, mix, shards, batch));
             }
         }
     }
+    cells
+}
+
+/// Peak achieved throughput and in-flight depth across the run's cells.
+fn summary_json(cells: &[Json]) -> Json {
+    let mut max_in_flight = 0u64;
+    let mut peak = 0.0f64;
+    for c in cells {
+        let Json::Obj(fields) = c else { continue };
+        for (k, v) in fields {
+            match (k.as_str(), v) {
+                ("max_in_flight", Json::Int(n)) => max_in_flight = max_in_flight.max(*n),
+                ("tput_ops_per_sec", Json::Num(t)) => peak = peak.max(*t),
+                _ => {}
+            }
+        }
+    }
+    Json::obj()
+        .field("max_in_flight", max_in_flight)
+        .field("peak_tput_ops_per_sec", peak)
 }
 
 fn service_config(sweep: &Sweep, shards: usize, batch: usize) -> ServiceConfig {
     let mut cfg = ServiceConfig::new(shards);
     cfg.batch_max = batch;
     cfg.queue_depth = 4096;
+    cfg.ring_slots = 4096;
     cfg.buckets_per_shard = ((sweep.keys as usize / shards).next_power_of_two()).max(64);
     cfg.heap_words_per_shard = (sweep.keys as usize * 8 / shards).max(1 << 16);
     cfg.default_deadline = Duration::from_secs(2);
@@ -145,7 +250,7 @@ fn service_config(sweep: &Sweep, shards: usize, batch: usize) -> ServiceConfig {
     cfg
 }
 
-fn run_cell(sweep: &Sweep, mix: Mix, shards: usize, batch: usize) {
+fn run_cell(sweep: &Sweep, mix: Mix, shards: usize, batch: usize) -> Json {
     let svc = Service::new(service_config(sweep, shards, batch));
 
     // Prefill half the key range, then zero the service metrics so the
@@ -202,6 +307,10 @@ fn run_cell(sweep: &Sweep, mix: Mix, shards: usize, batch: usize) {
         outcomes.timeout.load(Ordering::Relaxed),
         outcomes.aborted.load(Ordering::Relaxed),
     );
+    // The blocking calls ride the internal completion ring, so the ring
+    // line shows queue-inclusive submit-to-complete latency and the
+    // closed-loop in-flight depth (≈ client threads).
+    println!("  {}", snap.ring);
     // Persist-overhead for the measurement window, summed over the shard
     // TMs: flushes and fences per committed transaction show how well
     // batching amortizes the persist cost, and redundant flushes (lines
@@ -244,6 +353,399 @@ fn run_cell(sweep: &Sweep, mix: Mix, shards: usize, batch: usize) {
         );
         drop(promoted);
     }
+
+    let total_ops = snap.ops() + snap.coordinator.cross_ops;
+    let per_op = |n: u64| {
+        if total_ops == 0 {
+            0.0
+        } else {
+            n as f64 / total_ops as f64
+        }
+    };
+    Json::obj()
+        .field("mix", mix.label())
+        .field("shards", shards)
+        .field("batch_max", batch)
+        .field("clients", sweep.clients)
+        .field("duration_secs", secs)
+        .field("tput_ops_per_sec", total_ops as f64 / secs)
+        .field("ok", outcomes.ok.load(Ordering::Relaxed))
+        .field("overloaded", outcomes.overloaded.load(Ordering::Relaxed))
+        .field("timeout", outcomes.timeout.load(Ordering::Relaxed))
+        .field("aborted", outcomes.aborted.load(Ordering::Relaxed))
+        .field("ring_full", snap.ring.ring_full)
+        .field("max_in_flight", snap.ring.in_flight_hwm)
+        .field("latency_us", latency_json(&snap.ring.latency))
+        .field(
+            "persist",
+            Json::obj()
+                .field("flushes_per_op", per_op(flushes))
+                .field("redundant_flushes", redundant)
+                .field("fences_per_op", per_op(fences)),
+        )
+}
+
+/// Submit-to-complete percentiles in microseconds.
+fn latency_json(h: &kvserve::HistogramSnapshot) -> Json {
+    let us = |q: f64| {
+        h.quantile(q)
+            .map_or(Json::Null, |d| Json::Num(d.as_secs_f64() * 1e6))
+    };
+    Json::obj()
+        .field("p50", us(0.50))
+        .field("p95", us(0.95))
+        .field("p99", us(0.99))
+        .field("p999", us(0.999))
+}
+
+/// xorshift64 PRNG for the generators.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    /// Uniform in (0, 1].
+    fn unit(&mut self) -> f64 {
+        ((self.next() >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+    }
+}
+
+/// YCSB-style Zipfian key generator (`theta = 0` → uniform). The rank
+/// is scrambled with a multiplicative hash so the hottest keys spread
+/// across shards instead of clustering on one.
+struct KeyGen {
+    keys: u64,
+    theta: f64,
+    zetan: f64,
+    alpha: f64,
+    eta: f64,
+}
+
+impl KeyGen {
+    fn new(keys: u64, theta: f64) -> KeyGen {
+        if theta <= 0.0 {
+            return KeyGen {
+                keys,
+                theta: 0.0,
+                zetan: 0.0,
+                alpha: 0.0,
+                eta: 0.0,
+            };
+        }
+        assert!(theta < 1.0, "zipf theta must be in [0, 1)");
+        let zetan: f64 = (1..=keys).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let zeta2 = 1.0 + 0.5f64.powf(theta);
+        KeyGen {
+            keys,
+            theta,
+            zetan,
+            alpha: 1.0 / (1.0 - theta),
+            eta: (1.0 - (2.0 / keys as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+        }
+    }
+
+    fn draw(&self, rng: &mut Rng) -> u64 {
+        if self.theta <= 0.0 {
+            return rng.next() % self.keys;
+        }
+        let u = rng.unit();
+        let uz = u * self.zetan;
+        let rank = if uz < 1.0 {
+            0
+        } else if uz < 1.0 + 0.5f64.powf(self.theta) {
+            1
+        } else {
+            (self.keys as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64
+        };
+        rank.min(self.keys - 1).wrapping_mul(0x9e37_79b9_7f4a_7c15) % self.keys
+    }
+}
+
+/// One request's ops for `mix` — same shapes as the closed-loop client
+/// but built from the free routing function, so the sequential baseline
+/// can generate identical streams without a service.
+fn gen_ops(mix: Mix, keys: u64, shards: usize, rng: &mut Rng, kg: &KeyGen) -> Vec<MapOp> {
+    let k = kg.draw(rng);
+    let r = rng.next();
+    match mix {
+        Mix::ReadHeavy if r % 100 < 95 => vec![MapOp::Get(k)],
+        Mix::ReadHeavy => vec![MapOp::Insert(k, r)],
+        Mix::UpdateHeavy if r.is_multiple_of(2) => vec![MapOp::Get(k)],
+        Mix::UpdateHeavy => vec![MapOp::Insert(k, r)],
+        Mix::Scan => {
+            let shard = kvserve::shard_of_key(k, shards);
+            (k..k + SCAN_SPAN)
+                .filter(|&x| x < keys && kvserve::shard_of_key(x, shards) == shard)
+                .take(SCAN_WINDOW)
+                .map(MapOp::Get)
+                .collect()
+        }
+        Mix::CrossShard => {
+            let span = shards.min(XSHARD_SPAN);
+            let mut seen = vec![false; shards];
+            (k..k + SCAN_SPAN)
+                .filter(|&x| {
+                    !std::mem::replace(&mut seen[kvserve::shard_of_key(x % keys, shards)], true)
+                })
+                .take(span)
+                .map(|x| MapOp::Insert(x % keys, r))
+                .collect()
+        }
+    }
+}
+
+fn run_open_loop(sweep: &Sweep) -> Vec<Json> {
+    println!(
+        "kvserve open-loop benchmark: {} keys, zipf theta={}, arrival={}, {:.2}s per cell, pm={}",
+        sweep.keys,
+        sweep.zipf_theta,
+        sweep.arrival.label(),
+        sweep.seconds,
+        if sweep.fast { "zero-latency" } else { "optane" },
+    );
+    let mut cells = Vec::new();
+    for &mix in &sweep.mixes {
+        for &shards in &sweep.shard_counts {
+            for &batch in &sweep.batch_caps {
+                for &rate in &sweep.rates {
+                    cells.push(run_open_cell(sweep, mix, shards, batch, rate));
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Completion tally for one open-loop cell.
+#[derive(Default)]
+struct OpenTally {
+    ok_reqs: u64,
+    ok_ops: u64,
+    timeout: u64,
+    aborted: u64,
+    stopped: u64,
+}
+
+impl OpenTally {
+    fn record(&mut self, result: &Result<Vec<Option<u64>>, ServeError>, nops: usize) {
+        match result {
+            Ok(_) => {
+                self.ok_reqs += 1;
+                self.ok_ops += nops as u64;
+            }
+            Err(ServeError::Timeout) => self.timeout += 1,
+            Err(ServeError::Aborted) => self.aborted += 1,
+            Err(ServeError::Stopped) => self.stopped += 1,
+            Err(e) => panic!("unexpected completion verdict: {e}"),
+        }
+    }
+}
+
+fn run_open_cell(sweep: &Sweep, mix: Mix, shards: usize, batch: usize, rate: f64) -> Json {
+    let svc = Service::new(service_config(sweep, shards, batch));
+    for k in 0..sweep.keys {
+        if k.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 63 == 0 {
+            svc.put(k, k + 1).expect("prefill write");
+        }
+    }
+    svc.reset_metrics();
+    let tm_before: Vec<_> = svc.snapshot().shards.iter().map(|s| s.tm).collect();
+
+    let ring = svc.ring();
+    let kg = KeyGen::new(sweep.keys, sweep.zipf_theta);
+    let mut rng = Rng(0x0be7_ca11 ^ (rate as u64) | 1);
+    let period = 1.0 / rate;
+    // Submitted tickets still awaiting their completion, with the op
+    // count each carries.
+    let mut inflight: HashMap<Ticket, usize> = HashMap::new();
+    let mut tally = OpenTally::default();
+    let (mut offered, mut ring_full, mut overloaded) = (0u64, 0u64, 0u64);
+
+    // The open loop proper: ONE submitting thread. Arrivals follow the
+    // virtual schedule regardless of how the service keeps up — when it
+    // falls behind, depth (and then RingFull drops) absorb the excess,
+    // which is exactly the signal a closed loop hides.
+    let start = Instant::now();
+    let mut next = 0.0f64;
+    loop {
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= sweep.seconds {
+            break;
+        }
+        if elapsed >= next {
+            offered += 1;
+            let ops = gen_ops(mix, sweep.keys, shards, &mut rng, &kg);
+            let nops = ops.len();
+            match ring.submit_batch(ops) {
+                Ok(t) => {
+                    inflight.insert(t, nops);
+                }
+                Err(ServeError::RingFull) => ring_full += 1,
+                Err(ServeError::Overloaded { .. }) => overloaded += 1,
+                Err(e) => panic!("submit failed: {e}"),
+            }
+            next += match sweep.arrival {
+                Arrival::Fixed => period,
+                // Exponential gap: a Poisson arrival process.
+                Arrival::Poisson => -rng.unit().ln() * period,
+            };
+            // Reap opportunistically between arrivals; never park.
+            if let Some(c) = ring.complete() {
+                let nops = inflight.remove(&c.ticket).expect("unknown ticket");
+                tally.record(&c.result, nops);
+            }
+        } else {
+            let mut idle = true;
+            for c in ring.drain() {
+                let nops = inflight.remove(&c.ticket).expect("unknown ticket");
+                tally.record(&c.result, nops);
+                idle = false;
+            }
+            if idle {
+                let gap = (next - start.elapsed().as_secs_f64()).min(200e-6);
+                if gap > 20e-6 {
+                    std::thread::sleep(Duration::from_secs_f64(gap));
+                }
+            }
+        }
+    }
+    // Drain: every accepted ticket resolves (deadlines bound the wait).
+    let grace = Instant::now() + Duration::from_secs(5);
+    while !inflight.is_empty() && Instant::now() < grace {
+        for c in ring.drain() {
+            let nops = inflight.remove(&c.ticket).expect("unknown ticket");
+            tally.record(&c.result, nops);
+        }
+        std::thread::sleep(Duration::from_micros(100));
+    }
+    let secs = start.elapsed().as_secs_f64();
+    assert!(
+        inflight.is_empty(),
+        "tickets unresolved after drain: {}",
+        inflight.len()
+    );
+
+    let mut snap = svc.snapshot();
+    for (s, before) in snap.shards.iter_mut().zip(&tm_before) {
+        s.tm = s.tm.since(before);
+    }
+    let (mut flushes, mut redundant, mut fences) = (0u64, 0u64, 0u64);
+    for s in &snap.shards {
+        flushes += s.tm.get(Counter::Flush);
+        redundant += s.tm.get(Counter::RedundantFlush);
+        fences += s.tm.get(Counter::Fence);
+    }
+    let total_ops = snap.ops() + snap.coordinator.cross_ops;
+    let per_op = |n: u64| {
+        if total_ops == 0 {
+            0.0
+        } else {
+            n as f64 / total_ops as f64
+        }
+    };
+    let us = |q: f64| {
+        snap.ring
+            .latency
+            .quantile(q)
+            .map_or(f64::NAN, |d| d.as_secs_f64() * 1e6)
+    };
+    println!(
+        "\n== open-loop mix={} shards={} batch_max={} rate={}/s ==",
+        mix.label(),
+        shards,
+        batch,
+        fmt_tput(rate),
+    );
+    println!(
+        "  offered={offered} ok={} timeout={} aborted={} stopped={} dropped(ring_full={ring_full} overloaded={overloaded})",
+        tally.ok_reqs, tally.timeout, tally.aborted, tally.stopped,
+    );
+    println!(
+        "  tput={}/s max_in_flight={} s2c p50={:.0}us p95={:.0}us p99={:.0}us p999={:.0}us",
+        fmt_tput(tally.ok_ops as f64 / secs),
+        snap.ring.in_flight_hwm,
+        us(0.50),
+        us(0.95),
+        us(0.99),
+        us(0.999),
+    );
+    println!(
+        "  persist: flushes/op={:.2} fences/op={:.2} redundant={redundant}",
+        per_op(flushes),
+        per_op(fences),
+    );
+
+    Json::obj()
+        .field("mix", mix.label())
+        .field("shards", shards)
+        .field("batch_max", batch)
+        .field("offered_rate", rate)
+        .field("duration_secs", secs)
+        .field("offered", offered)
+        .field("ok", tally.ok_reqs)
+        .field("timeout", tally.timeout)
+        .field("aborted", tally.aborted)
+        .field("stopped", tally.stopped)
+        .field("ring_full", ring_full)
+        .field("overloaded", overloaded)
+        .field("tput_ops_per_sec", tally.ok_ops as f64 / secs)
+        .field("max_in_flight", snap.ring.in_flight_hwm)
+        .field("latency_us", latency_json(&snap.ring.latency))
+        .field(
+            "persist",
+            Json::obj()
+                .field("flushes_per_op", per_op(flushes))
+                .field("redundant_flushes", redundant)
+                .field("fences_per_op", per_op(fences)),
+        )
+}
+
+/// Sequential in-memory executor: the same op stream against a plain
+/// `std` HashMap on one thread — no transactions, no flush/fence, no
+/// queues. The upper bound batching amortizes the durable service
+/// toward, recorded alongside every artifact.
+fn sequential_baseline(sweep: &Sweep, mix: Mix) -> f64 {
+    let shards = sweep.shard_counts.first().copied().unwrap_or(1);
+    let kg = KeyGen::new(sweep.keys, sweep.zipf_theta);
+    let mut rng = Rng(0xba5e_11e5);
+    let mut map: HashMap<u64, u64> = HashMap::new();
+    for k in 0..sweep.keys {
+        if k.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 63 == 0 {
+            map.insert(k, k + 1);
+        }
+    }
+    let dur = sweep.seconds.min(0.2);
+    let start = Instant::now();
+    let mut ops = 0u64;
+    while start.elapsed().as_secs_f64() < dur {
+        for _ in 0..64 {
+            for op in gen_ops(mix, sweep.keys, shards, &mut rng, &kg) {
+                let out = match op {
+                    MapOp::Get(k) => map.get(&k).copied(),
+                    MapOp::Insert(k, v) => map.insert(k, v),
+                    MapOp::Remove(k) => map.remove(&k),
+                };
+                std::hint::black_box(out);
+                ops += 1;
+            }
+        }
+    }
+    ops as f64 / start.elapsed().as_secs_f64()
+}
+
+fn baseline_json(sweep: &Sweep) -> Json {
+    let mut tputs = Json::obj();
+    for &mix in &sweep.mixes {
+        tputs = tputs.field(mix.label(), sequential_baseline(sweep, mix));
+    }
+    Json::obj()
+        .field("mode", "sequential-inmemory")
+        .field("tput_ops_per_sec", tputs)
 }
 
 fn client_loop(

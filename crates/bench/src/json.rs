@@ -1,0 +1,183 @@
+//! Minimal JSON emitter for benchmark artifacts (`BENCH_*.json`).
+//!
+//! The container has no serde; this is the small, ordered subset the
+//! bench binaries need: objects keep insertion order so the artifacts
+//! diff cleanly, numbers are emitted as integers when they are
+//! integral, and non-finite floats become `null` (JSON has no NaN).
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Unsigned counter — emitted without a decimal point.
+    Int(u64),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered object.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object builder.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Insert (or append) a field; builder-style.
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_string(), value.into())),
+            _ => panic!("field() on a non-object"),
+        }
+        self
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Int(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Int(v as u64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
+    }
+}
+
+fn escape(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\t' => f.write_str("\\t")?,
+            '\r' => f.write_str("\\r")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+fn indent(f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+    for _ in 0..depth {
+        f.write_str("  ")?;
+    }
+    Ok(())
+}
+
+fn write_value(v: &Json, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+    match v {
+        Json::Null => f.write_str("null"),
+        Json::Bool(b) => write!(f, "{b}"),
+        Json::Int(n) => write!(f, "{n}"),
+        Json::Num(n) if !n.is_finite() => f.write_str("null"),
+        Json::Num(n) if n.fract() == 0.0 && n.abs() < 1e15 => write!(f, "{}", *n as i64),
+        Json::Num(n) => write!(f, "{n}"),
+        Json::Str(s) => escape(s, f),
+        Json::Arr(items) if items.is_empty() => f.write_str("[]"),
+        Json::Arr(items) => {
+            f.write_str("[\n")?;
+            for (i, item) in items.iter().enumerate() {
+                indent(f, depth + 1)?;
+                write_value(item, f, depth + 1)?;
+                f.write_str(if i + 1 < items.len() { ",\n" } else { "\n" })?;
+            }
+            indent(f, depth)?;
+            f.write_str("]")
+        }
+        Json::Obj(fields) if fields.is_empty() => f.write_str("{}"),
+        Json::Obj(fields) => {
+            f.write_str("{\n")?;
+            for (i, (k, v)) in fields.iter().enumerate() {
+                indent(f, depth + 1)?;
+                escape(k, f)?;
+                f.write_str(": ")?;
+                write_value(v, f, depth + 1)?;
+                f.write_str(if i + 1 < fields.len() { ",\n" } else { "\n" })?;
+            }
+            indent(f, depth)?;
+            f.write_str("}")
+        }
+    }
+}
+
+/// Pretty-printed with two-space indentation.
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_value(self, f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_ordered_nested_objects() {
+        let j = Json::obj()
+            .field("schema", "kvserve-bench-v1")
+            .field("n", 3u64)
+            .field("tput", 1234.5)
+            .field("flags", Json::Arr(vec![Json::Bool(true), Json::Null]))
+            .field("inner", Json::obj().field("p50", 0.5));
+        let s = j.to_string();
+        assert!(s.starts_with("{\n  \"schema\": \"kvserve-bench-v1\""));
+        let ni = s.find("\"n\"").unwrap();
+        let ti = s.find("\"tput\"").unwrap();
+        assert!(ni < ti, "insertion order preserved");
+        assert!(s.contains("\"tput\": 1234.5"));
+        assert!(s.contains("\"p50\": 0.5"));
+    }
+
+    #[test]
+    fn integral_floats_and_nan_are_normalized() {
+        assert_eq!(Json::Num(50000.0).to_string(), "50000");
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Int(u64::MAX).to_string(), u64::MAX.to_string());
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            Json::Str("a\"b\\c\n".to_string()).to_string(),
+            "\"a\\\"b\\\\c\\n\""
+        );
+    }
+}

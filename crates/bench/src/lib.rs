@@ -394,6 +394,8 @@ fn run_on<T: Tm>(tm: &T, cell: &Cell, epilogue: impl FnOnce(&T) -> f64) -> CellR
     }
 }
 
+pub mod json;
+
 /// Human-readable workload name (`u10` = 10% updates = 90% read-only).
 pub fn workload_name(update_pct: u32) -> String {
     format!("u{update_pct}")

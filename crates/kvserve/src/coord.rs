@@ -1,8 +1,9 @@
 //! Cross-shard atomicity: two-phase commit over the shards' NV-HALT
 //! instances.
 //!
-//! A multi-op request whose keys route to several shards is executed
-//! inline on the client thread as one **distributed transaction**:
+//! A multi-op request whose keys route to several shards is queued to a
+//! dedicated 2PC driver thread ([`drive`]) and executed there as one
+//! **distributed transaction**:
 //!
 //! 1. **Prepare** — per participating shard, run the shard's ops plus a
 //!    *marker* insert (`meta[txid] = 1`) as a prepared transaction
@@ -37,12 +38,13 @@
 
 use crate::metrics::CoordinatorMetrics;
 use crate::repl::{self, LogKind};
-use crate::{op_key, Reply, ServeError, Service, ServiceConfig};
+use crate::{op_key, Engine, Reply, ServeError, ServiceConfig, XRequest};
+use crossbeam::channel::{Receiver, RecvTimeoutError};
 use nvhalt::NvHalt;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 use tm::{Abort, Addr, Tm, TmPrepare};
 use txstructs::MapOp;
 
@@ -110,8 +112,10 @@ impl TwoPcStep {
 /// poisons all pools and unwinds the calling thread right there.
 pub(crate) type CrashHook = Arc<dyn Fn(TwoPcStep) -> bool + Send + Sync>;
 
-/// The cross-shard commit coordinator: the decision log plus the slots
-/// client threads borrow to act as participants.
+/// The cross-shard commit coordinator: the decision log shared by the
+/// 2PC driver threads. Driver `c` exclusively owns coordinator slot `c`,
+/// which grants TM thread id `workers_per_shard + c` on every shard and
+/// `c` on the log.
 pub(crate) struct Coordinator {
     /// The decision log's own NV-HALT instance (crashed and recovered
     /// together with the shards).
@@ -120,11 +124,6 @@ pub(crate) struct Coordinator {
     pub head: Addr,
     /// Next transaction id to hand out (recovered as max seen + 1).
     pub next_txid: AtomicU64,
-    /// One mutex per coordinator slot; holding slot `c` grants TM thread
-    /// id `workers_per_shard + c` on every shard and `c` on the log.
-    slots: Vec<Mutex<()>>,
-    /// Round-robin slot assignment.
-    rr: AtomicUsize,
     /// Recyclable `RESOLVED` entries, as `(addr, op capacity)`. Entries
     /// enter only after their markers are dropped (a recycled entry must
     /// never still be needed to dedupe replay).
@@ -138,26 +137,19 @@ impl Coordinator {
     pub fn new(cfg: &ServiceConfig) -> Coordinator {
         let log = Arc::new(NvHalt::new(cfg.log_nvhalt()));
         let head = log.alloc_raw(0, 1);
-        Coordinator::assemble(cfg, log, head, 1)
+        Coordinator::assemble(log, head, 1)
     }
 
     /// Rebuild over a recovered log TM.
-    pub fn recovered(
-        cfg: &ServiceConfig,
-        log: Arc<NvHalt>,
-        head: Addr,
-        next_txid: u64,
-    ) -> Coordinator {
-        Coordinator::assemble(cfg, log, head, next_txid)
+    pub fn recovered(log: Arc<NvHalt>, head: Addr, next_txid: u64) -> Coordinator {
+        Coordinator::assemble(log, head, next_txid)
     }
 
-    fn assemble(cfg: &ServiceConfig, log: Arc<NvHalt>, head: Addr, next_txid: u64) -> Coordinator {
+    fn assemble(log: Arc<NvHalt>, head: Addr, next_txid: u64) -> Coordinator {
         Coordinator {
             log,
             head,
             next_txid: AtomicU64::new(next_txid),
-            slots: (0..cfg.coordinators).map(|_| Mutex::new(())).collect(),
-            rr: AtomicUsize::new(0),
             free: Mutex::new(Vec::new()),
             metrics: Arc::new(CoordinatorMetrics::new()),
             hook: Mutex::new(None),
@@ -308,29 +300,64 @@ pub(crate) fn walk_log(log: &NvHalt, head: Addr) -> Vec<DecisionEntry> {
 }
 
 /// Fire the crash-injection hook, if any: poison every pool and unwind.
-fn crash_check(svc: &Service, step: TwoPcStep) {
-    let hook = svc.coord().hook.lock().clone();
+fn crash_check(eng: &Engine, step: TwoPcStep) {
+    let hook = eng.coord.hook.lock().clone();
     if let Some(h) = hook {
         if h(step) {
-            svc.poison();
+            eng.poison();
             tm::crash::crash_unwind();
         }
     }
 }
 
-/// Run a multi-shard batch as one 2PC transaction. Called inside
-/// [`tm::crash::run_crashable`]; a simulated power failure unwinds out
-/// of here and the client observes [`ServeError::Stopped`].
-pub(crate) fn cross_shard(svc: &Service, ops: &[MapOp], deadline: Duration) -> Reply {
-    let co = svc.coord();
-    let cfg = svc.config();
-    let deadline_at = Instant::now() + deadline;
+/// 2PC driver loop: drains the cross-shard queue, sheds requests whose
+/// deadline passed while queued (queue wait is charged against the
+/// deadline — execution never starts for an expired batch), and runs
+/// each batch under [`tm::crash::run_crashable`]. A simulated power
+/// failure unwinds the driver; the dropped request's completion handle
+/// delivers [`ServeError::Stopped`] — never an ack.
+pub(crate) fn drive(eng: Arc<Engine>, rx: Receiver<XRequest>, stop: Arc<AtomicBool>, slot: usize) {
+    while !stop.load(Ordering::Acquire) {
+        let req = match rx.recv_timeout(crate::shard::POLL) {
+            Ok(r) => r,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        if Instant::now() >= req.deadline {
+            eng.coord
+                .metrics
+                .counters
+                .abort_timeout
+                .fetch_add(1, Ordering::Relaxed);
+            req.reply.send(Err(ServeError::Timeout));
+            continue;
+        }
+        let survived = tm::crash::run_crashable(|| {
+            let reply = cross_shard(&eng, &req.ops, req.deadline, slot);
+            req.reply.send(reply);
+        });
+        if survived.is_none() {
+            // The pools are poisoned; the unwind dropped `req`, whose
+            // completion handle surfaced `Stopped`. This driver is dead
+            // until the service is recovered.
+            return;
+        }
+    }
+}
+
+/// Run a multi-shard batch as one 2PC transaction on driver `slot`
+/// (which exclusively owns the matching reserved TM thread ids). Called
+/// inside [`tm::crash::run_crashable`]; a simulated power failure
+/// unwinds out of here and the client observes [`ServeError::Stopped`].
+pub(crate) fn cross_shard(eng: &Engine, ops: &[MapOp], deadline_at: Instant, slot: usize) -> Reply {
+    let co = &eng.coord;
+    let cfg = &eng.cfg;
 
     // Partition ops by shard, remembering original positions so the
     // reply lines up with the submitted order.
     let mut groups: Vec<(usize, Vec<(usize, MapOp)>)> = Vec::new();
     for (i, &op) in ops.iter().enumerate() {
-        let s = svc.shard_of(op_key(op));
+        let s = crate::shard_of_key(op_key(op), cfg.shards);
         match groups.iter_mut().find(|g| g.0 == s) {
             Some(g) => g.1.push((i, op)),
             None => groups.push((s, vec![(i, op)])),
@@ -341,20 +368,17 @@ pub(crate) fn cross_shard(svc: &Service, ops: &[MapOp], deadline: Duration) -> R
     c.cross_batches.fetch_add(1, Ordering::Relaxed);
     c.cross_ops.fetch_add(ops.len() as u64, Ordering::Relaxed);
 
-    // Borrow a coordinator slot; it maps to reserved TM thread ids.
-    let slot = co.rr.fetch_add(1, Ordering::Relaxed) % co.slots.len();
-    let _guard = co.slots[slot].lock();
     let ptid = cfg.workers_per_shard + slot;
     let ltid = slot;
 
     let txid = co.next_txid.fetch_add(1, Ordering::Relaxed);
     let fuel = cfg.attempt_fuel;
-    crash_check(svc, TwoPcStep::BeforePrepare);
+    crash_check(eng, TwoPcStep::BeforePrepare);
 
     // Phase 1: prepare every participant. Any cancelled prepare aborts
     // the whole round; the deadline is only honoured here — once the
     // decision is logged the batch always completes.
-    let rt = svc.repl().map(|r| &**r);
+    let rt = eng.repl.as_deref();
     let mut results: Vec<Option<u64>> = vec![None; ops.len()];
     // Per-group LSN of the Prepare entry appended inside the prepared
     // transaction (0 when replication is off). Valid only for the round
@@ -370,9 +394,9 @@ pub(crate) fn cross_shard(svc: &Service, ops: &[MapOp], deadline: Duration) -> R
         let mut prepared: Vec<usize> = Vec::with_capacity(groups.len());
         for (gi, (s, gops)) in groups.iter().enumerate() {
             if gi > 0 {
-                crash_check(svc, TwoPcStep::BetweenPrepares);
+                crash_check(eng, TwoPcStep::BetweenPrepares);
             }
-            let sh = svc.shard(*s);
+            let sh = &eng.parts[*s];
             let (map, meta) = (sh.map, sh.meta);
             let log_hdr = rt.map(|r| r.primaries[*s].hdr);
             let muts: Vec<MapOp> =
@@ -412,7 +436,7 @@ pub(crate) fn cross_shard(svc: &Service, ops: &[MapOp], deadline: Duration) -> R
                 }
                 Err(tm::Cancelled) => {
                     for &pgi in &prepared {
-                        svc.shard(groups[pgi].0).tm.abort_prepared(ptid);
+                        eng.parts[groups[pgi].0].tm.abort_prepared(ptid);
                     }
                     c.cross_retries.fetch_add(1, Ordering::Relaxed);
                     if retry >= cfg.max_retries {
@@ -432,20 +456,20 @@ pub(crate) fn cross_shard(svc: &Service, ops: &[MapOp], deadline: Duration) -> R
         co.metrics.prepare_latency.record(prep_start.elapsed());
         break;
     }
-    crash_check(svc, TwoPcStep::Prepared);
+    crash_check(eng, TwoPcStep::Prepared);
 
     // Commit point.
     let (entry, cap) = co.log_decision(ltid, txid, ops);
-    crash_check(svc, TwoPcStep::DecisionLogged);
+    crash_check(eng, TwoPcStep::DecisionLogged);
 
     // Phase 2: fan out the commit. Crashes from here on are repaired by
     // log replay at recovery.
     let commit_start = Instant::now();
     for (gi, (s, _)) in groups.iter().enumerate() {
         if gi > 0 {
-            crash_check(svc, TwoPcStep::MidCommit);
+            crash_check(eng, TwoPcStep::MidCommit);
         }
-        let sh = svc.shard(*s);
+        let sh = &eng.parts[*s];
         let _psan = sh
             .tm
             .pmem()
@@ -463,7 +487,7 @@ pub(crate) fn cross_shard(svc: &Service, ops: &[MapOp], deadline: Duration) -> R
             }
         }
     }
-    crash_check(svc, TwoPcStep::Committed);
+    crash_check(eng, TwoPcStep::Committed);
 
     // Resolve, then drop the markers (in that order: a marker may only
     // disappear once the log no longer needs it to dedupe replay), and
@@ -472,7 +496,7 @@ pub(crate) fn cross_shard(svc: &Service, ops: &[MapOp], deadline: Duration) -> R
     co.resolve(ltid, entry);
     let mut resolve_lsns = vec![0u64; groups.len()];
     for (gi, (s, _)) in groups.iter().enumerate() {
-        let sh = svc.shard(*s);
+        let sh = &eng.parts[*s];
         let meta = sh.meta;
         let log_hdr = rt.map(|r| r.primaries[*s].hdr);
         let lsn = tm::txn(&*sh.tm, ptid, |tx| {

@@ -28,35 +28,47 @@
 //! [`Service::snapshot`] exposes per-shard op counters, abort-cause
 //! breakdowns from the TM, batch-size distributions, and fixed-bucket
 //! latency histograms — no external dependencies.
+//!
+//! The front end is completion-based ([`Ring`], see the `ring` module):
+//! the blocking `get`/`put`/`batch` calls are thin wrappers that submit
+//! to an internal ring and park on the ticket, while [`Service::ring`]
+//! hands out rings that keep thousands of requests in flight from one
+//! thread. Cross-shard batches are queued to dedicated 2PC driver
+//! threads — no request path ever blocks on a per-request channel.
 
 mod coord;
 pub mod metrics;
 pub mod repl;
+mod ring;
 mod shard;
 
 pub use coord::TwoPcStep;
 pub use metrics::{
-    CoordinatorSnapshot, HistogramSnapshot, ReplShardSnapshot, ReplSnapshot, ServiceSnapshot,
-    ShardSnapshot,
+    CoordinatorSnapshot, HistogramSnapshot, ReplShardSnapshot, ReplSnapshot, RingSnapshot,
+    ServiceSnapshot, ShardSnapshot,
 };
 pub use repl::{FailoverStep, Follower, LogEntry, LogKind, ReplStep};
+pub use ring::{Completion, Drain, Ring, Ticket};
 pub use txstructs::MapOp;
 
 use coord::Coordinator;
+use crossbeam::channel::{self, Receiver, Sender};
+use metrics::RingMetrics;
 use nvhalt::{NvHalt, NvHaltConfig};
 use pmem::pool::DurableImage;
 use repl::{PrimaryLog, ReplRuntime};
-use shard::{Shard, ShardRequest};
+use ring::{RingCompletion, RingLane};
+use shard::Shard;
 use std::fmt;
-use std::sync::atomic::Ordering;
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tm::{Addr, Tm};
 use txstructs::HashMapTx;
 
-/// Extra time a client waits past its deadline for the worker-side
-/// timeout reply before giving up on the reply channel itself.
+/// Extra time a blocking client waits past its deadline for the
+/// worker-side timeout completion before abandoning the ticket.
 const REPLY_GRACE: Duration = Duration::from_millis(100);
 
 /// Buckets of each shard's 2PC marker map (tiny: it only ever holds the
@@ -82,6 +94,9 @@ pub enum ServeError {
     /// produced — such requests now run under two-phase commit — but kept
     /// so clients written against the pre-2PC service still compile.
     CrossShard,
+    /// Every slot of the submission ring is occupied (in flight or
+    /// completed but not yet reaped). Reap completions, then resubmit.
+    RingFull,
 }
 
 impl fmt::Display for ServeError {
@@ -94,14 +109,25 @@ impl fmt::Display for ServeError {
             ServeError::Aborted => write!(f, "transaction retry budget exhausted"),
             ServeError::Stopped => write!(f, "service stopped"),
             ServeError::CrossShard => write!(f, "multi-op request spans shards"),
+            ServeError::RingFull => write!(f, "submission ring full, reap completions"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
 
-/// What a request resolves to: one value slot per submitted op.
-pub(crate) type Reply = Result<Vec<Option<u64>>, ServeError>;
+/// What a request resolves to: one value slot per submitted op, in
+/// submission order. `Ok` is the durability ack; any `Err` means the
+/// request was never acked (it may or may not have committed).
+pub type Reply = Result<Vec<Option<u64>>, ServeError>;
+
+/// One queued cross-shard request, awaiting a 2PC driver thread.
+pub(crate) struct XRequest {
+    pub ops: Vec<MapOp>,
+    pub reply: RingCompletion,
+    /// Absolute deadline; queue wait counts against it.
+    pub deadline: Instant,
+}
 
 /// Service tuning knobs. Construct with [`ServiceConfig::new`] and adjust
 /// fields as needed; `nvhalt` is a template whose `heap_words` /
@@ -117,6 +143,10 @@ pub struct ServiceConfig {
     /// Bounded queue depth per shard; beyond it requests are rejected
     /// with [`ServeError::Overloaded`].
     pub queue_depth: usize,
+    /// Request slots per [`Ring`] (also sizes the internal ring behind
+    /// the blocking calls); a ring with no free slot rejects submissions
+    /// with [`ServeError::RingFull`].
+    pub ring_slots: usize,
     /// Hashmap buckets per shard.
     pub buckets_per_shard: usize,
     /// Transactional heap words per shard.
@@ -160,6 +190,7 @@ impl ServiceConfig {
             workers_per_shard: 1,
             batch_max: 16,
             queue_depth: 1024,
+            ring_slots: 4096,
             buckets_per_shard: 512,
             heap_words_per_shard: 1 << 16,
             default_deadline: Duration::from_secs(2),
@@ -296,14 +327,72 @@ pub struct PromotionCrash {
     pub dump: FailoverDump,
 }
 
+/// The execution context the 2PC driver threads share with the service:
+/// per-shard transactional state, the coordinator, the config, and the
+/// replication runtime. `Arc`-held, so the drivers stay sound while a
+/// `Service` is being consumed by [`Service::crash`].
+pub(crate) struct Engine {
+    pub cfg: ServiceConfig,
+    pub parts: Vec<EnginePart>,
+    pub coord: Coordinator,
+    pub repl: Option<Arc<ReplRuntime>>,
+}
+
+/// Prepared per-shard state handed to [`Service::assemble`]: TM, data
+/// map, 2PC marker map, optional replication-log header, extra blocks to
+/// keep reserved across recoveries.
+type ShardParts = (
+    Arc<NvHalt>,
+    HashMapTx,
+    HashMapTx,
+    Option<Addr>,
+    Vec<(u64, usize)>,
+);
+
+/// One shard's transactional state, as the 2PC coordinator sees it.
+pub(crate) struct EnginePart {
+    pub tm: Arc<NvHalt>,
+    pub map: HashMapTx,
+    pub meta: HashMapTx,
+}
+
+impl Engine {
+    /// Poison every pool: the instant of power failure. In-flight
+    /// requests surface [`ServeError::Stopped`] or
+    /// [`ServeError::Timeout`] — never an ack.
+    pub fn poison(&self) {
+        for p in &self.parts {
+            p.tm.crash();
+        }
+        self.coord.log.crash();
+        if let Some(rt) = &self.repl {
+            // Release semi-sync ack waiters immediately; with the primary
+            // gone nothing will ever advance the receive watermarks.
+            for st in &rt.states {
+                st.down.store(true, Ordering::Release);
+                st.notify_all();
+            }
+        }
+    }
+}
+
 /// The sharded durable KV service. Cheap to share across client threads
 /// by reference; dropped, it stops and joins its workers.
 pub struct Service {
-    cfg: ServiceConfig,
+    engine: Arc<Engine>,
     shards: Vec<Shard>,
-    coord: Coordinator,
-    repl: Option<Arc<ReplRuntime>>,
     shippers: Vec<JoinHandle<()>>,
+    /// Cross-shard submission queue feeding the 2PC driver threads.
+    xqueue: Sender<XRequest>,
+    /// Kept so the queue stays connected while drivers restart, and so
+    /// teardown can drain it deterministically.
+    xqueue_rx: Receiver<XRequest>,
+    xstop: Arc<AtomicBool>,
+    xdrivers: Vec<JoinHandle<()>>,
+    /// Service-wide ring metrics, shared by every ring over this service.
+    ring_metrics: Arc<RingMetrics>,
+    /// The internal ring backing the blocking `get`/`put`/`batch` calls.
+    front: Ring,
 }
 
 impl Service {
@@ -314,6 +403,7 @@ impl Service {
         assert!(cfg.workers_per_shard >= 1, "need at least one worker");
         assert!(cfg.batch_max >= 1, "batch_max must be positive");
         assert!(cfg.queue_depth >= 1, "queue_depth must be positive");
+        assert!(cfg.ring_slots >= 1, "ring_slots must be positive");
         assert!(cfg.coordinators >= 1, "need at least one coordinator slot");
         let parts: Vec<(Arc<NvHalt>, HashMapTx, HashMapTx, Option<Addr>)> = (0..cfg.shards)
             .map(|_| {
@@ -339,26 +429,113 @@ impl Service {
                 .collect();
             Arc::new(ReplRuntime::new(&cfg, primaries, coord.log.clone()))
         });
-        let shards = parts
+        let parts = parts
+            .into_iter()
+            .map(|(tm, map, meta, hdr)| (tm, map, meta, hdr, Vec::new()))
+            .collect();
+        Service::assemble(cfg, parts, coord, rt)
+    }
+
+    /// Wire a service over prepared per-shard state (fresh, recovered, or
+    /// promoted): spawn the shard workers, the 2PC drivers, and the
+    /// shippers, and build the internal ring.
+    fn assemble(
+        cfg: ServiceConfig,
+        parts: Vec<ShardParts>,
+        coord: Coordinator,
+        rt: Option<Arc<ReplRuntime>>,
+    ) -> Service {
+        let engine = Arc::new(Engine {
+            parts: parts
+                .iter()
+                .map(|(tm, map, meta, _, _)| EnginePart {
+                    tm: tm.clone(),
+                    map: *map,
+                    meta: *meta,
+                })
+                .collect(),
+            coord,
+            repl: rt.clone(),
+            cfg: cfg.clone(),
+        });
+        let shards: Vec<Shard> = parts
             .into_iter()
             .enumerate()
-            .map(|(i, (tm, map, meta, hdr))| {
-                Shard::start(&cfg, i, tm, map, meta, hdr, Vec::new(), rt.clone())
+            .map(|(i, (tm, map, meta, hdr, keep))| {
+                Shard::start(&cfg, i, tm, map, meta, hdr, keep, rt.clone())
             })
             .collect();
         let shippers = rt.as_ref().map(repl::spawn_shippers).unwrap_or_default();
+        let (xqueue, xqueue_rx) = channel::bounded::<XRequest>(cfg.queue_depth);
+        let xstop = Arc::new(AtomicBool::new(false));
+        let xdrivers = (0..cfg.coordinators)
+            .map(|c| {
+                let eng = engine.clone();
+                let rx = xqueue_rx.clone();
+                let stop = xstop.clone();
+                std::thread::Builder::new()
+                    .name(format!("kvserve-2pc-{c}"))
+                    .spawn(move || coord::drive(eng, rx, stop, c))
+                    .expect("spawn 2pc driver")
+            })
+            .collect();
+        let ring_metrics = Arc::new(RingMetrics::new());
+        let front = Ring::attach(
+            cfg.ring_slots,
+            shards
+                .iter()
+                .map(|s| RingLane {
+                    queue: s.queue.clone(),
+                    metrics: s.metrics.clone(),
+                })
+                .collect(),
+            xqueue.clone(),
+            ring_metrics.clone(),
+            cfg.default_deadline,
+            cfg.backoff_base,
+        );
         Service {
-            cfg,
+            engine,
             shards,
-            coord,
-            repl: rt,
             shippers,
+            xqueue,
+            xqueue_rx,
+            xstop,
+            xdrivers,
+            ring_metrics,
+            front,
         }
     }
 
     /// The service's configuration.
     pub fn config(&self) -> &ServiceConfig {
-        &self.cfg
+        &self.engine.cfg
+    }
+
+    /// A new completion-based front end over this service: its own slot
+    /// slab of `cfg.ring_slots` slots, sharing the service-wide ring
+    /// metrics. Clone the ring (cheap) to submit or reap from several
+    /// threads against the same slab.
+    pub fn ring(&self) -> Ring {
+        self.ring_with_slots(self.engine.cfg.ring_slots)
+    }
+
+    /// [`Service::ring`] with an explicit slot count.
+    pub fn ring_with_slots(&self, slots: usize) -> Ring {
+        Ring::attach(
+            slots,
+            self.shards
+                .iter()
+                .map(|s| RingLane {
+                    queue: s.queue.clone(),
+                    metrics: s.metrics.clone(),
+                })
+                .collect(),
+            self.xqueue.clone(),
+            self.ring_metrics.clone(),
+            self.engine.cfg.default_deadline,
+            self.engine.cfg.backoff_base,
+        )
     }
 
     /// Number of shards.
@@ -369,18 +546,6 @@ impl Service {
     /// Which shard serves `key`.
     pub fn shard_of(&self, key: u64) -> usize {
         shard_of_key(key, self.shards.len())
-    }
-
-    pub(crate) fn shard(&self, i: usize) -> &Shard {
-        &self.shards[i]
-    }
-
-    pub(crate) fn coord(&self) -> &Coordinator {
-        &self.coord
-    }
-
-    pub(crate) fn repl(&self) -> Option<&Arc<ReplRuntime>> {
-        self.repl.as_ref()
     }
 
     /// Drain the persist-order sanitizer's diagnostics from every pool
@@ -394,10 +559,10 @@ impl Service {
                 out.extend(p.take_diagnostics());
             }
         }
-        if let Some(p) = self.coord.log.pmem().pool().psan() {
+        if let Some(p) = self.engine.coord.log.pmem().pool().psan() {
             out.extend(p.take_diagnostics());
         }
-        if let Some(rt) = &self.repl {
+        if let Some(rt) = &self.engine.repl {
             for cell in &rt.followers {
                 if let Some(f) = &*cell.lock() {
                     if let Some(p) = f.tm.pmem().pool().psan() {
@@ -416,6 +581,7 @@ impl Service {
     /// [`Service::recover_follower`]).
     pub fn set_repl_crash_hook(&self, hook: Option<Arc<dyn Fn(ReplStep) -> bool + Send + Sync>>) {
         let rt = self
+            .engine
             .repl
             .as_ref()
             .expect("set_repl_crash_hook requires cfg.replication");
@@ -428,7 +594,7 @@ impl Service {
     /// as a power failure at that protocol step would. Test-only plumbing
     /// for deterministic crash injection.
     pub fn set_twopc_crash_hook(&self, hook: Option<Arc<dyn Fn(TwoPcStep) -> bool + Send + Sync>>) {
-        *self.coord.hook.lock() = hook;
+        *self.engine.coord.hook.lock() = hook;
     }
 
     /// Look up `key` under the default deadline.
@@ -450,13 +616,12 @@ impl Service {
 
     /// Run one op under the default deadline.
     pub fn apply(&self, op: MapOp) -> Result<Option<u64>, ServeError> {
-        self.apply_deadline(op, self.cfg.default_deadline)
+        self.apply_deadline(op, self.engine.cfg.default_deadline)
     }
 
     /// Run one op with an explicit deadline.
     pub fn apply_deadline(&self, op: MapOp, deadline: Duration) -> Result<Option<u64>, ServeError> {
-        let key = op_key(op);
-        let mut vals = self.submit(self.shard_of(key), vec![op], deadline)?;
+        let mut vals = self.blocking(vec![op], deadline)?;
         Ok(vals.pop().expect("one value per op"))
     }
 
@@ -466,7 +631,7 @@ impl Service {
     /// across the participating shards (still atomic and durable, at the
     /// cost of the 2PC round trips).
     pub fn batch(&self, ops: Vec<MapOp>) -> Result<Vec<Option<u64>>, ServeError> {
-        self.batch_deadline(ops, self.cfg.default_deadline)
+        self.batch_deadline(ops, self.engine.cfg.default_deadline)
     }
 
     /// [`Service::batch`] with an explicit deadline.
@@ -475,53 +640,31 @@ impl Service {
         ops: Vec<MapOp>,
         deadline: Duration,
     ) -> Result<Vec<Option<u64>>, ServeError> {
-        let Some(&first) = ops.first() else {
+        if ops.is_empty() {
             return Ok(Vec::new());
-        };
-        let shard = self.shard_of(op_key(first));
-        if ops.iter().all(|&op| self.shard_of(op_key(op)) == shard) {
-            return self.submit(shard, ops, deadline);
         }
-        // Cross-shard: run 2PC inline on this thread. A simulated power
-        // failure mid-protocol unwinds the coordinator; the client sees
-        // `Stopped`, never an ack.
-        match tm::crash::run_crashable(|| coord::cross_shard(self, &ops, deadline)) {
-            Some(reply) => reply,
-            None => Err(ServeError::Stopped),
-        }
+        self.blocking(ops, deadline)
     }
 
-    fn submit(
-        &self,
-        shard: usize,
-        ops: Vec<MapOp>,
-        deadline: Duration,
-    ) -> Result<Vec<Option<u64>>, ServeError> {
-        let s = &self.shards[shard];
-        let now = Instant::now();
-        let (reply_tx, reply_rx) = mpsc::channel();
-        let req = ShardRequest {
-            ops,
-            reply: reply_tx,
-            deadline: now + deadline,
-            enqueued: now,
-        };
-        use crossbeam::channel::TrySendError;
-        match s.queue.try_send(req) {
-            Ok(()) => {}
-            Err(TrySendError::Full(_)) => {
-                s.metrics.counters.rejected.fetch_add(1, Ordering::Relaxed);
+    /// The blocking calls are a thin shell over the internal ring: submit,
+    /// then park on the ticket. The deadline clock starts at submission —
+    /// queue wait is charged against it — and the extra `REPLY_GRACE`
+    /// only pads the *wait*, giving the worker time to deliver a verdict
+    /// for a request it picked up near the deadline.
+    fn blocking(&self, ops: Vec<MapOp>, deadline: Duration) -> Reply {
+        let ticket = match self.front.submit_batch_deadline(ops, deadline) {
+            Ok(t) => t,
+            // The internal ring sized out: equivalent to a full queue from
+            // the blocking caller's point of view.
+            Err(ServeError::RingFull) => {
                 return Err(ServeError::Overloaded {
-                    retry_after: self.cfg.backoff_base,
-                });
+                    retry_after: self.engine.cfg.backoff_base,
+                })
             }
-            Err(TrySendError::Disconnected(_)) => return Err(ServeError::Stopped),
-        }
-        match reply_rx.recv_timeout(deadline + REPLY_GRACE) {
-            Ok(reply) => reply,
-            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::Timeout),
-            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::Stopped),
-        }
+            Err(e) => return Err(e),
+        };
+        self.front
+            .wait_deadline(ticket, Instant::now() + deadline + REPLY_GRACE)
     }
 
     /// Zero every shard's service-level counters and histograms (TM
@@ -532,7 +675,8 @@ impl Service {
         for s in &self.shards {
             s.metrics.reset();
         }
-        self.coord.metrics.reset();
+        self.engine.coord.metrics.reset();
+        self.ring_metrics.reset();
     }
 
     /// Point-in-time observability snapshot: per-shard counters, latency
@@ -546,8 +690,9 @@ impl Service {
                 .enumerate()
                 .map(|(i, s)| s.metrics.snapshot(i, s.tm.stats()))
                 .collect(),
-            coordinator: self.coord.metrics.snapshot(),
-            replication: self.repl.as_ref().map(|rt| ReplSnapshot {
+            coordinator: self.engine.coord.metrics.snapshot(),
+            ring: self.ring_metrics.snapshot(),
+            replication: self.engine.repl.as_ref().map(|rt| ReplSnapshot {
                 shards: rt
                     .states
                     .iter()
@@ -570,29 +715,23 @@ impl Service {
     /// have been released. In-flight requests surface
     /// [`ServeError::Stopped`] or [`ServeError::Timeout`] — never an ack.
     pub fn poison(&self) {
-        for s in &self.shards {
-            s.tm.crash();
-        }
-        self.coord.log.crash();
-        if let Some(rt) = &self.repl {
-            // Release semi-sync ack waiters immediately; with the primary
-            // gone nothing will ever advance the receive watermarks.
-            for st in &rt.states {
-                st.down.store(true, Ordering::Release);
-                st.notify_all();
-            }
-        }
+        self.engine.poison();
     }
 
-    /// Stop and join every worker and shipper thread. Pools must already
-    /// be poisoned (or the service idle); callers then capture images.
+    /// Stop and join every worker, 2PC driver, and shipper thread, then
+    /// drain both request queues so every queued-but-unserved request's
+    /// completion handle drops (delivering `Stopped` into its ring slot).
+    /// Pools must already be poisoned (or the service idle); callers then
+    /// capture images. Post-condition: every ticket submitted before this
+    /// call has a definite verdict in its ring.
     fn stop_threads(&mut self) {
-        if let Some(rt) = &self.repl {
+        if let Some(rt) = &self.engine.repl {
             rt.stop.store(true, Ordering::Release);
             for st in &rt.states {
                 st.notify_all();
             }
         }
+        self.xstop.store(true, Ordering::Release);
         for s in &self.shards {
             s.stop.store(true, Ordering::Release);
         }
@@ -601,9 +740,20 @@ impl Service {
                 let _ = h.join();
             }
         }
+        for h in self.xdrivers.drain(..) {
+            let _ = h.join();
+        }
         for h in self.shippers.drain(..) {
             let _ = h.join();
         }
+        // The channels hold buffered requests alive as long as any Sender
+        // clone exists (user-held rings keep them connected); drain
+        // explicitly so in-flight tickets resolve *now*, not whenever the
+        // last ring is dropped.
+        for s in &self.shards {
+            while s.queue_rx.try_recv().is_ok() {}
+        }
+        while self.xqueue_rx.try_recv().is_ok() {}
     }
 
     /// Simulate a power failure of the *whole deployment* — primaries,
@@ -614,7 +764,7 @@ impl Service {
     pub fn crash(mut self) -> CrashDump {
         // Poison first so nothing can be acked after the crash point…
         self.poison();
-        if let Some(rt) = &self.repl {
+        if let Some(rt) = &self.engine.repl {
             for s in 0..rt.followers.len() {
                 rt.poison_follower(s);
             }
@@ -634,7 +784,7 @@ impl Service {
                 keep: s.keep_blocks.clone(),
             })
             .collect();
-        let followers = match &self.repl {
+        let followers = match &self.engine.repl {
             Some(rt) => rt
                 .followers
                 .iter()
@@ -646,11 +796,11 @@ impl Service {
             None => Vec::new(),
         };
         CrashDump {
-            cfg: self.cfg.clone(),
+            cfg: self.engine.cfg.clone(),
             shards: images,
             followers,
-            log: self.coord.log.crash_image(),
-            log_head: self.coord.head,
+            log: self.engine.coord.log.crash_image(),
+            log_head: self.engine.coord.head,
         }
     }
 
@@ -659,9 +809,12 @@ impl Service {
     /// durable images and the decision log. The primary images are
     /// dropped. Feed the result to [`Service::promote`].
     pub fn fail_over(mut self) -> FailoverDump {
-        assert!(self.cfg.replication, "fail_over requires cfg.replication");
+        assert!(
+            self.engine.cfg.replication,
+            "fail_over requires cfg.replication"
+        );
         self.poison();
-        let rt = self.repl.clone().expect("replication runtime");
+        let rt = self.engine.repl.clone().expect("replication runtime");
         for s in 0..rt.followers.len() {
             rt.poison_follower(s);
         }
@@ -677,10 +830,10 @@ impl Service {
             })
             .collect();
         FailoverDump {
-            cfg: self.cfg.clone(),
+            cfg: self.engine.cfg.clone(),
             followers,
-            log: self.coord.log.crash_image(),
-            log_head: self.coord.head,
+            log: self.engine.coord.log.crash_image(),
+            log_head: self.engine.coord.head,
         }
     }
 
@@ -718,7 +871,7 @@ impl Service {
             std::iter::once((log_head.0, 1)).chain(entries.iter().map(|e| (e.addr.0, e.words()))),
         );
         let next_txid = entries.iter().map(|e| e.txid).max().unwrap_or(0) + 1;
-        let coord = Coordinator::recovered(&cfg, log_tm, log_head, next_txid);
+        let coord = Coordinator::recovered(log_tm, log_head, next_txid);
         let fs: Vec<Follower> = followers
             .iter()
             .map(|fi| recover_follower_image(&cfg, fi))
@@ -792,14 +945,13 @@ impl Service {
 
         let mut cfg2 = cfg;
         cfg2.replication = false;
-        let shards = fs
+        let parts = fs
             .into_iter()
-            .enumerate()
-            .map(|(i, f)| {
+            .map(|f| {
                 // The old follower header block stays reserved across
                 // future recoveries of the promoted service.
                 let keep = vec![(f.hdr.0, repl::FOLLOWER_HDR_WORDS)];
-                Shard::start(&cfg2, i, f.tm, f.data, f.meta, None, keep, None)
+                (f.tm, f.data, f.meta, None, keep)
             })
             .collect();
         let report = FailoverReport {
@@ -807,16 +959,7 @@ impl Service {
             tail_applied,
             replayed,
         };
-        Ok((
-            Service {
-                cfg: cfg2,
-                shards,
-                coord,
-                repl: None,
-                shippers: Vec::new(),
-            },
-            report,
-        ))
+        Ok((Service::assemble(cfg2, parts, coord, None), report))
     }
 
     /// Recover any crashed follower pools in place — the follower-only
@@ -828,6 +971,7 @@ impl Service {
     /// un-received tail from the primary's log.
     pub fn recover_follower(&self) {
         let rt = self
+            .engine
             .repl
             .as_ref()
             .expect("recover_follower requires cfg.replication");
@@ -839,7 +983,7 @@ impl Service {
             }
             let f = cell.take().expect("checked above");
             let fi = follower_image(&f);
-            let nf = recover_follower_image(&self.cfg, &fi);
+            let nf = recover_follower_image(&self.engine.cfg, &fi);
             let st = &rt.states[s];
             st.received.store(nf.received_raw(), Ordering::Release);
             st.applied.store(nf.applied_lsn(), Ordering::Release);
@@ -869,7 +1013,7 @@ impl Service {
             std::iter::once((log_head.0, 1)).chain(entries.iter().map(|e| (e.addr.0, e.words()))),
         );
         let next_txid = entries.iter().map(|e| e.txid).max().unwrap_or(0) + 1;
-        let coord = Coordinator::recovered(&cfg, log_tm, log_head, next_txid);
+        let coord = Coordinator::recovered(log_tm, log_head, next_txid);
 
         // Shard TMs next, still quiescent (no workers yet). The heap walk
         // covers the maps, the replication log, and any kept blocks.
@@ -932,22 +1076,12 @@ impl Service {
             ))
         });
 
-        let shards = recovered
+        let parts = recovered
             .into_iter()
             .zip(shards)
-            .enumerate()
-            .map(|(i, ((tm, map, meta), si))| {
-                Shard::start(&cfg, i, tm, map, meta, si.repl_hdr, si.keep, rt.clone())
-            })
+            .map(|((tm, map, meta), si)| (tm, map, meta, si.repl_hdr, si.keep))
             .collect();
-        let shippers = rt.as_ref().map(repl::spawn_shippers).unwrap_or_default();
-        Service {
-            cfg,
-            shards,
-            coord,
-            repl: rt,
-            shippers,
-        }
+        Service::assemble(cfg, parts, coord, rt)
     }
 }
 

@@ -282,6 +282,159 @@ impl ShardSnapshot {
     }
 }
 
+/// Hot-path counters of the completion ring front end. All rings of a
+/// service (the internal ring behind the blocking API and every ring
+/// handed out by [`Service::ring`](crate::Service::ring)) share one
+/// instance, so the gauges are service-wide.
+#[derive(Default)]
+pub struct RingCounters {
+    /// Accepted submissions (a ticket was returned).
+    pub submitted: AtomicU64,
+    /// Delivered completions (acked or errored).
+    pub completed: AtomicU64,
+    /// Submissions rejected with `RingFull` (no free slot).
+    pub ring_full: AtomicU64,
+    /// Gauge: submitted but not yet completed.
+    pub in_flight: AtomicU64,
+    /// High-water mark of `in_flight`.
+    pub in_flight_hwm: AtomicU64,
+    /// Gauge: slots not free (in flight or completed-but-unreaped).
+    pub occupied: AtomicU64,
+    /// High-water mark of `occupied` — the ring-slot occupancy peak.
+    pub occupied_hwm: AtomicU64,
+}
+
+/// Ring front-end metrics: slot/depth counters plus the
+/// submit-to-complete latency histogram.
+pub struct RingMetrics {
+    /// Hot-path counters.
+    pub counters: CachePadded<RingCounters>,
+    /// Submit-to-complete latency (covers queue wait, execution, and
+    /// replication ack — the client-observable request latency).
+    pub latency: Histogram,
+}
+
+impl RingMetrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> RingMetrics {
+        RingMetrics {
+            counters: CachePadded::new(RingCounters::default()),
+            latency: Histogram::new(),
+        }
+    }
+
+    /// A slot was acquired and its request accepted.
+    pub(crate) fn occupy(&self) {
+        let c = &*self.counters;
+        c.submitted.fetch_add(1, Ordering::Relaxed);
+        let inf = c.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        c.in_flight_hwm.fetch_max(inf, Ordering::Relaxed);
+        let occ = c.occupied.fetch_add(1, Ordering::Relaxed) + 1;
+        c.occupied_hwm.fetch_max(occ, Ordering::Relaxed);
+    }
+
+    /// A slot acquisition was rolled back before its ticket escaped.
+    pub(crate) fn vacate_inflight(&self) {
+        let c = &*self.counters;
+        c.submitted.fetch_sub(1, Ordering::Relaxed);
+        c.in_flight.fetch_sub(1, Ordering::Relaxed);
+        c.occupied.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A request's outcome was delivered into its slot.
+    pub(crate) fn complete(&self, submit_to_complete: Duration) {
+        let c = &*self.counters;
+        c.completed.fetch_add(1, Ordering::Relaxed);
+        c.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.latency.record(submit_to_complete);
+    }
+
+    /// A completed slot was reaped and recycled.
+    pub(crate) fn vacate_reaped(&self) {
+        self.counters.occupied.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current in-flight depth.
+    pub(crate) fn in_flight(&self) -> u64 {
+        self.counters.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Zero the monotonic counters and the histogram; the gauges keep
+    /// their live values and the high-water marks restart from them.
+    pub fn reset(&self) {
+        let c = &*self.counters;
+        c.submitted.store(0, Ordering::Relaxed);
+        c.completed.store(0, Ordering::Relaxed);
+        c.ring_full.store(0, Ordering::Relaxed);
+        c.in_flight_hwm
+            .store(c.in_flight.load(Ordering::Relaxed), Ordering::Relaxed);
+        c.occupied_hwm
+            .store(c.occupied.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.latency.reset();
+    }
+
+    /// Immutable copy.
+    pub fn snapshot(&self) -> RingSnapshot {
+        let c = &*self.counters;
+        RingSnapshot {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            ring_full: c.ring_full.load(Ordering::Relaxed),
+            in_flight: c.in_flight.load(Ordering::Relaxed),
+            in_flight_hwm: c.in_flight_hwm.load(Ordering::Relaxed),
+            occupied_hwm: c.occupied_hwm.load(Ordering::Relaxed),
+            latency: self.latency.snapshot(),
+        }
+    }
+
+    pub(crate) fn reject_ring_full(&self) {
+        self.counters.ring_full.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Default for RingMetrics {
+    fn default() -> RingMetrics {
+        RingMetrics::new()
+    }
+}
+
+/// Point-in-time view of the ring front end.
+#[derive(Clone, Debug)]
+pub struct RingSnapshot {
+    /// Accepted submissions.
+    pub submitted: u64,
+    /// Delivered completions.
+    pub completed: u64,
+    /// Submissions rejected with `RingFull`.
+    pub ring_full: u64,
+    /// In-flight depth at snapshot time.
+    pub in_flight: u64,
+    /// In-flight depth high-water mark.
+    pub in_flight_hwm: u64,
+    /// Ring-slot occupancy high-water mark.
+    pub occupied_hwm: u64,
+    /// Submit-to-complete latency histogram.
+    pub latency: HistogramSnapshot,
+}
+
+impl fmt::Display for RingSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ring: submitted={} completed={} ring_full={} in_flight={} \
+             inflight_hwm={} occ_hwm={} s2c_p50={} s2c_p99={}",
+            self.submitted,
+            self.completed,
+            self.ring_full,
+            self.in_flight,
+            self.in_flight_hwm,
+            self.occupied_hwm,
+            fmt_dur(self.latency.quantile(0.50)),
+            fmt_dur(self.latency.quantile(0.99)),
+        )
+    }
+}
+
 /// Hot-path counters of the cross-shard 2PC coordinator.
 #[derive(Default)]
 pub struct CoordinatorCounters {
@@ -469,6 +622,9 @@ pub struct ServiceSnapshot {
     pub shards: Vec<ShardSnapshot>,
     /// The cross-shard coordinator's metrics.
     pub coordinator: CoordinatorSnapshot,
+    /// The ring front end's metrics (in-flight depth, slot occupancy,
+    /// submit-to-complete latency) — service-wide across all rings.
+    pub ring: RingSnapshot,
     /// Replication watermarks, when replication is on.
     pub replication: Option<ReplSnapshot>,
 }
@@ -579,6 +735,9 @@ impl fmt::Display for ServiceSnapshot {
         }
         if self.coordinator.cross_batches > 0 || self.coordinator.replayed > 0 {
             writeln!(f, "{}", self.coordinator)?;
+        }
+        if self.ring.submitted > 0 {
+            writeln!(f, "{}", self.ring)?;
         }
         if let Some(repl) = &self.replication {
             writeln!(f, "{repl}")?;

@@ -10,29 +10,30 @@
 //!
 //! Crash simulation: a worker torn down mid-transaction by the pool's
 //! [`CrashSignal`](tm::crash::CrashSignal) unwinds out of the serve loop;
-//! the in-flight requests' reply channels drop, which clients observe as
-//! [`ServeError::Stopped`] — never as an ack.
+//! the in-flight requests' completion handles drop, which delivers
+//! [`ServeError::Stopped`] into their ring slots — never an ack.
 
 use crate::metrics::ShardMetrics;
 use crate::repl::{self, LogKind, ReplRuntime, ReplStep};
-use crate::{Reply, ServeError, ServiceConfig};
+use crate::ring::RingCompletion;
+use crate::{ServeError, ServiceConfig};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use nvhalt::NvHalt;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tm::{Abort, Addr};
 use txstructs::{HashMapTx, MapOp};
 
 /// How often an idle worker re-checks the stop flag.
-const POLL: Duration = Duration::from_millis(2);
+pub(crate) const POLL: Duration = Duration::from_millis(2);
 
-/// One queued request: the ops to run atomically, where to send the
-/// answer, and its timing envelope.
+/// One queued request: the ops to run atomically, the ring slot that
+/// receives the answer, and its timing envelope.
 pub(crate) struct ShardRequest {
     pub ops: Vec<MapOp>,
-    pub reply: mpsc::Sender<Reply>,
+    pub reply: RingCompletion,
     pub deadline: Instant,
     pub enqueued: Instant,
 }
@@ -134,7 +135,7 @@ impl Shard {
 
 fn worker(ctx: WorkerCtx) {
     // A simulated power failure unwinds `serve_loop` from wherever it was;
-    // dropping the in-flight requests' reply senders surfaces `Stopped`.
+    // dropping the in-flight requests' completion handles surfaces `Stopped`.
     let _ = tm::crash::run_crashable(|| serve_loop(&ctx));
 }
 
@@ -162,7 +163,7 @@ fn shed_expired(ctx: &WorkerCtx, batch: &mut Vec<ShardRequest>) {
     let mut expired = 0u64;
     batch.retain(|r| {
         if r.deadline <= now {
-            let _ = r.reply.send(Err(ServeError::Timeout));
+            r.reply.send(Err(ServeError::Timeout));
             expired += 1;
             false
         } else {
@@ -226,7 +227,7 @@ fn execute_batch(ctx: &WorkerCtx, mut batch: Vec<ShardRequest>) {
                         .aborted
                         .fetch_add(batch.len() as u64, Ordering::Relaxed);
                     for r in &batch {
-                        let _ = r.reply.send(Err(ServeError::Aborted));
+                        r.reply.send(Err(ServeError::Aborted));
                     }
                     return;
                 }
@@ -273,7 +274,7 @@ fn await_replication(ctx: &WorkerCtx, batch: &[ShardRequest], lsn: u64) -> bool 
         .timeouts
         .fetch_add(batch.len() as u64, Ordering::Relaxed);
     for r in batch {
-        let _ = r.reply.send(Err(ServeError::Timeout));
+        r.reply.send(Err(ServeError::Timeout));
     }
     false
 }
@@ -293,7 +294,7 @@ fn reply_batch(ctx: &WorkerCtx, batch: &[ShardRequest], vals: Vec<Option<u64>>) 
         }
         ctx.metrics.latency.record(now.duration_since(r.enqueued));
         let per_req: Vec<Option<u64>> = (&mut vi).take(r.ops.len()).collect();
-        // The ack: once this send succeeds the write is durably committed.
-        let _ = r.reply.send(Ok(per_req));
+        // The ack: once this fires the write is durably committed.
+        r.reply.send(Ok(per_req));
     }
 }

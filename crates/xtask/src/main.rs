@@ -24,6 +24,15 @@
 //!    `.execute(` anywhere else must be too.
 //! 4. **Every `unsafe` needs a `SAFETY:` comment** on the same line or
 //!    within the three lines above it.
+//! 5. **No blocking `recv` on reply channels inside kvserve's service
+//!    sources.** The service front end is completion-based: submission
+//!    paths hand a `RingCompletion` sink to the workers and reap
+//!    results through the ring (`complete`/`wait`/`drain`). A
+//!    `reply...recv()` reintroduces per-request thread parking, the
+//!    exact pattern the ring replaced.
+//!
+//! `cargo xtask check-bench` (see `bench_check`) validates
+//! `kvserve-bench-v1` benchmark artifacts instead of sources.
 //!
 //! Scanned roots: `crates/` (minus `xtask` itself), `src/`, `tests/`,
 //! `examples/`. Skipped everywhere: `target/`, `shims/` (vendored
@@ -34,6 +43,8 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+mod bench_check;
 
 /// One lint violation.
 #[derive(Debug, PartialEq, Eq)]
@@ -164,6 +175,20 @@ fn lint_file(file: &str, text: &str) -> Vec<Finding> {
                 message: "flush/fence in the htm crate (aborts real hardware txns)".into(),
             });
         }
+        // Rule 5: blocking recv on a reply channel in kvserve's service
+        // sources — submission paths must use RingCompletion sinks.
+        if file.starts_with("crates/kvserve/src/")
+            && line.contains("reply")
+            && (line.contains(".recv(") || line.contains(".recv_timeout("))
+        {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: lineno,
+                rule: "reply-channel-recv",
+                message: "blocking `recv` on a reply channel; reap via the completion ring".into(),
+            });
+        }
+
         match execute_depth {
             Some(depth) => {
                 if flushy {
@@ -258,11 +283,13 @@ fn run_lint() -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let task = std::env::args().nth(1).unwrap_or_else(|| "lint".into());
-    match task.as_str() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let task = args.first().map(String::as_str).unwrap_or("lint");
+    match task {
         "lint" => run_lint(),
+        "check-bench" => bench_check::run(&args[1..]),
         other => {
-            eprintln!("unknown task `{other}`; available: lint");
+            eprintln!("unknown task `{other}`; available: lint, check-bench");
             ExitCode::FAILURE
         }
     }
@@ -360,6 +387,37 @@ mod tests {
     fn unsafe_substring_of_identifier_not_flagged() {
         let src = "let not_unsafe_here = 1;\n";
         assert!(rules("crates/core/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn reply_channel_recv_in_kvserve_flagged() {
+        let src = "let r = reply_rx.recv().unwrap();\n";
+        assert_eq!(
+            rules("crates/kvserve/src/lib.rs", src),
+            ["reply-channel-recv"]
+        );
+        let src = "match req.reply_rx.recv_timeout(grace) {\n";
+        assert_eq!(
+            rules("crates/kvserve/src/shard.rs", src),
+            ["reply-channel-recv"]
+        );
+    }
+
+    #[test]
+    fn request_queue_recv_in_kvserve_not_flagged() {
+        // The worker's request-queue poll is fine — it is not a reply channel.
+        let src = "match ctx.rx.recv_timeout(POLL) {\n";
+        assert!(rules("crates/kvserve/src/shard.rs", src).is_empty());
+    }
+
+    #[test]
+    fn reply_recv_outside_kvserve_src_not_flagged() {
+        let src = "let r = reply_rx.recv().unwrap();\n";
+        assert!(rules("crates/bench/src/bin/service.rs", src).is_empty());
+        assert!(rules("tests/kvserve_ring.rs", src).is_empty());
+        // Test regions inside kvserve are exempt like rules 1-3.
+        let test_src = "#[cfg(test)]\nmod tests {\n let r = reply_rx.recv().unwrap();\n}\n";
+        assert!(rules("crates/kvserve/src/lib.rs", test_src).is_empty());
     }
 
     #[test]
