@@ -33,6 +33,14 @@
 //! plain `std` HashMap on one thread — no durability, no concurrency)
 //! as the upper bound the durable service is amortizing toward.
 //!
+//! `--migrate` measures **elastic resharding under load**: each cell
+//! runs the closed-loop clients through ring handles, splits shard 0
+//! live mid-run (streaming its moving slots to a newly provisioned
+//! shard and flipping the routing table), and reports the throughput
+//! before / during / after the migration, the measured write-pause at
+//! the flip, and how many requests saw a reroute retry — the dip is the
+//! cost of elasticity, the pause is the only moment writes wait.
+//!
 //! `--out FILE` writes the run as a `kvserve-bench-v1` JSON artifact
 //! (see docs/benchmarking.md) in either mode; CI schema-validates the
 //! committed `BENCH_*.json` files with `cargo xtask check-bench`.
@@ -49,7 +57,7 @@
 
 use bench::json::Json;
 use bench::{fmt_tput, Args};
-use kvserve::{MapOp, ServeError, Service, ServiceConfig, Ticket};
+use kvserve::{MapOp, MigrateSpec, Ring, ServeError, Service, ServiceConfig, Ticket};
 use pmem::LatencyModel;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -135,6 +143,7 @@ struct Sweep {
 fn main() {
     let args = Args::parse();
     let open_loop = args.get("open-loop").is_some();
+    let migrate = args.get("migrate").is_some();
     let sweep = Sweep {
         mixes: args
             .list("mixes")
@@ -163,7 +172,9 @@ fn main() {
         },
         zipf_theta: args.get_or("zipf", 0.0),
     };
-    let cells = if open_loop {
+    let cells = if migrate {
+        run_migrate(&sweep)
+    } else if open_loop {
         run_open_loop(&sweep)
     } else {
         run_closed_loop(&sweep)
@@ -173,7 +184,9 @@ fn main() {
             .field("schema", "kvserve-bench-v1")
             .field(
                 "mode",
-                if open_loop {
+                if migrate {
+                    "migrate"
+                } else if open_loop {
                     "open-loop"
                 } else {
                     "closed-loop"
@@ -495,6 +508,160 @@ fn gen_ops(mix: Mix, keys: u64, shards: usize, rng: &mut Rng, kg: &KeyGen) -> Ve
                 .take(span)
                 .map(|x| MapOp::Insert(x % keys, r))
                 .collect()
+        }
+    }
+}
+
+fn run_migrate(sweep: &Sweep) -> Vec<Json> {
+    println!(
+        "kvserve live-migration benchmark: {} keys, {} clients, {:.2}s windows, pm={}",
+        sweep.keys,
+        sweep.clients,
+        sweep.seconds,
+        if sweep.fast { "zero-latency" } else { "optane" },
+    );
+    let mut cells = Vec::new();
+    for &mix in &sweep.mixes {
+        for &shards in &sweep.shard_counts {
+            for &batch in &sweep.batch_caps {
+                cells.push(run_migrate_cell(sweep, mix, shards, batch));
+            }
+        }
+    }
+    cells
+}
+
+/// One live-migration cell: closed-loop clients over ring handles (the
+/// handles survive the flip — the shared router re-targets them), a
+/// pre-migration window, the split of shard 0, and a post-migration
+/// window on the grown deployment.
+fn run_migrate_cell(sweep: &Sweep, mix: Mix, shards: usize, batch: usize) -> Json {
+    let svc = Service::new(service_config(sweep, shards, batch));
+    for k in 0..sweep.keys {
+        if k.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 63 == 0 {
+            svc.put(k, k + 1).expect("prefill write");
+        }
+    }
+    svc.reset_metrics();
+
+    let ring = svc.ring();
+    let stop = AtomicBool::new(false);
+    let oks = AtomicU64::new(0);
+    let rerouted = AtomicU64::new(0);
+    let window = Duration::from_secs_f64(sweep.seconds.max(0.05));
+
+    let (svc, report, pre_rate, mig_rate, post_rate) = std::thread::scope(|scope| {
+        for c in 0..sweep.clients {
+            let ring = ring.clone();
+            let (stop, oks, rerouted) = (&stop, &oks, &rerouted);
+            scope.spawn(move || {
+                migrate_client_loop(
+                    &ring, stop, oks, rerouted, mix, sweep.keys, shards, c as u64,
+                )
+            });
+        }
+        // Pre-migration window on the original topology.
+        let t0 = Instant::now();
+        std::thread::sleep(window);
+        let pre_ok = oks.load(Ordering::Relaxed);
+        let pre_rate = pre_ok as f64 / t0.elapsed().as_secs_f64();
+
+        // The split, live under the clients' load.
+        let t1 = Instant::now();
+        let spec = MigrateSpec::split(&svc.routing(), 0);
+        let (svc, report) = svc.migrate(spec);
+        let mig_secs = t1.elapsed().as_secs_f64();
+        let mig_rate = (oks.load(Ordering::Relaxed) - pre_ok) as f64 / mig_secs;
+
+        // Post-migration window on the grown topology.
+        let t2 = Instant::now();
+        let base = oks.load(Ordering::Relaxed);
+        std::thread::sleep(window);
+        let post_rate = (oks.load(Ordering::Relaxed) - base) as f64 / t2.elapsed().as_secs_f64();
+        stop.store(true, Ordering::Relaxed);
+        (svc, report, pre_rate, mig_rate, post_rate)
+    });
+
+    let snap = svc.snapshot();
+    println!(
+        "\n== migrate mix={} shards={}->{} batch_max={} ==",
+        mix.label(),
+        shards,
+        shards + 1,
+        batch
+    );
+    println!(
+        "  tput: pre={}/s during={}/s post={}/s (dip {:.0}%)",
+        fmt_tput(pre_rate),
+        fmt_tput(mig_rate),
+        fmt_tput(post_rate),
+        if pre_rate > 0.0 {
+            (1.0 - mig_rate / pre_rate).max(0.0) * 100.0
+        } else {
+            0.0
+        },
+    );
+    println!(
+        "  migration: total={:.3?} flip_pause={:.3?} base_keys={} catchup_entries={} epoch={}",
+        report.duration, report.flip_pause, report.base_keys, report.catchup_entries, report.epoch,
+    );
+    println!(
+        "  rerouted: client-visible={} worker-shed={}",
+        rerouted.load(Ordering::Relaxed),
+        snap.shards.iter().map(|s| s.rerouted).sum::<u64>(),
+    );
+
+    Json::obj()
+        .field("mix", mix.label())
+        .field("shards", shards)
+        .field("shards_after", shards + 1)
+        .field("batch_max", batch)
+        .field("clients", sweep.clients)
+        .field("tput_pre_ops_per_sec", pre_rate)
+        .field("tput_during_ops_per_sec", mig_rate)
+        .field("tput_post_ops_per_sec", post_rate)
+        .field("migrate_secs", report.duration.as_secs_f64())
+        .field("flip_pause_us", report.flip_pause.as_secs_f64() * 1e6)
+        .field("base_keys", report.base_keys)
+        .field("catchup_entries", report.catchup_entries)
+        .field("routing_epoch", report.epoch)
+        .field("rerouted", rerouted.load(Ordering::Relaxed))
+}
+
+/// Closed-loop client over a ring handle: the handle (not the consumed
+/// `Service`) is what survives the migration. Reroute and flip-window
+/// verdicts retry; they are the migration's client-visible cost and are
+/// counted, not hidden.
+#[allow(clippy::too_many_arguments)]
+fn migrate_client_loop(
+    ring: &Ring,
+    stop: &AtomicBool,
+    oks: &AtomicU64,
+    rerouted: &AtomicU64,
+    mix: Mix,
+    keys: u64,
+    shards: usize,
+    client: u64,
+) {
+    let kg = KeyGen::new(keys, 0.0);
+    let mut rng = Rng(0xbe7c_5eed ^ (client + 1).wrapping_mul(0x2545_f491_4f6c_dd1d) | 1);
+    while !stop.load(Ordering::Relaxed) {
+        let ops = gen_ops(mix, keys, shards, &mut rng, &kg);
+        if ops.is_empty() {
+            continue;
+        }
+        let verdict = ring.submit_batch(ops).and_then(|t| ring.wait(t));
+        match verdict {
+            Ok(_) => {
+                oks.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(ServeError::Overloaded { retry_after }) => std::thread::sleep(retry_after),
+            Err(ServeError::Rerouted) => {
+                rerouted.fetch_add(1, Ordering::Relaxed);
+            }
+            // Flip-window sheds: never acked, safe to drop and move on.
+            Err(ServeError::Timeout) | Err(ServeError::Stopped) | Err(ServeError::Aborted) => {}
+            Err(e) => panic!("client under migration: {e}"),
         }
     }
 }

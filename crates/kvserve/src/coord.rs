@@ -38,7 +38,9 @@
 
 use crate::metrics::CoordinatorMetrics;
 use crate::repl::{self, LogKind};
-use crate::{op_key, Engine, Reply, ServeError, ServiceConfig, XRequest};
+use crate::{
+    op_key, Engine, Reply, RoutingTable, ServeError, ServiceConfig, XRequest, ROUTE_SLOTS,
+};
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 use nvhalt::NvHalt;
 use parking_lot::Mutex;
@@ -66,6 +68,16 @@ const OP_WORDS: u64 = 3;
 pub(crate) const STATE_COMMITTED: u64 = 1;
 /// Entry state: every participant durably committed; skip at recovery.
 pub(crate) const STATE_RESOLVED: u64 = 2;
+
+/// Routing-root layout inside the decision log's pool:
+/// `[epoch, nslots, assign[0..ROUTE_SLOTS]]`. Rewritten whole by one
+/// committed transaction per migration flip, so recovery reads either
+/// the pre-flip or the post-flip table — never a torn mix.
+const R_EPOCH: u64 = 0;
+const R_NSLOTS: u64 = 1;
+const R_ASSIGN: u64 = 2;
+/// Words in the routing-root block.
+pub(crate) const ROUTE_WORDS: usize = 2 + ROUTE_SLOTS;
 
 /// The 2PC steps a crash-injection hook can observe (and crash at).
 /// Steps strictly before [`TwoPcStep::DecisionLogged`] must roll the
@@ -122,6 +134,8 @@ pub(crate) struct Coordinator {
     pub log: Arc<NvHalt>,
     /// Head word of the decision-entry linked list.
     pub head: Addr,
+    /// The durable routing-table root block (same pool as the log).
+    pub route: Addr,
     /// Next transaction id to hand out (recovered as max seen + 1).
     pub next_txid: AtomicU64,
     /// Recyclable `RESOLVED` entries, as `(addr, op capacity)`. Entries
@@ -133,22 +147,27 @@ pub(crate) struct Coordinator {
 }
 
 impl Coordinator {
-    /// Fresh coordinator: new log TM, head allocated and durably zero.
-    pub fn new(cfg: &ServiceConfig) -> Coordinator {
+    /// Fresh coordinator: new log TM, head allocated and durably zero,
+    /// the initial routing table durably written.
+    pub fn new(cfg: &ServiceConfig, table: &RoutingTable) -> Coordinator {
         let log = Arc::new(NvHalt::new(cfg.log_nvhalt()));
         let head = log.alloc_raw(0, 1);
-        Coordinator::assemble(log, head, 1)
+        let route = log.alloc_raw(0, ROUTE_WORDS);
+        let co = Coordinator::assemble(log, head, route, 1);
+        co.write_route(0, table);
+        co
     }
 
     /// Rebuild over a recovered log TM.
-    pub fn recovered(log: Arc<NvHalt>, head: Addr, next_txid: u64) -> Coordinator {
-        Coordinator::assemble(log, head, next_txid)
+    pub fn recovered(log: Arc<NvHalt>, head: Addr, route: Addr, next_txid: u64) -> Coordinator {
+        Coordinator::assemble(log, head, route, next_txid)
     }
 
-    fn assemble(log: Arc<NvHalt>, head: Addr, next_txid: u64) -> Coordinator {
+    fn assemble(log: Arc<NvHalt>, head: Addr, route: Addr, next_txid: u64) -> Coordinator {
         Coordinator {
             log,
             head,
+            route,
             next_txid: AtomicU64::new(next_txid),
             free: Mutex::new(Vec::new()),
             metrics: Arc::new(CoordinatorMetrics::new()),
@@ -156,6 +175,41 @@ impl Coordinator {
         }
     }
 
+    /// Durably (re)write the routing root as **one committed
+    /// transaction** — for a migration this is the flip, the batch's
+    /// "commit point" analogue: before it commits recovery sees the old
+    /// table, after it the new one. Followed by a psan durability point:
+    /// the table must be fully fenced before anything serves under it.
+    pub fn write_route(&self, ltid: usize, t: &RoutingTable) {
+        assert_eq!(t.assignment().len(), ROUTE_SLOTS);
+        let route = self.route;
+        tm::txn(&*self.log, ltid, |tx| {
+            tx.write(route.offset(R_EPOCH), t.epoch())?;
+            tx.write(route.offset(R_NSLOTS), ROUTE_SLOTS as u64)?;
+            for (s, &a) in t.assignment().iter().enumerate() {
+                tx.write(route.offset(R_ASSIGN + s as u64), a as u64)?;
+            }
+            Ok(())
+        })
+        .expect("routing-root transactions never cancel");
+        if let Some(p) = self.log.pmem().pool().psan() {
+            p.durability_point(ltid, "kvserve::coord::route_flip");
+        }
+    }
+}
+
+/// Read the durable routing table back. Only valid on a quiescent TM
+/// (recovery / promotion).
+pub(crate) fn read_route_raw(log: &NvHalt, route: Addr) -> RoutingTable {
+    let nslots = log.read_raw(route.offset(R_NSLOTS)) as usize;
+    assert_eq!(nslots, ROUTE_SLOTS, "routing root slot-count mismatch");
+    let assign = (0..ROUTE_SLOTS)
+        .map(|s| log.read_raw(route.offset(R_ASSIGN + s as u64)) as u32)
+        .collect();
+    RoutingTable::from_parts(log.read_raw(route.offset(R_EPOCH)), assign)
+}
+
+impl Coordinator {
     /// Best-fit pop from the recycle list: the smallest resolved entry
     /// that can hold `nops` ops.
     fn take_free(&self, nops: u64) -> Option<(Addr, u64)> {
@@ -353,17 +407,22 @@ pub(crate) fn cross_shard(eng: &Engine, ops: &[MapOp], deadline_at: Instant, slo
     let co = &eng.coord;
     let cfg = &eng.cfg;
 
-    // Partition ops by shard, remembering original positions so the
-    // reply lines up with the submitted order.
+    // Partition ops under the *current* routing table, remembering
+    // original positions so the reply lines up with the submitted
+    // order. Epoch-agnostic by construction: a migration flip only runs
+    // after joining the 2PC drivers, so the table cannot change under a
+    // batch mid-protocol, and a batch re-routed across a flip is simply
+    // re-partitioned here under the new table (it may even collapse to
+    // one group — still a correct, if degenerate, 2PC round).
+    let table = eng.router.table();
     let mut groups: Vec<(usize, Vec<(usize, MapOp)>)> = Vec::new();
     for (i, &op) in ops.iter().enumerate() {
-        let s = crate::shard_of_key(op_key(op), cfg.shards);
+        let s = table.route(op_key(op));
         match groups.iter_mut().find(|g| g.0 == s) {
             Some(g) => g.1.push((i, op)),
             None => groups.push((s, vec![(i, op)])),
         }
     }
-    debug_assert!(groups.len() >= 2, "single-shard batches take the fast path");
     let c = &*co.metrics.counters;
     c.cross_batches.fetch_add(1, Ordering::Relaxed);
     c.cross_ops.fetch_add(ops.len() as u64, Ordering::Relaxed);
@@ -398,7 +457,7 @@ pub(crate) fn cross_shard(eng: &Engine, ops: &[MapOp], deadline_at: Instant, slo
             }
             let sh = &eng.parts[*s];
             let (map, meta) = (sh.map, sh.meta);
-            let log_hdr = rt.map(|r| r.primaries[*s].hdr);
+            let log_hdr = sh.log_hdr;
             let muts: Vec<MapOp> =
                 repl::mutations(&gops.iter().map(|&(_, op)| op).collect::<Vec<MapOp>>());
             let _psan = sh
@@ -417,13 +476,12 @@ pub(crate) fn cross_shard(eng: &Engine, ops: &[MapOp], deadline_at: Instant, slo
                 // The marker commits or rolls back atomically with the
                 // ops; recovery uses it to make replay idempotent.
                 meta.insert_in(tx, txid, 1)?;
-                // The follower mirrors the marker too (via the Prepare
-                // entry), so decision-log replay stays idempotent across
-                // a promotion boundary.
-                let lsn = match log_hdr {
-                    Some(h) => repl::append_in(tx, h, LogKind::Prepare, txid, &muts)?,
-                    None => 0,
-                };
+                // When the shard's op log is armed (replicating, or a
+                // live migration is streaming it), the follower mirrors
+                // the marker too — via the Prepare entry — so
+                // decision-log replay stays idempotent across a
+                // promotion or migration boundary.
+                let lsn = repl::append_armed_in(tx, log_hdr, LogKind::Prepare, txid, &muts)?;
                 Ok((out, lsn))
             });
             match res {
@@ -498,13 +556,10 @@ pub(crate) fn cross_shard(eng: &Engine, ops: &[MapOp], deadline_at: Instant, slo
     for (gi, (s, _)) in groups.iter().enumerate() {
         let sh = &eng.parts[*s];
         let meta = sh.meta;
-        let log_hdr = rt.map(|r| r.primaries[*s].hdr);
+        let log_hdr = sh.log_hdr;
         let lsn = tm::txn(&*sh.tm, ptid, |tx| {
             meta.remove_in(tx, txid)?;
-            match log_hdr {
-                Some(h) => repl::append_in(tx, h, LogKind::Resolve, txid, &[]),
-                None => Ok(0),
-            }
+            repl::append_armed_in(tx, log_hdr, LogKind::Resolve, txid, &[])
         })
         .expect("marker cleanup never cancels");
         resolve_lsns[gi] = lsn;
@@ -534,22 +589,25 @@ pub(crate) fn cross_shard(eng: &Engine, ops: &[MapOp], deadline_at: Instant, slo
 
 /// Replay the decision log over recovered, quiescent shards: re-apply
 /// every unresolved committed entry on the shards that lost it, resolve
-/// it, and drop markers. When `logs[s]` names shard `s`'s replication
-/// log, every replay transaction appends the matching Prepare/Resolve
-/// entry so the follower re-converges too. Returns how many
-/// shard-transactions were re-applied.
+/// it, and drop markers. Entries partition under `table` — sound
+/// because a migration flip only commits with the decision log fully
+/// resolved (the flip joins the 2PC drivers first), so every entry
+/// still needing replay was logged under the recovered table. Every
+/// replay transaction appends the matching Prepare/Resolve entry to the
+/// shard's op log when it is armed, so the follower re-converges too.
+/// Returns how many shard-transactions were re-applied.
 pub(crate) fn replay(
     co: &Coordinator,
     shards: &[(Arc<NvHalt>, txstructs::HashMapTx, txstructs::HashMapTx)],
-    nshards: usize,
+    table: &RoutingTable,
     entries: &[DecisionEntry],
-    logs: &[Option<Addr>],
+    logs: &[Addr],
 ) -> u64 {
     let mut replayed = 0u64;
     for e in entries {
         let mut by_shard: Vec<(usize, Vec<MapOp>)> = Vec::new();
         for &op in &e.ops {
-            let s = crate::shard_of_key(op_key(op), nshards);
+            let s = table.route(op_key(op));
             match by_shard.iter_mut().find(|g| g.0 == s) {
                 Some(g) => g.1.push(op),
                 None => by_shard.push((s, vec![op])),
@@ -572,9 +630,13 @@ pub(crate) fn replay(
                         map.apply_in(tx, op)?;
                     }
                     meta.insert_in(tx, e.txid, 1)?;
-                    if let Some(h) = logs[*s] {
-                        repl::append_in(tx, h, LogKind::Prepare, e.txid, &repl::mutations(sops))?;
-                    }
+                    repl::append_armed_in(
+                        tx,
+                        logs[*s],
+                        LogKind::Prepare,
+                        e.txid,
+                        &repl::mutations(sops),
+                    )?;
                     Ok(())
                 })
                 .expect("recovery replay never cancels");
@@ -587,9 +649,7 @@ pub(crate) fn replay(
             let (tm, _, meta) = &shards[*s];
             tm::txn(&**tm, 0, |tx| {
                 meta.remove_in(tx, e.txid)?;
-                if let Some(h) = logs[*s] {
-                    repl::append_in(tx, h, LogKind::Resolve, e.txid, &[])?;
-                }
+                repl::append_armed_in(tx, logs[*s], LogKind::Resolve, e.txid, &[])?;
                 Ok(())
             })
             .expect("marker cleanup never cancels");

@@ -38,6 +38,7 @@
 
 mod coord;
 pub mod metrics;
+pub mod migrate;
 pub mod repl;
 mod ring;
 mod shard;
@@ -47,6 +48,7 @@ pub use metrics::{
     CoordinatorSnapshot, HistogramSnapshot, ReplShardSnapshot, ReplSnapshot, RingSnapshot,
     ServiceSnapshot, ShardSnapshot,
 };
+pub use migrate::{MigrateCrash, MigrateReport, MigrateSpec, MigrateStep};
 pub use repl::{FailoverStep, Follower, LogEntry, LogKind, ReplStep};
 pub use ring::{Completion, Drain, Ring, Ticket};
 pub use txstructs::MapOp;
@@ -97,6 +99,11 @@ pub enum ServeError {
     /// Every slot of the submission ring is occupied (in flight or
     /// completed but not yet reaped). Reap completions, then resubmit.
     RingFull,
+    /// The request was submitted under a routing-table epoch that a live
+    /// shard migration has since flipped, and its keys no longer belong
+    /// to the shard that dequeued it. Deterministic verdict: nothing was
+    /// executed — re-route against the current table and resubmit.
+    Rerouted,
 }
 
 impl fmt::Display for ServeError {
@@ -110,6 +117,9 @@ impl fmt::Display for ServeError {
             ServeError::Stopped => write!(f, "service stopped"),
             ServeError::CrossShard => write!(f, "multi-op request spans shards"),
             ServeError::RingFull => write!(f, "submission ring full, reap completions"),
+            ServeError::Rerouted => {
+                write!(f, "routing table flipped under the request, resubmit")
+            }
         }
     }
 }
@@ -208,15 +218,16 @@ impl ServiceConfig {
 
     /// The per-shard NV-HALT configuration derived from the template.
     /// Thread slots: `workers_per_shard` for the shard's own workers,
-    /// one participant slot per cross-shard coordinator, then one slot
-    /// for the replication shipper. The shipper slot is reserved even
-    /// with replication off: a pool image's length depends on
-    /// `max_threads`, and keeping it fixed lets primary images, follower
-    /// images, and a promoted follower's image all recover under this
-    /// one configuration.
+    /// one participant slot per cross-shard coordinator, one slot for
+    /// the replication shipper, and one for a live migration driver.
+    /// The shipper and migration slots are reserved even when unused: a
+    /// pool image's length depends on `max_threads`, and keeping it
+    /// fixed lets primary images, follower images, a promoted
+    /// follower's image, and a freshly provisioned migration target all
+    /// recover under this one configuration.
     pub(crate) fn shard_nvhalt(&self) -> NvHaltConfig {
         let mut c = self.nvhalt.clone();
-        let threads = self.workers_per_shard + self.coordinators + 1;
+        let threads = self.workers_per_shard + self.coordinators + 2;
         c.heap_words = self.heap_words_per_shard;
         c.max_threads = threads;
         c.pm.max_threads = threads;
@@ -235,11 +246,146 @@ impl ServiceConfig {
     }
 }
 
-/// Which shard serves `key`, for `shards` shards. Exposed so tests and
-/// load generators can construct same-shard (atomic) multi-op requests.
+/// The raw routing hash: which of `shards` cells `key` falls into.
+/// This is both the legacy fixed-topology router and the slot hash of
+/// the versioned [`RoutingTable`] (with `shards = ROUTE_SLOTS`). A
+/// *fresh* table routes identically to `shard_of_key(key, n)` whenever
+/// `n` divides [`ROUTE_SLOTS`], which keeps pre-migration deployments
+/// bit-compatible with the old router. Exposed so tests and load
+/// generators can construct same-shard (atomic) multi-op requests.
 #[inline]
 pub fn shard_of_key(key: u64, shards: usize) -> usize {
     ((key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) % shards as u64) as usize
+}
+
+/// Fixed number of virtual routing slots. Keys hash to a slot; the
+/// [`RoutingTable`] assigns each slot to a shard. Migrations move whole
+/// slots, so the unit of elasticity is `1/64` of the key space.
+pub const ROUTE_SLOTS: usize = 64;
+
+/// The versioned routing table: `epoch` counts flips (0 at creation),
+/// `assign[slot]` names the owning shard. The table is durably rooted
+/// in the 2PC decision log's pool and only ever replaced by a single
+/// committed transaction ([the flip](migrate)), so a crash recovers to
+/// either the old or the new assignment — never a torn one.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RoutingTable {
+    epoch: u64,
+    assign: Vec<u32>,
+}
+
+impl RoutingTable {
+    /// The epoch-0 table for `shards` shards: slot `s` belongs to shard
+    /// `s % shards`.
+    pub fn fresh(shards: usize) -> RoutingTable {
+        assert!(shards >= 1, "need at least one shard");
+        RoutingTable {
+            epoch: 0,
+            assign: (0..ROUTE_SLOTS).map(|s| (s % shards) as u32).collect(),
+        }
+    }
+
+    pub(crate) fn from_parts(epoch: u64, assign: Vec<u32>) -> RoutingTable {
+        assert_eq!(assign.len(), ROUTE_SLOTS, "corrupt routing table");
+        RoutingTable { epoch, assign }
+    }
+
+    /// The table's version; bumped by one per migration flip.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The slot `key` hashes into (table-independent).
+    #[inline]
+    pub fn slot_of(key: u64) -> usize {
+        shard_of_key(key, ROUTE_SLOTS)
+    }
+
+    /// Which shard serves `key` under this table.
+    #[inline]
+    pub fn route(&self, key: u64) -> usize {
+        self.assign[RoutingTable::slot_of(key)] as usize
+    }
+
+    /// How many shards the table addresses (`max(assign) + 1`).
+    pub fn shards(&self) -> usize {
+        self.assign
+            .iter()
+            .map(|&a| a as usize + 1)
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// The slots currently assigned to `shard`, ascending.
+    pub fn slots_of(&self, shard: usize) -> Vec<usize> {
+        (0..ROUTE_SLOTS)
+            .filter(|&s| self.assign[s] as usize == shard)
+            .collect()
+    }
+
+    /// The per-slot assignment (read-only view).
+    pub fn assignment(&self) -> &[u32] {
+        &self.assign
+    }
+
+    /// The next-epoch table with `slots` reassigned to `target`.
+    pub fn reassign(&self, slots: &[usize], target: usize) -> RoutingTable {
+        let mut assign = self.assign.clone();
+        for &s in slots {
+            assign[s] = target as u32;
+        }
+        RoutingTable {
+            epoch: self.epoch + 1,
+            assign,
+        }
+    }
+}
+
+/// The versioned routing accessor every submission path goes through:
+/// one lock-guarded cell holding the current table **and** the matched
+/// shard lanes and cross-shard queue. Reading all three together is
+/// what makes a submission race-free against a concurrent flip — a
+/// request stamped with epoch E always lands in an epoch-E queue, and
+/// the migration drains those queues after installing epoch E+1, so
+/// every in-ring request submitted under the old table is re-routed (or
+/// answered [`ServeError::Rerouted`]) deterministically.
+pub(crate) struct Router {
+    inner: parking_lot::Mutex<RouterInner>,
+}
+
+#[derive(Clone)]
+pub(crate) struct RouterInner {
+    pub table: Arc<RoutingTable>,
+    pub lanes: Arc<Vec<RingLane>>,
+    pub xqueue: Sender<XRequest>,
+}
+
+impl Router {
+    pub fn new(inner: RouterInner) -> Router {
+        Router {
+            inner: parking_lot::Mutex::new(inner),
+        }
+    }
+
+    /// A coherent `(table, lanes, xqueue)` snapshot.
+    pub fn load(&self) -> RouterInner {
+        self.inner.lock().clone()
+    }
+
+    /// The current table.
+    pub fn table(&self) -> Arc<RoutingTable> {
+        self.inner.lock().table.clone()
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().table.epoch
+    }
+
+    /// Install the next topology (the in-memory half of a flip).
+    pub fn install(&self, inner: RouterInner) {
+        *self.inner.lock() = inner;
+    }
 }
 
 /// One shard's durable remains after a crash: the persistent image plus
@@ -255,8 +401,9 @@ pub struct ShardImage {
     pub meta_buckets: Addr,
     /// Bucket count of the shard's 2PC marker map.
     pub meta_nbuckets: usize,
-    /// Replication-log header block, when the shard was replicating.
-    pub repl_hdr: Option<Addr>,
+    /// The shard's op-log header block (always present; the durable
+    /// armed word inside it says whether appends were live).
+    pub repl_hdr: Addr,
     /// Extra live blocks recovery must keep reserved (e.g. a promoted
     /// follower's old header block).
     pub keep: Vec<(u64, usize)>,
@@ -290,6 +437,8 @@ pub struct CrashDump {
     log: DurableImage,
     /// Head word of the decision-entry list inside `log`.
     log_head: Addr,
+    /// Durable routing-table root block inside `log`.
+    route: Addr,
 }
 
 impl CrashDump {
@@ -307,6 +456,8 @@ pub struct FailoverDump {
     followers: Vec<FollowerImage>,
     log: DurableImage,
     log_head: Addr,
+    /// Durable routing-table root block inside `log`.
+    route: Addr,
 }
 
 /// What a promotion did, for reporting.
@@ -334,26 +485,26 @@ pub struct PromotionCrash {
 pub(crate) struct Engine {
     pub cfg: ServiceConfig,
     pub parts: Vec<EnginePart>,
-    pub coord: Coordinator,
+    /// `Arc` so a migration can carry the coordinator (decision log,
+    /// txid counter, metrics) into the reassembled post-flip service.
+    pub coord: Arc<Coordinator>,
     pub repl: Option<Arc<ReplRuntime>>,
+    /// The versioned routing accessor (shared with every ring).
+    pub router: Arc<Router>,
 }
 
 /// Prepared per-shard state handed to [`Service::assemble`]: TM, data
-/// map, 2PC marker map, optional replication-log header, extra blocks to
-/// keep reserved across recoveries.
-type ShardParts = (
-    Arc<NvHalt>,
-    HashMapTx,
-    HashMapTx,
-    Option<Addr>,
-    Vec<(u64, usize)>,
-);
+/// map, 2PC marker map, op-log header, extra blocks to keep reserved
+/// across recoveries.
+type ShardParts = (Arc<NvHalt>, HashMapTx, HashMapTx, Addr, Vec<(u64, usize)>);
 
 /// One shard's transactional state, as the 2PC coordinator sees it.
 pub(crate) struct EnginePart {
     pub tm: Arc<NvHalt>,
     pub map: HashMapTx,
     pub meta: HashMapTx,
+    /// The shard's op-log header (appends gated by its armed word).
+    pub log_hdr: Addr,
 }
 
 impl Engine {
@@ -382,10 +533,8 @@ pub struct Service {
     engine: Arc<Engine>,
     shards: Vec<Shard>,
     shippers: Vec<JoinHandle<()>>,
-    /// Cross-shard submission queue feeding the 2PC driver threads.
-    xqueue: Sender<XRequest>,
-    /// Kept so the queue stays connected while drivers restart, and so
-    /// teardown can drain it deterministically.
+    /// Receiver half of the cross-shard queue (the sender lives in the
+    /// router), kept so teardown can drain it deterministically.
     xqueue_rx: Receiver<XRequest>,
     xstop: Arc<AtomicBool>,
     xdrivers: Vec<JoinHandle<()>>,
@@ -405,26 +554,31 @@ impl Service {
         assert!(cfg.queue_depth >= 1, "queue_depth must be positive");
         assert!(cfg.ring_slots >= 1, "ring_slots must be positive");
         assert!(cfg.coordinators >= 1, "need at least one coordinator slot");
-        let parts: Vec<(Arc<NvHalt>, HashMapTx, HashMapTx, Option<Addr>)> = (0..cfg.shards)
+        let table = Arc::new(RoutingTable::fresh(cfg.shards));
+        let parts: Vec<(Arc<NvHalt>, HashMapTx, HashMapTx, Addr)> = (0..cfg.shards)
             .map(|_| {
                 let tm = Arc::new(NvHalt::new(cfg.shard_nvhalt()));
                 let map = HashMapTx::create(&*tm, 0, cfg.buckets_per_shard)
                     .expect("creating a map on a fresh TM cannot cancel");
                 let meta = HashMapTx::create(&*tm, 0, META_BUCKETS)
                     .expect("creating a map on a fresh TM cannot cancel");
-                let hdr = cfg
-                    .replication
-                    .then(|| tm.alloc_raw(0, repl::PRIMARY_HDR_WORDS));
+                // Every shard gets a log header; the durable armed word
+                // (on iff replicating — a migration can arm it later)
+                // gates actual appends.
+                let hdr = tm.alloc_raw(0, repl::PRIMARY_HDR_WORDS);
+                if cfg.replication {
+                    repl::set_armed(&tm, 0, hdr, true);
+                }
                 (tm, map, meta, hdr)
             })
             .collect();
-        let coord = Coordinator::new(&cfg);
+        let coord = Arc::new(Coordinator::new(&cfg, &table));
         let rt = cfg.replication.then(|| {
             let primaries = parts
                 .iter()
                 .map(|(tm, _, _, hdr)| PrimaryLog {
                     tm: tm.clone(),
-                    hdr: hdr.expect("replicated shard has a log header"),
+                    hdr: *hdr,
                 })
                 .collect();
             Arc::new(ReplRuntime::new(&cfg, primaries, coord.log.clone()))
@@ -433,40 +587,68 @@ impl Service {
             .into_iter()
             .map(|(tm, map, meta, hdr)| (tm, map, meta, hdr, Vec::new()))
             .collect();
-        Service::assemble(cfg, parts, coord, rt)
+        Service::assemble(cfg, parts, coord, rt, table, None, None)
     }
 
-    /// Wire a service over prepared per-shard state (fresh, recovered, or
-    /// promoted): spawn the shard workers, the 2PC drivers, and the
-    /// shippers, and build the internal ring.
+    /// Wire a service over prepared per-shard state (fresh, recovered,
+    /// promoted, or migrated): spawn the shard workers, the 2PC drivers,
+    /// and the shippers, install the topology into the (new or carried)
+    /// router, and build the internal ring. A migration passes the old
+    /// service's `router`/`ring_metrics` so every ring handed out before
+    /// the flip atomically re-targets the new topology.
     fn assemble(
         cfg: ServiceConfig,
         parts: Vec<ShardParts>,
-        coord: Coordinator,
+        coord: Arc<Coordinator>,
         rt: Option<Arc<ReplRuntime>>,
+        table: Arc<RoutingTable>,
+        router: Option<Arc<Router>>,
+        ring_metrics: Option<Arc<RingMetrics>>,
     ) -> Service {
+        let (xqueue, xqueue_rx) = channel::bounded::<XRequest>(cfg.queue_depth);
+        let engine_parts: Vec<EnginePart> = parts
+            .iter()
+            .map(|(tm, map, meta, hdr, _)| EnginePart {
+                tm: tm.clone(),
+                map: *map,
+                meta: *meta,
+                log_hdr: *hdr,
+            })
+            .collect();
+        // The router must exist before the workers: they read it to
+        // validate stale-epoch requests.
+        let router = router.unwrap_or_else(|| {
+            Arc::new(Router::new(RouterInner {
+                table: table.clone(),
+                lanes: Arc::new(Vec::new()),
+                xqueue: xqueue.clone(),
+            }))
+        });
         let engine = Arc::new(Engine {
-            parts: parts
-                .iter()
-                .map(|(tm, map, meta, _, _)| EnginePart {
-                    tm: tm.clone(),
-                    map: *map,
-                    meta: *meta,
-                })
-                .collect(),
+            parts: engine_parts,
             coord,
             repl: rt.clone(),
+            router: router.clone(),
             cfg: cfg.clone(),
         });
         let shards: Vec<Shard> = parts
             .into_iter()
             .enumerate()
             .map(|(i, (tm, map, meta, hdr, keep))| {
-                Shard::start(&cfg, i, tm, map, meta, hdr, keep, rt.clone())
+                Shard::start(
+                    &cfg,
+                    i,
+                    tm,
+                    map,
+                    meta,
+                    hdr,
+                    keep,
+                    rt.clone(),
+                    router.clone(),
+                )
             })
             .collect();
         let shippers = rt.as_ref().map(repl::spawn_shippers).unwrap_or_default();
-        let (xqueue, xqueue_rx) = channel::bounded::<XRequest>(cfg.queue_depth);
         let xstop = Arc::new(AtomicBool::new(false));
         let xdrivers = (0..cfg.coordinators)
             .map(|c| {
@@ -479,9 +661,7 @@ impl Service {
                     .expect("spawn 2pc driver")
             })
             .collect();
-        let ring_metrics = Arc::new(RingMetrics::new());
-        let front = Ring::attach(
-            cfg.ring_slots,
+        let lanes: Arc<Vec<RingLane>> = Arc::new(
             shards
                 .iter()
                 .map(|s| RingLane {
@@ -489,7 +669,18 @@ impl Service {
                     metrics: s.metrics.clone(),
                 })
                 .collect(),
-            xqueue.clone(),
+        );
+        // The flip's in-memory half: from here every submission (old
+        // rings included) routes under `table` into the new lanes.
+        router.install(RouterInner {
+            table,
+            lanes,
+            xqueue,
+        });
+        let ring_metrics = ring_metrics.unwrap_or_else(|| Arc::new(RingMetrics::new()));
+        let front = Ring::attach(
+            cfg.ring_slots,
+            router.clone(),
             ring_metrics.clone(),
             cfg.default_deadline,
             cfg.backoff_base,
@@ -498,7 +689,6 @@ impl Service {
             engine,
             shards,
             shippers,
-            xqueue,
             xqueue_rx,
             xstop,
             xdrivers,
@@ -524,14 +714,7 @@ impl Service {
     pub fn ring_with_slots(&self, slots: usize) -> Ring {
         Ring::attach(
             slots,
-            self.shards
-                .iter()
-                .map(|s| RingLane {
-                    queue: s.queue.clone(),
-                    metrics: s.metrics.clone(),
-                })
-                .collect(),
-            self.xqueue.clone(),
+            self.engine.router.clone(),
             self.ring_metrics.clone(),
             self.engine.cfg.default_deadline,
             self.engine.cfg.backoff_base,
@@ -543,9 +726,15 @@ impl Service {
         self.shards.len()
     }
 
-    /// Which shard serves `key`.
+    /// The current routing table — the versioned accessor. Every
+    /// submission path routes through (a coherent snapshot of) this.
+    pub fn routing(&self) -> Arc<RoutingTable> {
+        self.engine.router.table()
+    }
+
+    /// Which shard serves `key`, under the current routing table.
     pub fn shard_of(&self, key: u64) -> usize {
-        shard_of_key(key, self.shards.len())
+        self.engine.router.table().route(key)
     }
 
     /// Drain the persist-order sanitizer's diagnostics from every pool
@@ -652,19 +841,31 @@ impl Service {
     /// only pads the *wait*, giving the worker time to deliver a verdict
     /// for a request it picked up near the deadline.
     fn blocking(&self, ops: Vec<MapOp>, deadline: Duration) -> Reply {
-        let ticket = match self.front.submit_batch_deadline(ops, deadline) {
-            Ok(t) => t,
-            // The internal ring sized out: equivalent to a full queue from
-            // the blocking caller's point of view.
-            Err(ServeError::RingFull) => {
-                return Err(ServeError::Overloaded {
-                    retry_after: self.engine.cfg.backoff_base,
-                })
+        // `Rerouted` is retryable by construction — the request never
+        // executed, the routing table just flipped under it — so the
+        // blocking shell resubmits under the fresh table instead of
+        // leaking a transient migration artifact to the caller.
+        for _ in 0..3 {
+            let ticket = match self.front.submit_batch_deadline(ops.clone(), deadline) {
+                Ok(t) => t,
+                // The internal ring sized out: equivalent to a full queue
+                // from the blocking caller's point of view.
+                Err(ServeError::RingFull) => {
+                    return Err(ServeError::Overloaded {
+                        retry_after: self.engine.cfg.backoff_base,
+                    })
+                }
+                Err(e) => return Err(e),
+            };
+            match self
+                .front
+                .wait_deadline(ticket, Instant::now() + deadline + REPLY_GRACE)
+            {
+                Err(ServeError::Rerouted) => continue,
+                verdict => return verdict,
             }
-            Err(e) => return Err(e),
-        };
-        self.front
-            .wait_deadline(ticket, Instant::now() + deadline + REPLY_GRACE)
+        }
+        Err(ServeError::Rerouted)
     }
 
     /// Zero every shard's service-level counters and histograms (TM
@@ -684,6 +885,7 @@ impl Service {
     /// cross-shard coordinator's 2PC counters and phase latencies.
     pub fn snapshot(&self) -> ServiceSnapshot {
         ServiceSnapshot {
+            routing_epoch: self.engine.router.epoch(),
             shards: self
                 .shards
                 .iter()
@@ -719,12 +921,11 @@ impl Service {
     }
 
     /// Stop and join every worker, 2PC driver, and shipper thread, then
-    /// drain both request queues so every queued-but-unserved request's
-    /// completion handle drops (delivering `Stopped` into its ring slot).
-    /// Pools must already be poisoned (or the service idle); callers then
-    /// capture images. Post-condition: every ticket submitted before this
-    /// call has a definite verdict in its ring.
-    fn stop_threads(&mut self) {
+    /// drain both request queues, *returning* the queued-but-unserved
+    /// requests. A crash/teardown drops them (each completion handle's
+    /// Drop delivers `Stopped` into its ring slot); a migration re-routes
+    /// them under the new table instead.
+    pub(crate) fn halt_threads(&mut self) -> (Vec<shard::ShardRequest>, Vec<XRequest>) {
         if let Some(rt) = &self.engine.repl {
             rt.stop.store(true, Ordering::Release);
             for st in &rt.states {
@@ -748,12 +949,26 @@ impl Service {
         }
         // The channels hold buffered requests alive as long as any Sender
         // clone exists (user-held rings keep them connected); drain
-        // explicitly so in-flight tickets resolve *now*, not whenever the
+        // explicitly so the requests resolve *now*, not whenever the
         // last ring is dropped.
+        let mut reqs = Vec::new();
         for s in &self.shards {
-            while s.queue_rx.try_recv().is_ok() {}
+            while let Ok(r) = s.queue_rx.try_recv() {
+                reqs.push(r);
+            }
         }
-        while self.xqueue_rx.try_recv().is_ok() {}
+        let mut xreqs = Vec::new();
+        while let Ok(r) = self.xqueue_rx.try_recv() {
+            xreqs.push(r);
+        }
+        (reqs, xreqs)
+    }
+
+    /// [`Service::halt_threads`], dropping the drained requests (their
+    /// tickets resolve to `Stopped`). Post-condition: every ticket
+    /// submitted before this call has a definite verdict in its ring.
+    fn stop_threads(&mut self) {
+        let _ = self.halt_threads();
     }
 
     /// Simulate a power failure of the *whole deployment* — primaries,
@@ -801,6 +1016,7 @@ impl Service {
             followers,
             log: self.engine.coord.log.crash_image(),
             log_head: self.engine.coord.head,
+            route: self.engine.coord.route,
         }
     }
 
@@ -834,6 +1050,7 @@ impl Service {
             followers,
             log: self.engine.coord.log.crash_image(),
             log_head: self.engine.coord.head,
+            route: self.engine.coord.route,
         }
     }
 
@@ -864,14 +1081,18 @@ impl Service {
             followers,
             log,
             log_head,
+            route,
         } = dump;
         let log_tm = Arc::new(NvHalt::recover_with(cfg.log_nvhalt(), &log));
         let entries = coord::walk_log(&log_tm, log_head);
         log_tm.rebuild_allocator(
-            std::iter::once((log_head.0, 1)).chain(entries.iter().map(|e| (e.addr.0, e.words()))),
+            std::iter::once((log_head.0, 1))
+                .chain(std::iter::once((route.0, coord::ROUTE_WORDS)))
+                .chain(entries.iter().map(|e| (e.addr.0, e.words()))),
         );
+        let table = Arc::new(coord::read_route_raw(&log_tm, route));
         let next_txid = entries.iter().map(|e| e.txid).max().unwrap_or(0) + 1;
-        let coord = Coordinator::recovered(log_tm, log_head, next_txid);
+        let coord = Arc::new(Coordinator::recovered(log_tm, log_head, route, next_txid));
         let fs: Vec<Follower> = followers
             .iter()
             .map(|fi| recover_follower_image(&cfg, fi))
@@ -888,6 +1109,7 @@ impl Service {
                     followers: fs.iter().map(follower_image).collect(),
                     log: coord.log.crash_image(),
                     log_head,
+                    route,
                 },
             })
         };
@@ -923,8 +1145,14 @@ impl Service {
         // promotion.
         let triples: Vec<(Arc<NvHalt>, HashMapTx, HashMapTx)> =
             fs.iter().map(|f| (f.tm.clone(), f.data, f.meta)).collect();
-        let logs = vec![None; triples.len()];
-        let replayed = coord::replay(&coord, &triples, triples.len(), &entries, &logs);
+        // Each promoted shard gets a fresh (disarmed — the promoted
+        // service is its own surviving replica) op-log header; raw
+        // allocation is durably zero, so replay appends nothing to it.
+        let hdrs: Vec<Addr> = fs
+            .iter()
+            .map(|f| f.tm.alloc_raw(0, repl::PRIMARY_HDR_WORDS))
+            .collect();
+        let replayed = coord::replay(&coord, &triples, &table, &entries, &hdrs);
         coord
             .metrics
             .counters
@@ -947,11 +1175,12 @@ impl Service {
         cfg2.replication = false;
         let parts = fs
             .into_iter()
-            .map(|f| {
+            .zip(hdrs)
+            .map(|(f, hdr)| {
                 // The old follower header block stays reserved across
                 // future recoveries of the promoted service.
                 let keep = vec![(f.hdr.0, repl::FOLLOWER_HDR_WORDS)];
-                (f.tm, f.data, f.meta, None, keep)
+                (f.tm, f.data, f.meta, hdr, keep)
             })
             .collect();
         let report = FailoverReport {
@@ -959,7 +1188,10 @@ impl Service {
             tail_applied,
             replayed,
         };
-        Ok((Service::assemble(cfg2, parts, coord, None), report))
+        Ok((
+            Service::assemble(cfg2, parts, coord, None, table, None, None),
+            report,
+        ))
     }
 
     /// Recover any crashed follower pools in place — the follower-only
@@ -1004,19 +1236,30 @@ impl Service {
             followers,
             log,
             log_head,
+            route,
         } = dump;
         // Decision log first: TM recovery, then rebuild its allocator
-        // from a walk of the entry list (plus the head word itself).
+        // from a walk of the entry list (plus the head word and the
+        // routing-table root).
         let log_tm = Arc::new(NvHalt::recover_with(cfg.log_nvhalt(), &log));
         let entries = coord::walk_log(&log_tm, log_head);
         log_tm.rebuild_allocator(
-            std::iter::once((log_head.0, 1)).chain(entries.iter().map(|e| (e.addr.0, e.words()))),
+            std::iter::once((log_head.0, 1))
+                .chain(std::iter::once((route.0, coord::ROUTE_WORDS)))
+                .chain(entries.iter().map(|e| (e.addr.0, e.words()))),
         );
+        // The durable routing table decides the recovered topology: a
+        // crash mid-migration lands before the flip transaction (old
+        // table, old shard count — the dump never saw the target) or
+        // after it (new table, dump carries the target shard). Never a
+        // torn mix.
+        let table = Arc::new(coord::read_route_raw(&log_tm, route));
+        debug_assert_eq!(table.shards(), shards.len(), "routing table vs dump");
         let next_txid = entries.iter().map(|e| e.txid).max().unwrap_or(0) + 1;
-        let coord = Coordinator::recovered(log_tm, log_head, next_txid);
+        let coord = Arc::new(Coordinator::recovered(log_tm, log_head, route, next_txid));
 
         // Shard TMs next, still quiescent (no workers yet). The heap walk
-        // covers the maps, the replication log, and any kept blocks.
+        // covers the maps, the op log, and any kept blocks.
         let recovered: Vec<(Arc<NvHalt>, HashMapTx, HashMapTx)> = shards
             .iter()
             .map(|si| {
@@ -1028,20 +1271,32 @@ impl Service {
                     .into_iter()
                     .chain(meta.used_blocks(&*tm))
                     .collect();
-                if let Some(h) = si.repl_hdr {
-                    blocks.extend(repl::primary_used_blocks(&tm, h));
-                }
+                blocks.extend(repl::primary_used_blocks(&tm, si.repl_hdr));
                 blocks.extend(si.keep.iter().copied());
                 tm.rebuild_allocator(blocks);
                 (tm, map, meta)
             })
             .collect();
 
+        // Without replication the op logs only exist for migrations; a
+        // crash mid-migration leaves the source's log armed with a
+        // partial stream nobody will ever consume (a re-issued migration
+        // arms and streams from scratch). Disarm and empty them while
+        // quiescent.
+        if !cfg.replication {
+            for ((tm, _, _), si) in recovered.iter().zip(&shards) {
+                if repl::armed_raw(tm, si.repl_hdr) {
+                    repl::set_armed(tm, 0, si.repl_hdr, false);
+                }
+                repl::trim_through(tm, 0, si.repl_hdr.offset(repl::P_HEAD), u64::MAX);
+            }
+        }
+
         // Replay undecided cross-shard commits before any new traffic
-        // (appending the matching Prepare/Resolve entries to the
-        // replication logs, so the followers re-converge too).
-        let logs: Vec<Option<Addr>> = shards.iter().map(|si| si.repl_hdr).collect();
-        let replayed = coord::replay(&coord, &recovered, recovered.len(), &entries, &logs);
+        // (appending the matching Prepare/Resolve entries to the armed
+        // op logs, so the followers re-converge too).
+        let logs: Vec<Addr> = shards.iter().map(|si| si.repl_hdr).collect();
+        let replayed = coord::replay(&coord, &recovered, &table, &entries, &logs);
         coord
             .metrics
             .counters
@@ -1065,7 +1320,7 @@ impl Service {
                 .zip(&shards)
                 .map(|((tm, _, _), si)| PrimaryLog {
                     tm: tm.clone(),
-                    hdr: si.repl_hdr.expect("replicated shard has a log header"),
+                    hdr: si.repl_hdr,
                 })
                 .collect();
             Arc::new(ReplRuntime::assemble(
@@ -1081,7 +1336,7 @@ impl Service {
             .zip(shards)
             .map(|((tm, map, meta), si)| (tm, map, meta, si.repl_hdr, si.keep))
             .collect();
-        Service::assemble(cfg, parts, coord, rt)
+        Service::assemble(cfg, parts, coord, rt, table, None, None)
     }
 }
 
@@ -1122,20 +1377,26 @@ pub fn op_key(op: MapOp) -> u64 {
     }
 }
 
-/// Partition a batch by shard: `(shard, original op indices)` per
-/// participating shard, in order of first appearance. This is exactly
-/// the grouping the 2PC coordinator uses; exposed so tests and load
-/// generators can predict a batch's participants.
-pub fn partition_by_shard(ops: &[MapOp], shards: usize) -> Vec<(usize, Vec<usize>)> {
+/// Partition a batch under a routing table: `(shard, original op
+/// indices)` per participating shard, in order of first appearance.
+/// This is exactly the grouping the 2PC coordinator uses; exposed so
+/// tests and load generators can predict a batch's participants.
+pub fn partition_by_table(ops: &[MapOp], table: &RoutingTable) -> Vec<(usize, Vec<usize>)> {
     let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
     for (i, &op) in ops.iter().enumerate() {
-        let s = shard_of_key(op_key(op), shards);
+        let s = table.route(op_key(op));
         match groups.iter_mut().find(|g| g.0 == s) {
             Some(g) => g.1.push(i),
             None => groups.push((s, vec![i])),
         }
     }
     groups
+}
+
+/// [`partition_by_table`] under the fresh (epoch-0) table for `shards`
+/// shards — the pre-migration grouping.
+pub fn partition_by_shard(ops: &[MapOp], shards: usize) -> Vec<(usize, Vec<usize>)> {
+    partition_by_table(ops, &RoutingTable::fresh(shards))
 }
 
 #[cfg(test)]

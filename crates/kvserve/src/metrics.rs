@@ -140,6 +140,9 @@ pub struct ShardCounters {
     /// Service-level retry rounds (transaction gave up its attempt fuel
     /// and the worker backed off and retried the batch).
     pub retries: AtomicU64,
+    /// Requests answered `Rerouted` (stamped with a stale routing epoch
+    /// and no longer owned by this shard after a migration flip).
+    pub rerouted: AtomicU64,
 }
 
 /// One shard's full metrics: counters, histograms, and the TM hook.
@@ -185,6 +188,7 @@ impl ShardMetrics {
             &c.batches,
             &c.batched_reqs,
             &c.retries,
+            &c.rerouted,
         ] {
             counter.store(0, Ordering::Relaxed);
         }
@@ -208,6 +212,7 @@ impl ShardMetrics {
             batches: c.batches.load(Ordering::Relaxed),
             batched_reqs: c.batched_reqs.load(Ordering::Relaxed),
             retries: c.retries.load(Ordering::Relaxed),
+            rerouted: c.rerouted.load(Ordering::Relaxed),
             batch_sizes: self
                 .batch_sizes
                 .iter()
@@ -248,6 +253,8 @@ pub struct ShardSnapshot {
     pub batched_reqs: u64,
     /// Service-level batch retries.
     pub retries: u64,
+    /// Requests answered `Rerouted` after a migration flip.
+    pub rerouted: u64,
     /// Batch-size histogram (index = size, last bucket clamps).
     pub batch_sizes: Vec<u64>,
     /// Request latency histogram.
@@ -618,6 +625,9 @@ impl fmt::Display for ReplSnapshot {
 /// Point-in-time view of the whole service.
 #[derive(Clone, Debug)]
 pub struct ServiceSnapshot {
+    /// The routing table's version at snapshot time (bumps once per
+    /// migration flip).
+    pub routing_epoch: u64,
     /// One entry per shard, in shard order.
     pub shards: Vec<ShardSnapshot>,
     /// The cross-shard coordinator's metrics.
@@ -714,6 +724,9 @@ impl fmt::Display for ShardSnapshot {
             fmt_dur(self.latency.quantile(0.99)),
             self.abort_rate(),
         )?;
+        if self.rerouted > 0 {
+            write!(f, " rerouted={}", self.rerouted)?;
+        }
         let causes: Vec<String> = self
             .tm
             .abort_breakdown()

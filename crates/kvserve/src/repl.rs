@@ -5,8 +5,13 @@
 //! ## The op log
 //!
 //! Each primary shard keeps a replication log *inside its own NV-HALT
-//! heap*: a two-word header `[head, last_lsn]` plus a newest-first linked
-//! list of entries `[next, lsn, kind, txid, nops, (tag, key, val) × nops]`.
+//! heap*: a three-word header `[head, last_lsn, armed]` plus a
+//! newest-first linked list of entries
+//! `[next, lsn, kind, txid, nops, (tag, key, val) × nops]`. The header
+//! exists on every shard; the durable `armed` word says whether
+//! appenders actually log their mutations (always on a replicated
+//! service; turned on transactionally by a live migration otherwise —
+//! see [`P_ARMED`]).
 //! Every committed mutation reaches the log **inside the transaction that
 //! performs it** ([`append_in`] is called from the worker's batch
 //! transaction and from the 2PC prepare/resolve transactions), so the log
@@ -63,11 +68,19 @@ use std::time::{Duration, Instant};
 use tm::{Abort, Addr, Tm, Txn};
 use txstructs::{HashMapTx, MapOp};
 
-/// Primary log header layout: `[head, last_lsn]`.
-const P_HEAD: u64 = 0;
-const P_LAST: u64 = 1;
+/// Primary log header layout: `[head, last_lsn, armed]`.
+pub(crate) const P_HEAD: u64 = 0;
+pub(crate) const P_LAST: u64 = 1;
+/// Durable arming word: appenders log their mutations only while it is
+/// non-zero. Always 1 on a replicated service; on a non-replicated one
+/// it is 0 until a live migration transactionally arms the log to
+/// stream the shard, and recovery disarms it again. Appenders read the
+/// word *inside* their mutating transaction, so arming serializes
+/// against every batch — no batch can commit unlogged after the arming
+/// transaction commits.
+pub(crate) const P_ARMED: u64 = 2;
 /// Words in a primary shard's log header block.
-pub(crate) const PRIMARY_HDR_WORDS: usize = 2;
+pub(crate) const PRIMARY_HDR_WORDS: usize = 3;
 
 /// Follower header layout: `[recv_head, received_lsn, applied_lsn, role]`.
 const F_HEAD: u64 = 0;
@@ -195,6 +208,35 @@ pub(crate) fn append_in<Tx: Txn + ?Sized>(
     tx.write(hdr.offset(P_HEAD), e.0)?;
     tx.write(hdr.offset(P_LAST), lsn)?;
     Ok(lsn)
+}
+
+/// Append to the log **iff it is armed**, reading the armed word inside
+/// the caller's transaction (see [`P_ARMED`]). Returns the LSN, or 0
+/// when the log is disarmed (LSNs start at 1, so 0 is never a real
+/// entry). Note `Resolve` entries legitimately carry no ops — skipping
+/// empty batches is the caller's business.
+pub(crate) fn append_armed_in<Tx: Txn + ?Sized>(
+    tx: &mut Tx,
+    hdr: Addr,
+    kind: LogKind,
+    txid: u64,
+    ops: &[MapOp],
+) -> Result<u64, Abort> {
+    if tx.read(hdr.offset(P_ARMED))? == 0 {
+        return Ok(0);
+    }
+    append_in(tx, hdr, kind, txid, ops)
+}
+
+/// Durably set the log's armed word in its own transaction.
+pub(crate) fn set_armed(tm: &NvHalt, tid: usize, hdr: Addr, on: bool) {
+    tm::txn(tm, tid, |tx| tx.write(hdr.offset(P_ARMED), u64::from(on)))
+        .expect("arming transactions never cancel");
+}
+
+/// The log's durable armed word. Quiescent only.
+pub(crate) fn armed_raw(tm: &NvHalt, hdr: Addr) -> bool {
+    tm.read_raw(hdr.offset(P_ARMED)) != 0
 }
 
 fn read_entry_in<Tx: Txn + ?Sized>(tx: &mut Tx, a: Addr) -> Result<LogEntry, Abort> {
@@ -622,6 +664,12 @@ pub(crate) struct ShipState {
     /// The follower pool is crashed; ack waiters fail fast instead of
     /// burning their deadlines.
     pub down: AtomicBool,
+    /// Trim floor: the shipper only trims primary entries with
+    /// `lsn <= min(received, hold)`. `u64::MAX` normally; a live
+    /// migration lowers it to its replay cursor so the tail it still
+    /// needs cannot be trimmed out from under it, and restores it at
+    /// the flip.
+    pub hold: AtomicU64,
     /// Unshipped work exists (set by appenders, cleared by the shipper).
     dirty: AtomicBool,
     lock: StdMutex<()>,
@@ -635,6 +683,7 @@ impl ShipState {
             received: AtomicU64::new(0),
             applied: AtomicU64::new(0),
             down: AtomicBool::new(false),
+            hold: AtomicU64::new(u64::MAX),
             dirty: AtomicBool::new(false),
             lock: StdMutex::new(()),
             cv: Condvar::new(),
@@ -888,12 +937,11 @@ fn ship_round(rt: &ReplRuntime, s: usize) {
         }
         let applied = state.applied.load(Ordering::Acquire);
         f.trim_applied(applied);
-        trim_through(
-            &p.tm,
-            rt.ship_tid,
-            p.hdr.offset(P_HEAD),
-            state.received.load(Ordering::Acquire),
-        );
+        let upto = state
+            .received
+            .load(Ordering::Acquire)
+            .min(state.hold.load(Ordering::Acquire));
+        trim_through(&p.tm, rt.ship_tid, p.hdr.offset(P_HEAD), upto);
         ship_crash_check(rt, f, ReplStep::Applied);
     }
 }

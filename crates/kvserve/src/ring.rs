@@ -32,7 +32,7 @@
 
 use crate::metrics::RingMetrics;
 use crate::shard::ShardRequest;
-use crate::{op_key, shard_of_key, Reply, ServeError, XRequest};
+use crate::{op_key, Reply, Router, ServeError, XRequest};
 use crossbeam::channel::{Sender, TrySendError};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -256,8 +256,7 @@ pub(crate) struct RingLane {
 /// torn-down service answer `Err(Stopped)`.
 pub struct Ring {
     shared: Arc<RingShared>,
-    lanes: Arc<Vec<RingLane>>,
-    xqueue: Sender<XRequest>,
+    router: Arc<Router>,
     default_deadline: Duration,
     retry_hint: Duration,
 }
@@ -266,19 +265,22 @@ impl Clone for Ring {
     fn clone(&self) -> Ring {
         Ring {
             shared: self.shared.clone(),
-            lanes: self.lanes.clone(),
-            xqueue: self.xqueue.clone(),
+            router: self.router.clone(),
             default_deadline: self.default_deadline,
             retry_hint: self.retry_hint,
         }
     }
 }
 
+/// Bounded routing retries after a `Disconnected` lane whose epoch
+/// advanced under us (a migration flip retargeted the router between
+/// our snapshot and the send).
+const REROUTE_ATTEMPTS: usize = 4;
+
 impl Ring {
     pub(crate) fn attach(
         slots: usize,
-        lanes: Vec<RingLane>,
-        xqueue: Sender<XRequest>,
+        router: Arc<Router>,
         metrics: Arc<RingMetrics>,
         default_deadline: Duration,
         retry_hint: Duration,
@@ -286,8 +288,7 @@ impl Ring {
         assert!(slots >= 1, "ring needs at least one slot");
         Ring {
             shared: Arc::new(RingShared::new(slots, metrics)),
-            lanes: Arc::new(lanes),
-            xqueue,
+            router,
             default_deadline,
             retry_hint,
         }
@@ -322,7 +323,7 @@ impl Ring {
     /// starts completes with `Err(Timeout)` without running.
     pub fn submit_batch_deadline(
         &self,
-        ops: Vec<MapOp>,
+        mut ops: Vec<MapOp>,
         deadline: Duration,
     ) -> Result<Ticket, ServeError> {
         let now = Instant::now();
@@ -330,7 +331,7 @@ impl Ring {
             self.shared.metrics.reject_ring_full();
             return Err(ServeError::RingFull);
         };
-        let sink = RingCompletion {
+        let mut sink = RingCompletion {
             shared: self.shared.clone(),
             slot: ticket.slot,
             seq: ticket.seq,
@@ -341,60 +342,96 @@ impl Ring {
             return Ok(ticket);
         }
         let deadline_at = now + deadline;
-        let shard = shard_of_key(op_key(ops[0]), self.lanes.len());
-        let single = ops
-            .iter()
-            .all(|&op| shard_of_key(op_key(op), self.lanes.len()) == shard);
-        if single {
-            let req = ShardRequest {
-                ops,
-                reply: sink,
-                deadline: deadline_at,
-                enqueued: now,
-            };
-            match self.lanes[shard].queue.try_send(req) {
-                Ok(()) => Ok(ticket),
-                Err(TrySendError::Full(req)) => {
-                    self.lanes[shard]
-                        .metrics
-                        .counters
-                        .rejected
-                        .fetch_add(1, Ordering::Relaxed);
-                    req.reply.defuse();
-                    drop(req);
-                    self.shared.cancel(ticket);
-                    Err(ServeError::Overloaded {
-                        retry_after: self.retry_hint,
-                    })
+        // One coherent (table, lanes, xqueue) snapshot per attempt: the
+        // request is stamped with the snapshot's epoch and lands in that
+        // epoch's queues, so a concurrent flip either sees it when it
+        // drains the old queues or never races it at all.
+        let mut snap = self.router.load();
+        let mut attempts = 0usize;
+        loop {
+            let table = &snap.table;
+            let shard = table.route(op_key(ops[0]));
+            let single = ops.iter().all(|&op| table.route(op_key(op)) == shard);
+            if single {
+                let req = ShardRequest {
+                    ops,
+                    reply: sink,
+                    deadline: deadline_at,
+                    enqueued: now,
+                    epoch: table.epoch(),
+                };
+                match snap.lanes[shard].queue.try_send(req) {
+                    Ok(()) => return Ok(ticket),
+                    Err(TrySendError::Full(req)) => {
+                        snap.lanes[shard]
+                            .metrics
+                            .counters
+                            .rejected
+                            .fetch_add(1, Ordering::Relaxed);
+                        req.reply.defuse();
+                        drop(req);
+                        self.shared.cancel(ticket);
+                        return Err(ServeError::Overloaded {
+                            retry_after: self.retry_hint,
+                        });
+                    }
+                    Err(TrySendError::Disconnected(req)) => {
+                        // A dead lane is either a torn-down service or a
+                        // migration flip that retired this snapshot's
+                        // queues; re-read the router and retry if the
+                        // epoch moved.
+                        let fresh = self.router.load();
+                        if fresh.table.epoch() != snap.table.epoch() && attempts < REROUTE_ATTEMPTS
+                        {
+                            let ShardRequest {
+                                ops: o, reply: r, ..
+                            } = req;
+                            ops = o;
+                            sink = r;
+                            snap = fresh;
+                            attempts += 1;
+                            continue;
+                        }
+                        req.reply.defuse();
+                        drop(req);
+                        self.shared.cancel(ticket);
+                        return Err(ServeError::Stopped);
+                    }
                 }
-                Err(TrySendError::Disconnected(req)) => {
-                    req.reply.defuse();
-                    drop(req);
-                    self.shared.cancel(ticket);
-                    Err(ServeError::Stopped)
-                }
-            }
-        } else {
-            let req = XRequest {
-                ops,
-                reply: sink,
-                deadline: deadline_at,
-            };
-            match self.xqueue.try_send(req) {
-                Ok(()) => Ok(ticket),
-                Err(TrySendError::Full(req)) => {
-                    req.reply.defuse();
-                    drop(req);
-                    self.shared.cancel(ticket);
-                    Err(ServeError::Overloaded {
-                        retry_after: self.retry_hint,
-                    })
-                }
-                Err(TrySendError::Disconnected(req)) => {
-                    req.reply.defuse();
-                    drop(req);
-                    self.shared.cancel(ticket);
-                    Err(ServeError::Stopped)
+            } else {
+                let req = XRequest {
+                    ops,
+                    reply: sink,
+                    deadline: deadline_at,
+                };
+                match snap.xqueue.try_send(req) {
+                    Ok(()) => return Ok(ticket),
+                    Err(TrySendError::Full(req)) => {
+                        req.reply.defuse();
+                        drop(req);
+                        self.shared.cancel(ticket);
+                        return Err(ServeError::Overloaded {
+                            retry_after: self.retry_hint,
+                        });
+                    }
+                    Err(TrySendError::Disconnected(req)) => {
+                        let fresh = self.router.load();
+                        if fresh.table.epoch() != snap.table.epoch() && attempts < REROUTE_ATTEMPTS
+                        {
+                            let XRequest {
+                                ops: o, reply: r, ..
+                            } = req;
+                            ops = o;
+                            sink = r;
+                            snap = fresh;
+                            attempts += 1;
+                            continue;
+                        }
+                        req.reply.defuse();
+                        drop(req);
+                        self.shared.cancel(ticket);
+                        return Err(ServeError::Stopped);
+                    }
                 }
             }
         }

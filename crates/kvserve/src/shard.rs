@@ -16,7 +16,7 @@
 use crate::metrics::ShardMetrics;
 use crate::repl::{self, LogKind, ReplRuntime, ReplStep};
 use crate::ring::RingCompletion;
-use crate::{ServeError, ServiceConfig};
+use crate::{op_key, Router, ServeError, ServiceConfig};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use nvhalt::NvHalt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -30,12 +30,15 @@ use txstructs::{HashMapTx, MapOp};
 pub(crate) const POLL: Duration = Duration::from_millis(2);
 
 /// One queued request: the ops to run atomically, the ring slot that
-/// receives the answer, and its timing envelope.
+/// receives the answer, its timing envelope, and the routing epoch the
+/// submitter routed under (workers reject stale-epoch requests whose
+/// keys no longer belong here — see [`ServeError::Rerouted`]).
 pub(crate) struct ShardRequest {
     pub ops: Vec<MapOp>,
     pub reply: RingCompletion,
     pub deadline: Instant,
     pub enqueued: Instant,
+    pub epoch: u64,
 }
 
 /// A running shard.
@@ -53,8 +56,9 @@ pub(crate) struct Shard {
     pub queue_rx: Receiver<ShardRequest>,
     pub stop: Arc<AtomicBool>,
     pub workers: Vec<JoinHandle<()>>,
-    /// This shard's replication-log header block, when replicating.
-    pub repl_hdr: Option<Addr>,
+    /// This shard's op-log header block (always allocated; appends gate
+    /// on the in-pool armed word — see `repl::append_armed_in`).
+    pub repl_hdr: Addr,
     /// Extra live blocks future recoveries must keep reserved beyond the
     /// maps and log — e.g. a promoted follower's old header block.
     pub keep_blocks: Vec<(u64, usize)>,
@@ -73,8 +77,9 @@ struct WorkerCtx {
     backoff_max: Duration,
     attempt_fuel: usize,
     shard: usize,
-    log_hdr: Option<Addr>,
+    log_hdr: Addr,
     repl: Option<Arc<ReplRuntime>>,
+    router: Arc<Router>,
 }
 
 impl Shard {
@@ -87,9 +92,10 @@ impl Shard {
         tm: Arc<NvHalt>,
         map: HashMapTx,
         meta: HashMapTx,
-        repl_hdr: Option<Addr>,
+        repl_hdr: Addr,
         keep_blocks: Vec<(u64, usize)>,
         repl: Option<Arc<ReplRuntime>>,
+        router: Arc<Router>,
     ) -> Shard {
         let (queue, queue_rx) = channel::bounded::<ShardRequest>(cfg.queue_depth);
         let stop = Arc::new(AtomicBool::new(false));
@@ -111,6 +117,7 @@ impl Shard {
                     shard: index,
                     log_hdr: repl_hdr,
                     repl: repl.clone(),
+                    router: router.clone(),
                 };
                 std::thread::Builder::new()
                     .name(format!("kvserve-s{index}-w{w}"))
@@ -178,22 +185,52 @@ fn shed_expired(ctx: &WorkerCtx, batch: &mut Vec<ShardRequest>) {
     }
 }
 
+/// Reply `Rerouted` to requests routed under a stale table whose keys no
+/// longer all live on this shard, dropping them from the batch. Requests
+/// stamped with the current epoch always pass (the flip joins workers
+/// before installing a new table, so a live worker's shard is never
+/// wrong about current-epoch keys); stale-epoch requests pass only if
+/// every key still routes here.
+fn shed_rerouted(ctx: &WorkerCtx, batch: &mut Vec<ShardRequest>) {
+    let table = ctx.router.table();
+    let epoch = table.epoch();
+    let mut rerouted = 0u64;
+    batch.retain(|r| {
+        if r.epoch == epoch || r.ops.iter().all(|&op| table.route(op_key(op)) == ctx.shard) {
+            true
+        } else {
+            r.reply.send(Err(ServeError::Rerouted));
+            rerouted += 1;
+            false
+        }
+    });
+    if rerouted > 0 {
+        ctx.metrics
+            .counters
+            .rerouted
+            .fetch_add(rerouted, Ordering::Relaxed);
+    }
+}
+
 fn execute_batch(ctx: &WorkerCtx, mut batch: Vec<ShardRequest>) {
     let mut retry = 0u32;
     loop {
         shed_expired(ctx, &mut batch);
+        shed_rerouted(ctx, &mut batch);
         if batch.is_empty() {
             return;
         }
         let ops: Vec<MapOp> = batch.iter().flat_map(|r| r.ops.iter().copied()).collect();
-        // Mutations reach the replication log inside the same transaction
-        // as the batch, so the log entry and the data it describes commit
+        // Mutations reach the shard op log inside the same transaction as
+        // the batch — when the log is armed (replication, or a migration
+        // in flight) — so the log entry and the data it describes commit
         // or roll back atomically. Read-only batches skip the log (and
         // the follower ack) entirely.
         let muts = repl::mutations(&ops);
-        let append = if muts.is_empty() { None } else { ctx.log_hdr };
-        if let (Some(rt), Some(_)) = (ctx.repl.as_deref(), append) {
-            repl::crash_check(rt, ReplStep::BeforeAppend);
+        if !muts.is_empty() {
+            if let Some(rt) = ctx.repl.as_deref() {
+                repl::crash_check(rt, ReplStep::BeforeAppend);
+            }
         }
         let fuel = ctx.attempt_fuel;
         let res = tm::txn(&*ctx.tm, ctx.tid, |tx| {
@@ -206,15 +243,19 @@ fn execute_batch(ctx: &WorkerCtx, mut batch: Vec<ShardRequest>) {
             for &op in &ops {
                 out.push(ctx.map.apply_in(tx, op)?);
             }
-            let lsn = match append {
-                Some(h) => repl::append_in(tx, h, LogKind::Batch, 0, &muts)?,
-                None => 0,
+            let lsn = if muts.is_empty() {
+                0
+            } else {
+                repl::append_armed_in(tx, ctx.log_hdr, LogKind::Batch, 0, &muts)?
             };
             Ok((out, lsn))
         });
         match res {
             Ok((vals, lsn)) => {
-                if lsn > 0 && !await_replication(ctx, &batch, lsn) {
+                // `lsn > 0` with no runtime is a migration-armed log:
+                // the appended entry feeds the catch-up replay, but
+                // there is no follower to wait on.
+                if lsn > 0 && ctx.repl.is_some() && !await_replication(ctx, &batch, lsn) {
                     return;
                 }
                 reply_batch(ctx, &batch, vals);

@@ -1,21 +1,26 @@
 //! Property tests for request routing and the single/cross-shard split.
 //!
-//! Three properties over random op batches and shard counts:
+//! Over random op batches, shard counts and slot moves:
 //! - `partition_by_shard` is a true partition (every op exactly once, in
 //!   its key's shard, groups ordered by first appearance);
+//! - the versioned routing table routes every key to exactly one live
+//!   shard before, during and after any sequence of slot reassignments,
+//!   and a reassignment changes the routing of exactly the moved slots;
 //! - the service is sequentially equivalent to a `HashMap` model no
 //!   matter how batches mix shards (single-shard fast path and 2PC must
 //!   agree on semantics);
 //! - single-shard batches never engage the 2PC coordinator, and every
-//!   multi-shard batch does.
+//!   multi-shard batch does;
+//! - a deployment that grew by live migration is model-equivalent to a
+//!   fresh deployment with the final topology.
 
 use proptest::prelude::*;
 use proptest::proptest;
 use std::collections::HashMap;
 
 use kvserve::{
-    op_key, partition_by_shard, shard_of_key, Follower, LogEntry, LogKind, MapOp, Service,
-    ServiceConfig,
+    op_key, partition_by_shard, Follower, LogEntry, LogKind, MapOp, MigrateSpec, RoutingTable,
+    Service, ServiceConfig, ROUTE_SLOTS,
 };
 
 fn op_strategy() -> impl Strategy<Value = MapOp> {
@@ -66,7 +71,7 @@ proptest! {
             for &i in idxs {
                 prop_assert!(!seen[i], "op {} in two groups", i);
                 seen[i] = true;
-                prop_assert_eq!(shard_of_key(op_key(ops[i]), shards), *s);
+                prop_assert_eq!(RoutingTable::fresh(shards).route(op_key(ops[i])), *s);
             }
             first_seen_order.push(idxs[0]);
         }
@@ -74,6 +79,54 @@ proptest! {
         let mut sorted = first_seen_order.clone();
         sorted.sort_unstable();
         prop_assert_eq!(first_seen_order, sorted, "groups not in first-appearance order");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Routing is total and exact under any sequence of slot moves:
+    /// every key routes to exactly one shard at every step, `slots_of`
+    /// partitions the slot space, the epoch counts the moves, and each
+    /// move changes the routing of exactly the keys in the moved slots.
+    #[test]
+    fn routing_survives_arbitrary_slot_moves(
+        shards in 1usize..6,
+        moves in proptest::collection::vec(
+            (proptest::collection::vec(0usize..ROUTE_SLOTS, 1..8), 0usize..8),
+            0..6,
+        ),
+        keys in proptest::collection::vec(0u64..10_000, 16),
+    ) {
+        let mut table = RoutingTable::fresh(shards);
+        prop_assert_eq!(table.epoch(), 0);
+        for (step, (mut slots, target)) in moves.into_iter().enumerate() {
+            slots.sort_unstable();
+            slots.dedup();
+            let next = table.reassign(&slots, target);
+            prop_assert_eq!(next.epoch(), step as u64 + 1);
+            for &k in &keys {
+                let slot = RoutingTable::slot_of(k);
+                // Exactly one owner, and exactly the moved slots change.
+                prop_assert_eq!(next.route(k), next.assignment()[slot] as usize);
+                if slots.contains(&slot) {
+                    prop_assert_eq!(next.route(k), target);
+                } else {
+                    prop_assert_eq!(next.route(k), table.route(k));
+                }
+            }
+            // `slots_of` is the inverse view: a disjoint cover of all 64
+            // slots across shards.
+            let mut covered = vec![0u32; ROUTE_SLOTS];
+            for s in 0..next.shards() {
+                for slot in next.slots_of(s) {
+                    covered[slot] += 1;
+                    prop_assert_eq!(next.assignment()[slot] as usize, s);
+                }
+            }
+            prop_assert!(covered.iter().all(|&c| c == 1), "slots_of not a partition");
+            table = next;
+        }
     }
 }
 
@@ -105,6 +158,61 @@ proptest! {
         // Final state agrees key by key.
         for k in 0..48u64 {
             prop_assert_eq!(svc.get(k), Ok(model.get(&k).copied()));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// A deployment grown by live migration stays sequentially
+    /// equivalent to the `HashMap` model across the flip, agrees with
+    /// the routing table on where every key lives, and ends up
+    /// indistinguishable from a fresh deployment holding the same model
+    /// under the same (post-migration) topology.
+    #[test]
+    fn migrated_deployment_matches_model(
+        pre in batches_strategy(),
+        post in batches_strategy(),
+    ) {
+        let svc = Service::new(small_cfg(2));
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for ops in &pre {
+            let expected: Vec<Option<u64>> =
+                ops.iter().map(|&op| model_apply(&mut model, op)).collect();
+            prop_assert_eq!(svc.batch(ops.clone()), Ok(expected));
+        }
+        let spec = MigrateSpec::split(&svc.routing(), 0);
+        let moved = spec.slots.clone();
+        let (svc, report) = svc.migrate(spec);
+        prop_assert!(!report.already_applied);
+        prop_assert_eq!(report.epoch, 1);
+        let table = svc.routing();
+        prop_assert_eq!(table.shards(), 3);
+        prop_assert_eq!(table.slots_of(2), moved);
+        // Traffic across the flip still matches the model...
+        for ops in &post {
+            let expected: Vec<Option<u64>> =
+                ops.iter().map(|&op| model_apply(&mut model, op)).collect();
+            prop_assert_eq!(svc.batch(ops.clone()), Ok(expected));
+        }
+        // ...every key answers from where the table says it lives...
+        for k in 0..48u64 {
+            prop_assert_eq!(svc.get(k), Ok(model.get(&k).copied()));
+            prop_assert_eq!(svc.shard_of(k), table.route(k));
+        }
+        // ...and a fresh deployment migrated to the same topology and
+        // loaded with the same model is indistinguishable through the
+        // API: same assignment, same answer for every key.
+        let fresh = Service::new(small_cfg(2));
+        let (fresh, _) = fresh.migrate(MigrateSpec { source: 0, slots: moved });
+        for (k, v) in &model {
+            fresh.put(*k, *v).unwrap();
+        }
+        let fresh_table = fresh.routing();
+        prop_assert_eq!(fresh_table.assignment(), table.assignment());
+        for k in 0..48u64 {
+            prop_assert_eq!(fresh.get(k), svc.get(k));
         }
     }
 }

@@ -222,6 +222,29 @@ impl HashMapTx {
         })
     }
 
+    /// Transactionally scan one bucket's chain, returning its live
+    /// `(key, value)` pairs. Chunked-snapshot building block: the scan
+    /// serializes against every concurrent mutation of keys hashing to
+    /// bucket `b`, so each chunk is an atomic cut of that bucket (the
+    /// caller stitches chunks into a consistent image by replaying a log
+    /// from before the first chunk).
+    pub fn scan_bucket_in(&self, tx: &mut dyn Txn, b: usize) -> Result<Vec<(u64, u64)>, Abort> {
+        debug_assert!(b < self.nbuckets);
+        let mut out = Vec::new();
+        let mut cur = tx.read(self.buckets.offset(b as u64))?;
+        for _ in 0..FUEL {
+            if cur == 0 {
+                return Ok(out);
+            }
+            let node = Addr(cur);
+            if tx.read(node.offset(N_STATE))? == FULL {
+                out.push((tx.read(node.offset(N_KEY))?, tx.read(node.offset(N_VAL))?));
+            }
+            cur = tx.read(node.offset(N_NEXT))?;
+        }
+        Err(Abort::CONFLICT)
+    }
+
     /// Quiescent full scan via `read_raw`.
     pub fn collect_raw<T: Tm + ?Sized>(&self, tm: &T) -> Vec<(u64, u64)> {
         let mut out = Vec::new();

@@ -30,6 +30,14 @@
 //!    results through the ring (`complete`/`wait`/`drain`). A
 //!    `reply...recv()` reintroduces per-request thread parking, the
 //!    exact pattern the ring replaced.
+//! 6. **No raw `shard_of_key` in kvserve's routing-dependent modules.**
+//!    Since live migration, shard ownership is the *versioned routing
+//!    table's* call (`RoutingTable::route` via `Router::load`), not a
+//!    pure function of the key and the shard count. A raw
+//!    `shard_of_key(key, shards)` in `ring`/`shard`/`coord`/`repl`/
+//!    `migrate` silently routes with the epoch-0 assignment and
+//!    misdirects every key whose slot has moved. Only `lib.rs` (which
+//!    defines it and uses it as the slot hash) may name it.
 //!
 //! `cargo xtask check-bench` (see `bench_check`) validates
 //! `kvserve-bench-v1` benchmark artifacts instead of sources.
@@ -186,6 +194,20 @@ fn lint_file(file: &str, text: &str) -> Vec<Finding> {
                 line: lineno,
                 rule: "reply-channel-recv",
                 message: "blocking `recv` on a reply channel; reap via the completion ring".into(),
+            });
+        }
+
+        // Rule 6: raw shard_of_key in routing-dependent kvserve modules —
+        // ownership must come from the versioned routing table.
+        if file.starts_with("crates/kvserve/src/")
+            && file != "crates/kvserve/src/lib.rs"
+            && line.contains("shard_of_key(")
+        {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: lineno,
+                rule: "raw-shard-of-key",
+                message: "raw `shard_of_key`; route through the versioned `RoutingTable`".into(),
             });
         }
 
@@ -418,6 +440,40 @@ mod tests {
         // Test regions inside kvserve are exempt like rules 1-3.
         let test_src = "#[cfg(test)]\nmod tests {\n let r = reply_rx.recv().unwrap();\n}\n";
         assert!(rules("crates/kvserve/src/lib.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn raw_shard_of_key_in_kvserve_modules_flagged() {
+        let src = "let s = shard_of_key(key, self.shards);\n";
+        assert_eq!(
+            rules("crates/kvserve/src/ring.rs", src),
+            ["raw-shard-of-key"]
+        );
+        assert_eq!(
+            rules("crates/kvserve/src/shard.rs", src),
+            ["raw-shard-of-key"]
+        );
+        assert_eq!(
+            rules("crates/kvserve/src/coord.rs", src),
+            ["raw-shard-of-key"]
+        );
+        assert_eq!(
+            rules("crates/kvserve/src/migrate.rs", src),
+            ["raw-shard-of-key"]
+        );
+    }
+
+    #[test]
+    fn shard_of_key_allowed_in_lib_bench_and_tests() {
+        let src = "let s = shard_of_key(key, self.shards);\n";
+        // lib.rs defines it and uses it as the slot hash.
+        assert!(rules("crates/kvserve/src/lib.rs", src).is_empty());
+        // Outside kvserve's sources it is a legitimate free function.
+        assert!(rules("crates/bench/src/bin/service.rs", src).is_empty());
+        assert!(rules("tests/kvserve_crash.rs", src).is_empty());
+        // Test regions inside the modules are exempt like rules 1-3 and 5.
+        let test_src = "#[cfg(test)]\nmod tests {\n let s = shard_of_key(k, 4);\n}\n";
+        assert!(rules("crates/kvserve/src/ring.rs", test_src).is_empty());
     }
 
     #[test]

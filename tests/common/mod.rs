@@ -1,0 +1,161 @@
+//! Shared harness for the kvserve crash-step sweep suites.
+//!
+//! Every kvserve suite follows the same deterministic shape: pick a
+//! protocol step from a `Step::ALL` rotation, install a crash hook that
+//! fires exactly at that step, drive one request into the hook, recover
+//! the dump, and hold the store to an acked-write ledger. The pieces
+//! here — the step rotation, the single-step hook, the seeded PRNG, the
+//! sequential model, the pre-xor-post torn-batch check, key-placement
+//! helpers and the psan cleanliness assertion — are that shape, shared
+//! so the suites (`kvserve_crash`, `kvserve_cross_shard`,
+//! `kvserve_replication`, `kvserve_ring`, `kvserve_migrate`) state only
+//! their protocol-specific expectations.
+
+// Each test binary compiles its own copy of this module and uses a
+// different subset of it.
+#![allow(dead_code)]
+
+use kvserve::{MapOp, Service};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The deterministic crash-step rotation every sweep runs on:
+/// `(cycle, step)` pairs walking `steps` in order, wrapping for
+/// `cycles` total iterations so every step is hit `cycles / len` times.
+pub fn step_rotation<S: Copy>(steps: &[S], cycles: usize) -> impl Iterator<Item = (u64, S)> + '_ {
+    (0..cycles as u64).map(move |c| (c, steps[c as usize % steps.len()]))
+}
+
+/// A crash hook that fires exactly at `step` (the only hook shape the
+/// deterministic sweeps use).
+pub fn fire_at<S: Copy + PartialEq + Send + Sync + 'static>(
+    step: S,
+) -> Arc<dyn Fn(S) -> bool + Send + Sync> {
+    Arc::new(move |s| s == step)
+}
+
+/// The suites' seeded PRNG (64-bit LCG, high bits): deterministic by
+/// default, reseedable per suite through an env var so CI failures
+/// reproduce locally.
+pub struct Lcg(pub u64);
+
+impl Lcg {
+    /// Seed from `var` when set (`KVSERVE_*_SEED`), else `default`.
+    /// The low bit is forced so a zero seed cannot collapse the stream.
+    pub fn from_env(var: &str, default: u64) -> Lcg {
+        let seed = std::env::var(var)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default);
+        Lcg(seed | 1)
+    }
+
+    pub fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+}
+
+/// The sequential model every suite checks the service against.
+pub fn model_apply(model: &mut HashMap<u64, u64>, op: MapOp) -> Option<u64> {
+    match op {
+        MapOp::Get(k) => model.get(&k).copied(),
+        MapOp::Insert(k, v) => model.insert(k, v),
+        MapOp::Remove(k) => model.remove(&k),
+    }
+}
+
+/// One key per shard (under the service's *current* routing table), so
+/// a batch over all of them spans every shard.
+pub fn keys_per_shard(svc: &Service) -> Vec<u64> {
+    let mut keys = vec![None; svc.num_shards()];
+    let mut k = 1u64;
+    while keys.iter().any(Option::is_none) {
+        keys[svc.shard_of(k)].get_or_insert(k);
+        k += 1;
+    }
+    keys.into_iter().map(Option::unwrap).collect()
+}
+
+/// Two keys on different shards (panics on a 1-shard service).
+pub fn cross_shard_keys(svc: &Service) -> (u64, u64) {
+    let a = 1u64;
+    let mut b = 2u64;
+    while svc.shard_of(b) == svc.shard_of(a) {
+        b += 1;
+    }
+    (a, b)
+}
+
+/// Wait until every shipped entry has been applied, so an installed
+/// crash hook deterministically fires on the *next* write's entry and
+/// not on some straggler from the previous cycle.
+pub fn drain(svc: &Service) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let repl = svc.snapshot().replication.expect("replication on");
+        if repl.lag() == 0 {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replication lag failed to drain: {repl}"
+        );
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+/// Hold the recovered store to the ledger: every key answers exactly
+/// its expected value.
+pub fn verify(svc: &Service, keys: &[u64], expected: &HashMap<u64, u64>, cycle: u64) {
+    for &k in keys {
+        assert_eq!(
+            svc.get(k).unwrap(),
+            expected.get(&k).copied(),
+            "cycle {cycle}: key {k} diverged from the ledger"
+        );
+    }
+}
+
+/// After an unacked crashed batch, the store over `0..key_space` must
+/// equal the pre-batch model or the post-batch model *in its entirety*
+/// — a mix is a torn batch. Advances `model` to whichever side the
+/// recovery landed on.
+pub fn resync(
+    svc: &Service,
+    model: &mut HashMap<u64, u64>,
+    ops: &[MapOp],
+    key_space: u64,
+    cycle: u64,
+) {
+    let mut post = model.clone();
+    for &op in ops {
+        model_apply(&mut post, op);
+    }
+    let got: HashMap<u64, u64> = (0..key_space)
+        .filter_map(|k| svc.get(k).unwrap().map(|v| (k, v)))
+        .collect();
+    if got == post {
+        *model = post;
+    } else {
+        assert_eq!(
+            got, *model,
+            "cycle {cycle}: state is neither pre- nor post-batch (torn)"
+        );
+    }
+}
+
+/// Zero persist-order correctness diagnostics across every pool the
+/// service owns (perf-class advisories are allowed).
+pub fn assert_psan_clean(svc: &Service, what: &str) {
+    let diags: Vec<_> = svc
+        .psan_diagnostics()
+        .into_iter()
+        .filter(|d| !d.class.is_perf())
+        .collect();
+    assert!(diags.is_empty(), "{what}: {diags:?}");
+}

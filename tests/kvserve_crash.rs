@@ -10,7 +10,9 @@
 //!    update two same-shard keys with equal values in one atomic batch
 //!    request; after every recovery the two keys must agree.
 
-use kvserve::{shard_of_key, MapOp, ServeError, Service, ServiceConfig};
+mod common;
+
+use kvserve::{MapOp, ServeError, Service, ServiceConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -80,17 +82,15 @@ fn write_once(svc: &Service, ledger: &Ledger, key: usize, v: u64) -> bool {
 
 #[test]
 fn hundred_crash_cycles_lose_no_acked_write() {
-    let cfg = torture_cfg();
+    let mut svc = Service::new(torture_cfg());
     // Key space: one key per single writer, plus a same-shard pair for
     // the batch-atomicity writer. Single-writer keys are 0..SINGLE_WRITERS.
     let pair_a = SINGLE_WRITERS as u64;
     let pair_b = (pair_a + 1..)
-        .find(|&k| shard_of_key(k, cfg.shards) == shard_of_key(pair_a, cfg.shards))
+        .find(|&k| svc.shard_of(k) == svc.shard_of(pair_a))
         .unwrap();
     let nkeys = pair_b as usize + 1;
     let ledger = Ledger::new(nkeys);
-
-    let mut svc = Service::new(cfg);
     // Monotone value counters surviving across cycles, one per writer.
     let mut next_val = [1u64; SINGLE_WRITERS + 1];
 
@@ -232,12 +232,7 @@ fn crash_cycles_are_psan_clean() {
             svc.poison();
             stop.store(true, Ordering::Release);
         });
-        let diags: Vec<_> = svc
-            .psan_diagnostics()
-            .into_iter()
-            .filter(|d| !d.class.is_perf())
-            .collect();
-        assert!(diags.is_empty(), "cycle {cycle}: {diags:?}");
+        common::assert_psan_clean(&svc, &format!("cycle {cycle}"));
         svc = Service::recover(svc.crash());
     }
 
@@ -245,10 +240,5 @@ fn crash_cycles_are_psan_clean() {
     for k in 0..64u64 {
         svc.put(k, k).unwrap();
     }
-    let diags: Vec<_> = svc
-        .psan_diagnostics()
-        .into_iter()
-        .filter(|d| !d.class.is_perf())
-        .collect();
-    assert!(diags.is_empty(), "post-recovery: {diags:?}");
+    common::assert_psan_clean(&svc, "post-recovery");
 }

@@ -11,9 +11,11 @@
 //!   checking after every recovery that the store matches either the
 //!   pre-batch or the post-batch model — never a mix.
 
+mod common;
+
+use common::{fire_at, keys_per_shard, model_apply, resync, step_rotation, Lcg};
 use kvserve::{MapOp, ServeError, Service, ServiceConfig, TwoPcStep};
 use std::collections::HashMap;
-use std::sync::Arc;
 
 fn cfg() -> ServiceConfig {
     let mut cfg = ServiceConfig::new(3);
@@ -21,17 +23,6 @@ fn cfg() -> ServiceConfig {
     cfg.buckets_per_shard = 64;
     cfg.log_heap_words = 1 << 15;
     cfg
-}
-
-/// One key per shard, so every test batch spans all three shards.
-fn keys_per_shard(svc: &Service) -> Vec<u64> {
-    let mut keys = vec![None; svc.num_shards()];
-    let mut k = 1u64;
-    while keys.iter().any(Option::is_none) {
-        keys[svc.shard_of(k)].get_or_insert(k);
-        k += 1;
-    }
-    keys.into_iter().map(Option::unwrap).collect()
 }
 
 #[test]
@@ -49,9 +40,7 @@ fn crash_at_every_twopc_step_never_tears_a_batch() {
         .collect();
     svc.batch(seed_ops).expect("seeding batch must commit");
 
-    for cycle in 0..120u64 {
-        let step = TwoPcStep::ALL[cycle as usize % TwoPcStep::ALL.len()];
-
+    for (cycle, step) in step_rotation(&TwoPcStep::ALL, 120) {
         // A batch that will crash at `step`. The client must never see
         // an ack for it.
         let new_vals: Vec<u64> = keys.iter().map(|&k| cycle * 1_000 + k).collect();
@@ -60,7 +49,7 @@ fn crash_at_every_twopc_step_never_tears_a_batch() {
             .zip(&new_vals)
             .map(|(&k, &v)| MapOp::Insert(k, v))
             .collect();
-        svc.set_twopc_crash_hook(Some(Arc::new(move |s| s == step)));
+        svc.set_twopc_crash_hook(Some(fire_at(step)));
         assert_eq!(
             svc.batch(ops),
             Err(ServeError::Stopped),
@@ -96,35 +85,11 @@ fn crash_at_every_twopc_step_never_tears_a_batch() {
     }
 }
 
-struct Lcg(u64);
-
-impl Lcg {
-    fn next(&mut self) -> u64 {
-        self.0 = self
-            .0
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        self.0 >> 11
-    }
-}
-
-fn model_apply(model: &mut HashMap<u64, u64>, op: MapOp) -> Option<u64> {
-    match op {
-        MapOp::Get(k) => model.get(&k).copied(),
-        MapOp::Insert(k, v) => model.insert(k, v),
-        MapOp::Remove(k) => model.remove(&k),
-    }
-}
-
 const KEY_SPACE: u64 = 24;
 
 #[test]
 fn seeded_random_crash_cycles_match_a_model() {
-    let seed = std::env::var("KVSERVE_CROSS_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0x5eed_2fc5_u64);
-    let mut rng = Lcg(seed | 1);
+    let mut rng = Lcg::from_env("KVSERVE_CROSS_SEED", 0x5eed_2fc5);
 
     let mut svc = Service::new(cfg());
     let mut model: HashMap<u64, u64> = HashMap::new();
@@ -145,7 +110,7 @@ fn seeded_random_crash_cycles_match_a_model() {
             })
             .collect();
         let step = TwoPcStep::ALL[(rng.next() % TwoPcStep::ALL.len() as u64) as usize];
-        svc.set_twopc_crash_hook(Some(Arc::new(move |s| s == step)));
+        svc.set_twopc_crash_hook(Some(fire_at(step)));
 
         match svc.batch(ops.clone()) {
             Ok(vals) => {
@@ -156,25 +121,7 @@ fn seeded_random_crash_cycles_match_a_model() {
             }
             Err(ServeError::Stopped) => {
                 svc = Service::recover(svc.crash());
-                // The store must equal the pre-batch model or the
-                // post-batch model in its entirety — a mix is a torn
-                // batch.
-                let mut applied = model.clone();
-                for &op in &ops {
-                    model_apply(&mut applied, op);
-                }
-                let got: HashMap<u64, u64> = (0..KEY_SPACE)
-                    .filter_map(|k| svc.get(k).unwrap().map(|v| (k, v)))
-                    .collect();
-                if got == applied {
-                    model = applied;
-                } else {
-                    assert_eq!(
-                        got, model,
-                        "cycle {cycle} step {step:?}: state is neither \
-                         pre- nor post-batch (torn)"
-                    );
-                }
+                resync(&svc, &mut model, &ops, KEY_SPACE, cycle);
             }
             Err(e) => panic!("cycle {cycle}: unexpected error {e}"),
         }
@@ -198,24 +145,14 @@ fn twopc_crash_steps_are_psan_clean() {
             .iter()
             .map(|&k| MapOp::Insert(k, i as u64 * 100 + k))
             .collect();
-        svc.set_twopc_crash_hook(Some(Arc::new(move |s| s == step)));
+        svc.set_twopc_crash_hook(Some(fire_at(step)));
         assert_eq!(svc.batch(ops), Err(ServeError::Stopped));
-        let diags: Vec<_> = svc
-            .psan_diagnostics()
-            .into_iter()
-            .filter(|d| !d.class.is_perf())
-            .collect();
-        assert!(diags.is_empty(), "step {step:?} pre-crash: {diags:?}");
+        common::assert_psan_clean(&svc, &format!("step {step:?} pre-crash"));
         svc = Service::recover(svc.crash());
     }
 
     // A clean cross-shard batch on the recovered service stays clean.
     let ops: Vec<MapOp> = keys.iter().map(|&k| MapOp::Insert(k, k + 9)).collect();
     svc.batch(ops).expect("clean batch after recovery");
-    let diags: Vec<_> = svc
-        .psan_diagnostics()
-        .into_iter()
-        .filter(|d| !d.class.is_perf())
-        .collect();
-    assert!(diags.is_empty(), "post-recovery: {diags:?}");
+    common::assert_psan_clean(&svc, "post-recovery");
 }

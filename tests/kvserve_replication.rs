@@ -20,10 +20,12 @@
 //! persist-order sanitizer recording and asserts zero correctness
 //! diagnostics on the ship, apply, and promotion paths.
 
+mod common;
+
+use common::{drain, fire_at, keys_per_shard, model_apply, step_rotation, verify, Lcg};
 use kvserve::{FailoverStep, MapOp, ReplStep, ServeError, Service, ServiceConfig};
 use std::collections::HashMap;
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 fn cfg() -> ServiceConfig {
     let mut cfg = ServiceConfig::new(3);
@@ -32,45 +34,6 @@ fn cfg() -> ServiceConfig {
     cfg.log_heap_words = 1 << 15;
     cfg.replication = true;
     cfg
-}
-
-/// One key per shard, so cross-shard batches span all three shards.
-fn keys_per_shard(svc: &Service) -> Vec<u64> {
-    let mut keys = vec![None; svc.num_shards()];
-    let mut k = 1u64;
-    while keys.iter().any(Option::is_none) {
-        keys[svc.shard_of(k)].get_or_insert(k);
-        k += 1;
-    }
-    keys.into_iter().map(Option::unwrap).collect()
-}
-
-/// Wait until every shipped entry has been applied, so an installed
-/// crash hook deterministically fires on the *next* write's entry and
-/// not on some straggler from the previous cycle.
-fn drain(svc: &Service) {
-    let deadline = Instant::now() + Duration::from_secs(10);
-    loop {
-        let repl = svc.snapshot().replication.expect("replication on");
-        if repl.lag() == 0 {
-            return;
-        }
-        assert!(
-            Instant::now() < deadline,
-            "replication lag failed to drain: {repl}"
-        );
-        std::thread::sleep(Duration::from_micros(200));
-    }
-}
-
-fn verify(svc: &Service, keys: &[u64], expected: &HashMap<u64, u64>, cycle: u64) {
-    for &k in keys {
-        assert_eq!(
-            svc.get(k).unwrap(),
-            expected.get(&k).copied(),
-            "cycle {cycle}: key {k} diverged from the ledger"
-        );
-    }
 }
 
 /// A promoted service runs with replication off; to keep sweeping
@@ -97,8 +60,7 @@ fn crash_at_every_repl_step_never_loses_an_acked_write() {
         expected.insert(k, k * 10);
     }
 
-    for cycle in 0..48u64 {
-        let step = ReplStep::ALL[cycle as usize % ReplStep::ALL.len()];
+    for (cycle, step) in step_rotation(&ReplStep::ALL, 48) {
         // Alternate the recovery shape each full pass over the steps.
         let failover = (cycle / ReplStep::ALL.len() as u64) % 2 == 1;
         let k = keys[cycle as usize % keys.len()];
@@ -106,7 +68,7 @@ fn crash_at_every_repl_step_never_loses_an_acked_write() {
         let new = 100_000 + cycle;
 
         drain(&svc);
-        svc.set_repl_crash_hook(Some(Arc::new(move |s| s == step)));
+        svc.set_repl_crash_hook(Some(fire_at(step)));
         let res = svc.put(k, new);
 
         if step.is_primary() {
@@ -239,7 +201,7 @@ fn crash_at_every_promotion_step_re_promotes_idempotently() {
         }
 
         let dump = svc.fail_over();
-        let crash = match Service::promote_hooked(dump, Some(Arc::new(move |s| s == step))) {
+        let crash = match Service::promote_hooked(dump, Some(fire_at(step))) {
             Err(c) => c,
             Ok(_) => panic!("step {step:?}: promotion hook did not fire"),
         };
@@ -257,55 +219,15 @@ fn crash_at_every_promotion_step_re_promotes_idempotently() {
     }
 }
 
-struct Lcg(u64);
-
-impl Lcg {
-    fn next(&mut self) -> u64 {
-        self.0 = self
-            .0
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        self.0 >> 11
-    }
-}
-
-fn model_apply(model: &mut HashMap<u64, u64>, op: MapOp) -> Option<u64> {
-    match op {
-        MapOp::Get(k) => model.get(&k).copied(),
-        MapOp::Insert(k, v) => model.insert(k, v),
-        MapOp::Remove(k) => model.remove(&k),
-    }
-}
-
 const KEY_SPACE: u64 = 24;
 
-/// After a crash cycle, the store must equal the pre-batch model or the
-/// post-batch model in its entirety — a mix is a torn batch.
 fn resync(svc: &Service, model: &mut HashMap<u64, u64>, ops: &[MapOp], cycle: u64) {
-    let mut post = model.clone();
-    for &op in ops {
-        model_apply(&mut post, op);
-    }
-    let got: HashMap<u64, u64> = (0..KEY_SPACE)
-        .filter_map(|k| svc.get(k).unwrap().map(|v| (k, v)))
-        .collect();
-    if got == post {
-        *model = post;
-    } else {
-        assert_eq!(
-            got, *model,
-            "cycle {cycle}: state is neither pre- nor post-batch (torn)"
-        );
-    }
+    common::resync(svc, model, ops, KEY_SPACE, cycle);
 }
 
 #[test]
 fn seeded_replication_fuzz_matches_a_model() {
-    let seed = std::env::var("KVSERVE_REPL_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0x5eed_0e91_u64);
-    let mut rng = Lcg(seed | 1);
+    let mut rng = Lcg::from_env("KVSERVE_REPL_SEED", 0x5eed_0e91);
 
     let mut svc = Service::new(cfg());
     let mut model: HashMap<u64, u64> = HashMap::new();
@@ -330,7 +252,7 @@ fn seeded_replication_fuzz_matches_a_model() {
             _ => None,
         };
         if let Some(s) = step {
-            svc.set_repl_crash_hook(Some(Arc::new(move |x| x == s)));
+            svc.set_repl_crash_hook(Some(fire_at(s)));
         }
         let res = svc.batch(ops.clone());
         svc.set_repl_crash_hook(None);
@@ -379,14 +301,7 @@ fn seeded_replication_fuzz_matches_a_model() {
 /// or promotion paths — before or after recovery.
 #[test]
 fn repl_crash_steps_are_psan_clean() {
-    fn assert_clean(svc: &Service, what: &str) {
-        let diags: Vec<_> = svc
-            .psan_diagnostics()
-            .into_iter()
-            .filter(|d| !d.class.is_perf())
-            .collect();
-        assert!(diags.is_empty(), "{what}: {diags:?}");
-    }
+    use common::assert_psan_clean as assert_clean;
 
     let mut c = cfg();
     c.nvhalt.pm.psan = pmem::PsanMode::Record;
@@ -398,7 +313,7 @@ fn repl_crash_steps_are_psan_clean() {
 
     for (i, &step) in ReplStep::ALL.iter().enumerate() {
         drain(&svc);
-        svc.set_repl_crash_hook(Some(Arc::new(move |s| s == step)));
+        svc.set_repl_crash_hook(Some(fire_at(step)));
         let _ = svc.put(keys[i % keys.len()], i as u64 * 10 + 1);
         svc.set_repl_crash_hook(None);
         assert_clean(&svc, &format!("step {step:?} pre-recovery"));
@@ -413,12 +328,9 @@ fn repl_crash_steps_are_psan_clean() {
 
     // And across a crashed promotion plus its idempotent re-promotion.
     drain(&svc);
-    let crash = Service::promote_hooked(
-        svc.fail_over(),
-        Some(Arc::new(|s| s == FailoverStep::Promoted)),
-    )
-    .err()
-    .expect("promotion hook must fire");
+    let crash = Service::promote_hooked(svc.fail_over(), Some(fire_at(FailoverStep::Promoted)))
+        .err()
+        .expect("promotion hook must fire");
     let (svc, _) = Service::promote(crash.dump);
     for &k in &keys {
         svc.put(k, k + 5).unwrap();

@@ -17,6 +17,9 @@
 //! - the scripted traffic with the persist-order sanitizer recording,
 //!   asserting zero correctness diagnostics.
 
+mod common;
+
+use common::{cross_shard_keys, model_apply, Lcg};
 use kvserve::{MapOp, ServeError, Service, ServiceConfig, Ticket};
 use std::collections::HashMap;
 use std::time::Duration;
@@ -27,24 +30,6 @@ fn cfg(shards: usize) -> ServiceConfig {
     cfg.buckets_per_shard = 64;
     cfg.log_heap_words = 1 << 15;
     cfg
-}
-
-fn model_apply(model: &mut HashMap<u64, u64>, op: MapOp) -> Option<u64> {
-    match op {
-        MapOp::Get(k) => model.get(&k).copied(),
-        MapOp::Insert(k, v) => model.insert(k, v),
-        MapOp::Remove(k) => model.remove(&k),
-    }
-}
-
-/// Two keys on different shards (panics on a 1-shard service).
-fn cross_shard_keys(svc: &Service) -> (u64, u64) {
-    let a = 1u64;
-    let mut b = 2u64;
-    while svc.shard_of(b) == svc.shard_of(a) {
-        b += 1;
-    }
-    (a, b)
 }
 
 #[test]
@@ -172,25 +157,9 @@ fn tiny_deadline_burst_acks_xor_sheds() {
     }
 }
 
-struct Lcg(u64);
-
-impl Lcg {
-    fn next(&mut self) -> u64 {
-        self.0 = self
-            .0
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        self.0 >> 11
-    }
-}
-
 #[test]
 fn crash_with_in_flight_tickets_gives_definite_verdicts() {
-    let seed = std::env::var("KVSERVE_RING_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0x0416_5eed_u64);
-    let mut rng = Lcg(seed | 1);
+    let mut rng = Lcg::from_env("KVSERVE_RING_SEED", 0x0416_5eed);
 
     let mut svc = Service::new(cfg(3));
     let (xa, xb) = cross_shard_keys(&svc);
@@ -329,14 +298,7 @@ mod interleave {
 
 #[test]
 fn ring_traffic_is_psan_clean() {
-    fn assert_clean(svc: &Service, what: &str) {
-        let diags: Vec<_> = svc
-            .psan_diagnostics()
-            .into_iter()
-            .filter(|d| !d.class.is_perf())
-            .collect();
-        assert!(diags.is_empty(), "{what}: {diags:?}");
-    }
+    use common::assert_psan_clean as assert_clean;
 
     let mut c = cfg(2);
     c.nvhalt.pm.psan = pmem::PsanMode::Record;
