@@ -138,6 +138,10 @@ struct Sweep {
     arrival: Arrival,
     /// Zipfian skew for open-loop key draws; 0 = uniform.
     zipf_theta: f64,
+    /// Shipper group-commit window in microseconds (0 = disabled): how
+    /// long a woken shipper lingers so more op-log entries ride one
+    /// follower commit. Trades ack latency for persist traffic.
+    ship_coalesce_us: u64,
 }
 
 fn main() {
@@ -171,6 +175,7 @@ fn main() {
             _ => Arrival::Poisson,
         },
         zipf_theta: args.get_or("zipf", 0.0),
+        ship_coalesce_us: args.get_or("ship-coalesce", 0u64),
     };
     let cells = if migrate {
         run_migrate(&sweep)
@@ -229,16 +234,30 @@ fn run_closed_loop(sweep: &Sweep) -> Vec<Json> {
     cells
 }
 
-/// Peak achieved throughput and in-flight depth across the run's cells.
+/// Peak achieved throughput, in-flight depth, and worst-case persist
+/// overhead across the run's cells. The persist maxima are what
+/// `cargo xtask check-bench --max-flushes-per-op` gates: no cell of the
+/// committed artifact may spend more flushes (or fences) per completed
+/// operation than the threshold.
 fn summary_json(cells: &[Json]) -> Json {
     let mut max_in_flight = 0u64;
     let mut peak = 0.0f64;
+    let (mut max_flushes, mut max_fences) = (0.0f64, 0.0f64);
     for c in cells {
         let Json::Obj(fields) = c else { continue };
         for (k, v) in fields {
             match (k.as_str(), v) {
                 ("max_in_flight", Json::Int(n)) => max_in_flight = max_in_flight.max(*n),
                 ("tput_ops_per_sec", Json::Num(t)) => peak = peak.max(*t),
+                ("persist", Json::Obj(p)) => {
+                    for (pk, pv) in p {
+                        match (pk.as_str(), pv) {
+                            ("flushes_per_op", Json::Num(f)) => max_flushes = max_flushes.max(*f),
+                            ("fences_per_op", Json::Num(f)) => max_fences = max_fences.max(*f),
+                            _ => {}
+                        }
+                    }
+                }
                 _ => {}
             }
         }
@@ -246,6 +265,8 @@ fn summary_json(cells: &[Json]) -> Json {
     Json::obj()
         .field("max_in_flight", max_in_flight)
         .field("peak_tput_ops_per_sec", peak)
+        .field("max_flushes_per_op", max_flushes)
+        .field("max_fences_per_op", max_fences)
 }
 
 fn service_config(sweep: &Sweep, shards: usize, batch: usize) -> ServiceConfig {
@@ -257,6 +278,7 @@ fn service_config(sweep: &Sweep, shards: usize, batch: usize) -> ServiceConfig {
     cfg.heap_words_per_shard = (sweep.keys as usize * 8 / shards).max(1 << 16);
     cfg.default_deadline = Duration::from_secs(2);
     cfg.replication = sweep.repl;
+    cfg.ship_coalesce = Duration::from_micros(sweep.ship_coalesce_us);
     if !sweep.fast {
         cfg.nvhalt.pm.lat = LatencyModel::optane();
     }
@@ -274,7 +296,9 @@ fn run_cell(sweep: &Sweep, mix: Mix, shards: usize, batch: usize) -> Json {
         }
     }
     svc.reset_metrics();
-    let tm_before: Vec<_> = svc.snapshot().shards.iter().map(|s| s.tm).collect();
+    let before = svc.snapshot();
+    let tm_before: Vec<_> = before.shards.iter().map(|s| s.tm).collect();
+    let coord_before = before.coordinator.tm;
 
     let stop = AtomicBool::new(false);
     let outcomes = Outcomes::default();
@@ -296,6 +320,7 @@ fn run_cell(sweep: &Sweep, mix: Mix, shards: usize, batch: usize) -> Json {
     for (s, before) in snap.shards.iter_mut().zip(&tm_before) {
         s.tm = s.tm.since(before);
     }
+    snap.coordinator.tm = snap.coordinator.tm.since(&coord_before);
     println!(
         "\n== mix={} shards={} batch_max={} ==",
         mix.label(),
@@ -325,16 +350,23 @@ fn run_cell(sweep: &Sweep, mix: Mix, shards: usize, batch: usize) -> Json {
     // closed-loop in-flight depth (≈ client threads).
     println!("  {}", snap.ring);
     // Persist-overhead for the measurement window, summed over the shard
-    // TMs: flushes and fences per committed transaction show how well
+    // TMs *and* the 2PC coordinator's decision-log TM (its decision and
+    // resolve commits are part of every cross-shard batch's persistence
+    // bill): flushes and fences per committed transaction show how well
     // batching amortizes the persist cost, and redundant flushes (lines
     // flushed with no store since their last flush) are pure waste the
     // sanitizer's perf class counts.
     let (mut flushes, mut redundant, mut fences, mut commits) = (0u64, 0u64, 0u64, 0u64);
-    for s in &snap.shards {
-        flushes += s.tm.get(Counter::Flush);
-        redundant += s.tm.get(Counter::RedundantFlush);
-        fences += s.tm.get(Counter::Fence);
-        commits += s.tm.commits();
+    for tm in snap
+        .shards
+        .iter()
+        .map(|s| &s.tm)
+        .chain(std::iter::once(&snap.coordinator.tm))
+    {
+        flushes += tm.get(Counter::Flush);
+        redundant += tm.get(Counter::RedundantFlush);
+        fences += tm.get(Counter::Fence);
+        commits += tm.commits();
     }
     let per_commit = |n: u64| {
         if commits == 0 {
@@ -721,7 +753,9 @@ fn run_open_cell(sweep: &Sweep, mix: Mix, shards: usize, batch: usize, rate: f64
         }
     }
     svc.reset_metrics();
-    let tm_before: Vec<_> = svc.snapshot().shards.iter().map(|s| s.tm).collect();
+    let before = svc.snapshot();
+    let tm_before: Vec<_> = before.shards.iter().map(|s| s.tm).collect();
+    let coord_before = before.coordinator.tm;
 
     let ring = svc.ring();
     let kg = KeyGen::new(sweep.keys, sweep.zipf_theta);
@@ -801,11 +835,17 @@ fn run_open_cell(sweep: &Sweep, mix: Mix, shards: usize, batch: usize, rate: f64
     for (s, before) in snap.shards.iter_mut().zip(&tm_before) {
         s.tm = s.tm.since(before);
     }
+    snap.coordinator.tm = snap.coordinator.tm.since(&coord_before);
     let (mut flushes, mut redundant, mut fences) = (0u64, 0u64, 0u64);
-    for s in &snap.shards {
-        flushes += s.tm.get(Counter::Flush);
-        redundant += s.tm.get(Counter::RedundantFlush);
-        fences += s.tm.get(Counter::Fence);
+    for tm in snap
+        .shards
+        .iter()
+        .map(|s| &s.tm)
+        .chain(std::iter::once(&snap.coordinator.tm))
+    {
+        flushes += tm.get(Counter::Flush);
+        redundant += tm.get(Counter::RedundantFlush);
+        fences += tm.get(Counter::Fence);
     }
     let total_ops = snap.ops() + snap.coordinator.cross_ops;
     let per_op = |n: u64| {

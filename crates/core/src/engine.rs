@@ -40,7 +40,7 @@ use crate::lock::{LockWord, MAX_LOCK_THREADS};
 use crossbeam::utils::CachePadded;
 use htm::{Htm, HtmThread, HtmTxn, Xabort};
 use parking_lot::Mutex;
-use pmem::annot::AnnotLayout;
+use pmem::annot::{AnnotLayout, PVER_COUNT_TRUSTED};
 use pmem::{AnnotPmem, Meta};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -82,6 +82,9 @@ pub(crate) struct ThreadState {
     /// Undo list of a prepared transaction: `(addr, old value)` per write,
     /// kept so `abort_prepared` can restore both volatile and durable state.
     pundo: Vec<(u64, u64)>,
+    /// Scratch for the group-commit flush pass: distinct entry lines of the
+    /// write set, flushed once each instead of once per entry.
+    flush_lines: Vec<usize>,
 }
 
 /// The NV-HALT persistent hybrid transactional memory.
@@ -148,6 +151,7 @@ impl NvHalt {
                     seed: 0xb0ff_0000 ^ (t as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
                     prepared: false,
                     pundo: Vec::with_capacity(64),
+                    flush_lines: Vec::with_capacity(64),
                 }))
             })
             .collect()
@@ -298,24 +302,52 @@ impl NvHalt {
 
     /// Persist a completed hardware transaction's write set, bump and
     /// persist the thread's pver, then release the locks (Figure 5,
-    /// commit epilogue).
+    /// commit epilogue) — as a one-fence group commit: all entries are
+    /// staged, each distinct entry line is flushed once, a *counted*
+    /// commit marker is written, and a single fence drains the lot.
     fn persist_hw_commit(&self, tid: usize, ts: &mut ThreadState) {
         let _psan = self.pmem.pool().psan_scope(tid, "nvhalt::hw_commit");
+        self.pmem
+            .preserve_witnesses(tid, ts.hlog.iter().map(|&(a, _)| a as usize));
         let meta = Meta::pack(tid, ts.pver);
+        ts.flush_lines.clear();
         for &(a, old) in &ts.hlog {
             // Stable: the address is locked by us until release below.
             let new = self.heap.data_cell(a as usize).load(Ordering::Acquire);
-            self.pmem.persist_entry(tid, a as usize, old, new, meta);
+            self.pmem.stage_entry(tid, a as usize, old, new, meta);
+            ts.flush_lines.push(self.pmem.entry_line(a as usize));
         }
-        self.pmem.sfence(tid);
+        self.pmem.flush_lines(tid, &mut ts.flush_lines);
         ts.pver += 1;
-        self.pmem.persist_pver(tid, ts.pver);
-        self.pmem.sfence(tid);
+        self.persist_commit_marker(tid, ts.pver, ts.hlog.len() as u64, meta);
         for &a in &ts.hlocks {
             let cell = self.heap.lock_cell(a as usize);
             let cur = LockWord(self.htm.nt_load(cell));
             debug_assert!(cur.is_locked_by(tid), "releasing a lock we do not hold");
             self.htm.nt_store(cell, cur.released().0);
+        }
+    }
+
+    /// Make the commit of an already-staged-and-flushed (but unfenced)
+    /// generation durable. Normally a *counted* marker plus ONE fence:
+    /// entries and marker drain together, and recovery tells a torn
+    /// commit from a complete one by counting the generation's durable
+    /// pad witnesses. Falls back to the legacy two-fence order when the
+    /// generation stamp packs to zero (thread 0's first commit — its
+    /// entries are indistinguishable from fresh zeroed ones) or the
+    /// write set overflows the marker's count field.
+    fn persist_commit_marker(&self, tid: usize, pver: u64, count: u64, gen: Meta) {
+        debug_assert!(count > 0);
+        if gen.0 != 0 && count < PVER_COUNT_TRUSTED {
+            self.pmem.persist_pver_counted(tid, pver, count);
+            self.pmem.sfence(tid);
+            self.pmem
+                .pool()
+                .durability_point(tid, "nvhalt::commit_durable");
+        } else {
+            self.pmem.sfence(tid);
+            self.pmem.persist_pver(tid, pver);
+            self.pmem.sfence(tid);
         }
     }
 
@@ -468,20 +500,24 @@ impl NvHalt {
         }
 
         // Guaranteed to commit: persist and apply the write set while the
-        // locks are held (Figure 1 lines 16–21).
+        // locks are held (Figure 1 lines 16–21), as a one-fence group
+        // commit over the whole write set.
         let _psan = self.pmem.pool().psan_scope(tid, "nvhalt::sw_commit");
+        self.pmem
+            .preserve_witnesses(tid, ts.wset.iter().map(|e| e.addr as usize));
         let meta = Meta::pack(tid, ts.pver);
+        ts.flush_lines.clear();
         for e in &ts.wset {
             let data = self.heap.data_cell(e.addr as usize);
             let old = data.load(Ordering::Acquire);
             self.pmem
-                .persist_entry(tid, e.addr as usize, old, e.val, meta);
+                .stage_entry(tid, e.addr as usize, old, e.val, meta);
+            ts.flush_lines.push(self.pmem.entry_line(e.addr as usize));
             data.store(e.val, Ordering::Release);
         }
-        self.pmem.sfence(tid);
+        self.pmem.flush_lines(tid, &mut ts.flush_lines);
         ts.pver += 1;
-        self.pmem.persist_pver(tid, ts.pver);
-        self.pmem.sfence(tid);
+        self.persist_commit_marker(tid, ts.pver, ts.wset.len() as u64, meta);
         self.sw_release(ts, true);
         Ok(())
     }
@@ -631,18 +667,24 @@ impl NvHalt {
                 self.gclock.fetch_add(1, Ordering::AcqRel);
             }
         }
-        // Stage the writes durably *below* the current pver.
+        // Stage the writes durably *below* the current pver, with one
+        // coalesced flush pass over the write set's distinct entry lines.
         let _psan = self.pmem.pool().psan_scope(tid, "nvhalt::prepare");
+        self.pmem
+            .preserve_witnesses(tid, ts.wset.iter().map(|e| e.addr as usize));
         let meta = Meta::pack(tid, ts.pver);
         ts.pundo.clear();
+        ts.flush_lines.clear();
         for e in &ts.wset {
             let data = heap.data_cell(e.addr as usize);
             let old = data.load(Ordering::Acquire);
             ts.pundo.push((e.addr, old));
             self.pmem
-                .persist_entry(tid, e.addr as usize, old, e.val, meta);
+                .stage_entry(tid, e.addr as usize, old, e.val, meta);
+            ts.flush_lines.push(self.pmem.entry_line(e.addr as usize));
             data.store(e.val, Ordering::Release);
         }
+        self.pmem.flush_lines(tid, &mut ts.flush_lines);
         self.pmem.sfence(tid);
         // The coordinator may record its durable decision as soon as
         // `prepare` returns: every staged entry must already be fenced.
@@ -711,18 +753,28 @@ impl TmPrepare for NvHalt {
         let ts = &mut *guard;
         assert!(ts.prepared, "abort_prepared without a prepared txn");
         // Restore the volatile heap, then overwrite each staged entry so
-        // both its data and back fields hold the pre-transaction value: a
-        // later commit by this thread will push the durable pver past the
-        // stale entries, and they must not resurrect the aborted values.
+        // both its data and back fields hold the pre-transaction value.
         let _psan = self.pmem.pool().psan_scope(tid, "nvhalt::abort_prepared");
         let meta = Meta::pack(tid, ts.pver);
+        ts.flush_lines.clear();
         for &(a, old) in &ts.pundo {
             self.heap
                 .data_cell(a as usize)
                 .store(old, Ordering::Release);
-            self.pmem.persist_entry(tid, a as usize, old, old, meta);
+            self.pmem.stage_entry(tid, a as usize, old, old, meta);
+            ts.flush_lines.push(self.pmem.entry_line(a as usize));
         }
+        self.pmem.flush_lines(tid, &mut ts.flush_lines);
         self.pmem.sfence(tid);
+        // Consume the generation the aborted entries are stamped with: a
+        // trusted marker pushes the durable pver past them so they are
+        // neither resurrected by recovery nor miscounted as witnesses of
+        // this thread's *next* (counted, one-fence) commit.
+        if !ts.pundo.is_empty() {
+            ts.pver += 1;
+            self.pmem.persist_pver(tid, ts.pver);
+            self.pmem.sfence(tid);
+        }
         // Release with a version bump (not the pre-acquire word): the data
         // words changed while locked, so restoring the encounter value
         // would let a stale reader validate across the blip.

@@ -75,17 +75,25 @@ impl NvHalt {
         let pmem = AnnotPmem::from_image(layout, &cfg.pm, image, Some(stats.clone()));
         let heap = Heap::new(cfg.heap_words, cfg.locks);
 
-        let pvers: Vec<u64> = (0..cfg.max_threads)
-            .map(|t| layout.image_pver(image, t))
-            .collect();
-
+        // Thresholds fold in the counted-marker check: a one-fence commit
+        // whose marker is durable but whose generation is missing pad
+        // witnesses is torn, and the whole generation (threshold - 1 = its
+        // stamp) rolls back. The verdicts are pinned durably first —
+        // neutralization below destroys the evidence they came from, so a
+        // crash mid-recovery must not be able to re-derive different ones.
+        let pvers = layout.revert_thresholds(image);
+        pmem.pin_recovery_verdicts(image, &pvers);
         for a in 0..cfg.heap_words {
             let (data, back, meta) = layout.image_entry(image, a);
-            let incomplete = meta.tid() < cfg.max_threads && meta.ver() >= pvers[meta.tid()];
+            let incomplete =
+                meta.0 != 0 && meta.tid() < cfg.max_threads && meta.ver() >= pvers[meta.tid()];
             let value = if incomplete { back } else { data };
-            if incomplete && data != back {
-                // Make the roll-back durable so recovery is idempotent.
-                pmem.recovery_store(a, back);
+            if incomplete {
+                // Make the roll-back durable *and* clear the entry's stamp:
+                // a stale `{tid, v}` with its pad witness intact would be
+                // miscounted as part of that thread's next counted commit.
+                // Idempotent, so a crash mid-recovery just re-reverts.
+                pmem.recovery_neutralize(a, back);
             }
             heap.data_cell(a).store(value, Ordering::Relaxed);
         }

@@ -43,7 +43,8 @@ use crate::{
 };
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 use nvhalt::NvHalt;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -142,8 +143,41 @@ pub(crate) struct Coordinator {
     /// enter only after their markers are dropped (a recycled entry must
     /// never still be needed to dedupe replay).
     free: Mutex<Vec<(Addr, u64)>>,
+    /// The decision-log group-commit queue (see [`Coordinator::log_decision`]).
+    group: Mutex<DecisionGroup>,
+    group_cv: Condvar,
     pub metrics: Arc<CoordinatorMetrics>,
     pub hook: Mutex<Option<CrashHook>>,
+}
+
+/// Shared state of the decision-log group commit: decisions queued for
+/// the next leader, and the results a leader publishes back to its
+/// waiters.
+#[derive(Default)]
+struct DecisionGroup {
+    /// Decisions waiting to be written, as `(txid, ops)`.
+    queue: Vec<(u64, Vec<MapOp>)>,
+    /// Written decisions not yet picked up: txid → `(entry, cap)`.
+    results: HashMap<u64, (Addr, u64)>,
+    /// A leader is writing the current batch.
+    leader_busy: bool,
+    /// The leader's write crash-unwound (pool poisoned mid-commit);
+    /// every waiter must unwind too instead of blocking forever.
+    poisoned: bool,
+}
+
+/// Unwind-safety for the group leader: if the decision-log transaction
+/// crash-unwinds (simulated power failure), flag the group and wake the
+/// waiters so they unwind as well.
+struct GroupAbortGuard<'a>(&'a Coordinator);
+
+impl Drop for GroupAbortGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.group.lock().poisoned = true;
+            self.0.group_cv.notify_all();
+        }
+    }
 }
 
 impl Coordinator {
@@ -170,6 +204,8 @@ impl Coordinator {
             route,
             next_txid: AtomicU64::new(next_txid),
             free: Mutex::new(Vec::new()),
+            group: Mutex::new(DecisionGroup::default()),
+            group_cv: Condvar::new(),
             metrics: Arc::new(CoordinatorMetrics::new()),
             hook: Mutex::new(None),
         }
@@ -235,43 +271,96 @@ impl Coordinator {
         self.free.lock().push((entry, cap));
     }
 
-    /// Durably log a `COMMITTED` entry — the batch's commit point.
-    /// Recycles a resolved entry in place when one is large enough,
-    /// otherwise appends a new block. Either way the flip to `COMMITTED`
-    /// is one committed log transaction. Returns the entry and its op
-    /// capacity.
+    /// Durably log a `COMMITTED` entry — the batch's commit point — as a
+    /// **group commit**: the decision is queued, and the first driver to
+    /// find no leader writing becomes the leader, writing *every* queued
+    /// decision in one committed log transaction (one flush pass, one
+    /// fence) and publishing the entries back to the waiting drivers.
+    /// Concurrently-resolving cross-shard batches thus share a single
+    /// commit's persist cost instead of paying one fence each. Returns
+    /// this decision's entry and its op capacity.
     fn log_decision(&self, ltid: usize, txid: u64, ops: &[MapOp]) -> (Addr, u64) {
+        let mut g = self.group.lock();
+        g.queue.push((txid, ops.to_vec()));
+        loop {
+            if let Some(r) = g.results.remove(&txid) {
+                return r;
+            }
+            if g.poisoned {
+                // The leader's transaction died in a simulated power
+                // failure; this decision is not durable and never will
+                // be. Unwind like any other crashed transaction.
+                drop(g);
+                tm::crash::crash_unwind();
+            }
+            if !g.leader_busy {
+                g.leader_busy = true;
+                let batch = std::mem::take(&mut g.queue);
+                drop(g);
+                let guard = GroupAbortGuard(self);
+                let written = self.write_decisions(ltid, &batch);
+                std::mem::forget(guard);
+                let c = &*self.metrics.counters;
+                c.decision_groups.fetch_add(1, Ordering::Relaxed);
+                c.decisions_logged
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                g = self.group.lock();
+                for ((id, _), r) in batch.iter().zip(written) {
+                    g.results.insert(*id, r);
+                }
+                g.leader_busy = false;
+                self.group_cv.notify_all();
+            } else {
+                self.group_cv.wait(&mut g);
+            }
+        }
+    }
+
+    /// The group leader's write: every queued decision in **one**
+    /// committed log transaction. Per decision, recycles a resolved
+    /// entry in place when one is large enough, otherwise appends a new
+    /// block. Returns one `(entry, cap)` per batch element, in order.
+    fn write_decisions(&self, ltid: usize, batch: &[(u64, Vec<MapOp>)]) -> Vec<(Addr, u64)> {
         let head = self.head;
-        let nops = ops.len() as u64;
-        let reuse = self.take_free(nops);
+        // Pick recycled blocks before the transaction so an internal
+        // retry does not take more of them.
+        let reuse: Vec<Option<(Addr, u64)>> = batch
+            .iter()
+            .map(|(_, ops)| self.take_free(ops.len() as u64))
+            .collect();
         let _psan = self
             .log
             .pmem()
             .pool()
             .psan_scope(ltid, "kvserve::coord::log_decision");
         tm::txn(&*self.log, ltid, |tx| {
-            let (e, cap) = match reuse {
-                Some((e, cap)) => (e, cap),
-                None => {
-                    let e = tx.alloc((E_OPS + nops * OP_WORDS) as usize)?;
-                    tx.write(e.offset(E_CAP), nops)?;
-                    let prev = tx.read(head)?;
-                    tx.write(e.offset(E_NEXT), prev)?;
-                    tx.write(head, e.0)?;
-                    (e, nops)
+            let mut out = Vec::with_capacity(batch.len());
+            for ((txid, ops), reuse) in batch.iter().zip(&reuse) {
+                let nops = ops.len() as u64;
+                let (e, cap) = match *reuse {
+                    Some((e, cap)) => (e, cap),
+                    None => {
+                        let e = tx.alloc((E_OPS + nops * OP_WORDS) as usize)?;
+                        tx.write(e.offset(E_CAP), nops)?;
+                        let prev = tx.read(head)?;
+                        tx.write(e.offset(E_NEXT), prev)?;
+                        tx.write(head, e.0)?;
+                        (e, nops)
+                    }
+                };
+                tx.write(e.offset(E_TXID), *txid)?;
+                tx.write(e.offset(E_NOPS), nops)?;
+                for (i, &op) in ops.iter().enumerate() {
+                    let (tag, k, v) = encode_op(op);
+                    let base = e.offset(E_OPS + i as u64 * OP_WORDS);
+                    tx.write(base, tag)?;
+                    tx.write(base.offset(1), k)?;
+                    tx.write(base.offset(2), v)?;
                 }
-            };
-            tx.write(e.offset(E_TXID), txid)?;
-            tx.write(e.offset(E_NOPS), nops)?;
-            for (i, &op) in ops.iter().enumerate() {
-                let (tag, k, v) = encode_op(op);
-                let base = e.offset(E_OPS + i as u64 * OP_WORDS);
-                tx.write(base, tag)?;
-                tx.write(base.offset(1), k)?;
-                tx.write(base.offset(2), v)?;
+                tx.write(e.offset(E_STATE), STATE_COMMITTED)?;
+                out.push((e, cap));
             }
-            tx.write(e.offset(E_STATE), STATE_COMMITTED)?;
-            Ok((e, cap))
+            Ok(out)
         })
         .expect("decision-log transactions never cancel")
     }

@@ -187,6 +187,13 @@ pub struct ServiceConfig {
     /// Idle poll interval of the per-shard shipping threads (appends also
     /// wake them eagerly).
     pub ship_interval: Duration,
+    /// Group-commit window of the shipping threads: once woken, a
+    /// shipper lingers this long before its round, so every op-log
+    /// entry appended in the window rides the round's single follower
+    /// commit (one flush pass, one fence) instead of costing its own.
+    /// Acks wait for the durable follower receive, so the window is a
+    /// deliberate latency-for-persist-traffic trade; zero disables it.
+    pub ship_coalesce: Duration,
     /// NV-HALT template for each shard (variant, policy, latency model).
     pub nvhalt: NvHaltConfig,
 }
@@ -212,6 +219,7 @@ impl ServiceConfig {
             log_heap_words: 1 << 16,
             replication: false,
             ship_interval: Duration::from_millis(1),
+            ship_coalesce: Duration::ZERO,
             nvhalt: NvHaltConfig::test(1 << 16, 1),
         }
     }
@@ -892,7 +900,11 @@ impl Service {
                 .enumerate()
                 .map(|(i, s)| s.metrics.snapshot(i, s.tm.stats()))
                 .collect(),
-            coordinator: self.engine.coord.metrics.snapshot(),
+            coordinator: self
+                .engine
+                .coord
+                .metrics
+                .snapshot(self.engine.coord.log.stats()),
             ring: self.ring_metrics.snapshot(),
             replication: self.engine.repl.as_ref().map(|rt| ReplSnapshot {
                 shards: rt
@@ -902,8 +914,9 @@ impl Service {
                     .map(|(i, st)| ReplShardSnapshot {
                         shard: i,
                         appended: st.appended.load(Ordering::Relaxed),
-                        received: st.received.load(Ordering::Relaxed),
-                        applied: st.applied.load(Ordering::Relaxed),
+                        received: st.received.load(Ordering::Acquire),
+                        applied: st.applied.load(Ordering::Acquire),
+                        settling: st.settling.load(Ordering::Acquire),
                     })
                     .collect(),
             }),
@@ -1122,11 +1135,7 @@ impl Service {
         // everything durably received was ackable, so it must be served.
         let mut tail_applied = 0u64;
         for f in &fs {
-            for e in f.pending() {
-                if f.apply_entry(&e) {
-                    tail_applied += 1;
-                }
-            }
+            tail_applied += f.apply_batch(&f.pending()) as u64;
         }
         if check(FailoverStep::TailApplied) {
             return Err(crash(&fs, &coord));

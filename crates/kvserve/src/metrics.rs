@@ -457,6 +457,12 @@ pub struct CoordinatorCounters {
     pub abort_timeout: AtomicU64,
     /// Shard-transactions re-applied from the decision log at recovery.
     pub replayed: AtomicU64,
+    /// Decision-log group commits (one committed log transaction each).
+    pub decision_groups: AtomicU64,
+    /// Decisions written across those group commits; the mean group
+    /// size `decisions_logged / decision_groups` is the fence
+    /// amortization factor of the 2PC commit point.
+    pub decisions_logged: AtomicU64,
 }
 
 /// Coordinator metrics: 2PC counters plus per-phase latency histograms.
@@ -489,6 +495,8 @@ impl CoordinatorMetrics {
             &c.abort_conflict,
             &c.abort_timeout,
             &c.replayed,
+            &c.decision_groups,
+            &c.decisions_logged,
         ] {
             counter.store(0, Ordering::Relaxed);
         }
@@ -496,8 +504,8 @@ impl CoordinatorMetrics {
         self.commit_latency.reset();
     }
 
-    /// Immutable copy.
-    pub fn snapshot(&self) -> CoordinatorSnapshot {
+    /// Snapshot against the decision-log TM's stats.
+    pub fn snapshot(&self, tm_stats: StatsSnapshot) -> CoordinatorSnapshot {
         let c = &*self.counters;
         CoordinatorSnapshot {
             cross_batches: c.cross_batches.load(Ordering::Relaxed),
@@ -506,8 +514,11 @@ impl CoordinatorMetrics {
             abort_conflict: c.abort_conflict.load(Ordering::Relaxed),
             abort_timeout: c.abort_timeout.load(Ordering::Relaxed),
             replayed: c.replayed.load(Ordering::Relaxed),
+            decision_groups: c.decision_groups.load(Ordering::Relaxed),
+            decisions_logged: c.decisions_logged.load(Ordering::Relaxed),
             prepare: self.prepare_latency.snapshot(),
             commit: self.commit_latency.snapshot(),
+            tm: tm_stats,
         }
     }
 }
@@ -533,10 +544,18 @@ pub struct CoordinatorSnapshot {
     pub abort_timeout: u64,
     /// Shard-transactions replayed from the log at recovery.
     pub replayed: u64,
+    /// Decision-log group commits.
+    pub decision_groups: u64,
+    /// Decisions written across those group commits.
+    pub decisions_logged: u64,
     /// Prepare-round latency histogram.
     pub prepare: HistogramSnapshot,
     /// Decision-to-resolution latency histogram.
     pub commit: HistogramSnapshot,
+    /// The decision-log TM's statistics (its flushes and fences are
+    /// part of the service's persistence bill, so benchmark persist
+    /// tallies must fold them in alongside the shard TMs').
+    pub tm: StatsSnapshot,
 }
 
 impl fmt::Display for CoordinatorSnapshot {
@@ -544,13 +563,16 @@ impl fmt::Display for CoordinatorSnapshot {
         write!(
             f,
             "2pc: batches={} ops={} retries={} ab_conflict={} ab_timeout={} \
-             replayed={} prep_p50={} prep_p99={} commit_p50={} commit_p99={}",
+             replayed={} groups={} logged={} prep_p50={} prep_p99={} \
+             commit_p50={} commit_p99={}",
             self.cross_batches,
             self.cross_ops,
             self.cross_retries,
             self.abort_conflict,
             self.abort_timeout,
             self.replayed,
+            self.decision_groups,
+            self.decisions_logged,
             fmt_dur(self.prepare.quantile(0.50)),
             fmt_dur(self.prepare.quantile(0.99)),
             fmt_dur(self.commit.quantile(0.50)),
@@ -572,6 +594,12 @@ pub struct ReplShardSnapshot {
     pub received: u64,
     /// Highest LSN durably applied into the follower's maps.
     pub applied: u64,
+    /// A shipping round is mid-flight: its watermark stores may have
+    /// landed while its trailing work (trim, crash checkpoints) has
+    /// not run yet. Quiescence means zero lag *and* no round in
+    /// flight — `lag()` folds this in so pollers cannot observe a
+    /// half-finished round as settled.
+    pub settling: bool,
 }
 
 impl ReplShardSnapshot {
@@ -588,9 +616,12 @@ impl ReplShardSnapshot {
         self.received.saturating_sub(self.applied)
     }
 
-    /// Total entries the follower's applied state is behind the primary.
+    /// Total entries the follower's applied state is behind the primary,
+    /// counting a mid-flight shipping round as one outstanding entry.
     pub fn lag(&self) -> u64 {
-        self.appended.saturating_sub(self.applied)
+        self.appended
+            .saturating_sub(self.applied)
+            .max(u64::from(self.settling))
     }
 }
 

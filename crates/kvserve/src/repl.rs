@@ -6,8 +6,8 @@
 //!
 //! Each primary shard keeps a replication log *inside its own NV-HALT
 //! heap*: a three-word header `[head, last_lsn, armed]` plus a
-//! newest-first linked list of entries
-//! `[next, lsn, kind, txid, nops, (tag, key, val) × nops]`. The header
+//! newest-first linked list of packed entries
+//! `[next, lsn, meta, tagword × ⌈nops/32⌉, (key, val) × nops]`. The header
 //! exists on every shard; the durable `armed` word says whether
 //! appenders actually log their mutations (always on a replicated
 //! service; turned on transactionally by a live migration otherwise —
@@ -34,21 +34,27 @@
 //!
 //! ## Shipping
 //!
-//! One shipper thread per shard runs a two-stage protocol against the
-//! follower's own NV-HALT instance:
-//! 1. **receive** — copy each new primary entry into the follower's
-//!    receive log and durably advance `received_lsn`, one transaction per
-//!    entry;
-//! 2. **apply** — re-apply each received entry through the same
-//!    [`HashMapTx`] path the primary used and durably advance
-//!    `applied_lsn` *in the same transaction*, which is what makes
-//!    re-application after a follower crash idempotent: an entry at or
-//!    below the watermark is skipped.
+//! One shipper thread per shard drives the follower's own NV-HALT
+//! instance. In steady state a whole ship round is **one follower
+//! transaction**: every new primary entry is applied straight into the
+//! follower's data map and both `received_lsn` and `applied_lsn`
+//! advance together under that single commit — one flush pass, one
+//! fence, amortized over however many entries the round picked up, and
+//! nothing staged in the receive log that would need trimming later.
+//! Receiving and applying atomically is strictly stronger than the
+//! ack contract needs (an acked write must be durably *received*), so
+//! every crash point of the old receive-then-apply protocol remains
+//! covered. The two-stage path ([`Follower::receive_batch`] then
+//! [`Follower::apply_entry`]) survives for recovery catch-up: a
+//! repaired follower may hold a received-but-unapplied tail, which the
+//! next round drains — batched, in one transaction — before fusing.
 //!
 //! Acks are **semi-synchronous**: a worker (or 2PC coordinator) only
 //! acks once the follower's `received_lsn` durably covers its entry, so
-//! every acked write survives losing *either* pool. Both logs are
-//! trimmed behind the durable watermarks.
+//! every acked write survives losing *either* pool. The primary log is
+//! trimmed behind the shipped watermark, amortized over
+//! [`PRIMARY_TRIM_BATCH`] entries so retirement does not cost a commit
+//! (flush pass + fence) per round.
 //!
 //! ## Crash injection
 //!
@@ -95,14 +101,56 @@ const ROLE_FOLLOWER: u64 = 0;
 const ROLE_PRIMARY: u64 = 1;
 
 /// Log entry layout (word offsets within an entry block):
-/// `[next, lsn, kind, txid, nops, (tag, key, val) × nops]`.
+/// `[next, lsn, meta, tagword × ⌈nops/32⌉, (key, val) × nops]`.
+///
+/// `meta` packs the entry kind (2 bits), the op count (14 bits) and the
+/// 2PC transaction id (48 bits) into one word, and each op's tag takes
+/// 2 bits of the packed tag words — 3 + ⌈n/32⌉ + 2n words per entry
+/// against the naive 5 + 3n. Every persisted word is a flushed cache
+/// line eventually, so the diet feeds directly into flushes/op.
 const L_NEXT: u64 = 0;
 const L_LSN: u64 = 1;
-const L_KIND: u64 = 2;
-const L_TXID: u64 = 3;
-const L_NOPS: u64 = 4;
-const L_OPS: u64 = 5;
-const OP_WORDS: u64 = 3;
+const L_META: u64 = 2;
+const L_TAGS: u64 = 3;
+/// Words per op payload (key, value).
+const OP_WORDS: u64 = 2;
+/// Op tags per packed tag word (2 bits each).
+const TAGS_PER_WORD: u64 = 32;
+
+const META_KIND_BITS: u64 = 2;
+const META_NOPS_BITS: u64 = 14;
+/// Ops an entry can carry (14-bit count field).
+const META_NOPS_MAX: u64 = (1 << META_NOPS_BITS) - 1;
+/// Largest representable 2PC transaction id (48-bit field).
+const META_TXID_MAX: u64 = (1 << (64 - META_KIND_BITS - META_NOPS_BITS)) - 1;
+
+fn pack_meta(kind: LogKind, txid: u64, nops: u64) -> u64 {
+    debug_assert!(nops <= META_NOPS_MAX, "log entry op count overflow");
+    debug_assert!(txid <= META_TXID_MAX, "log txid overflows meta field");
+    kind.encode() | (nops << META_KIND_BITS) | (txid << (META_KIND_BITS + META_NOPS_BITS))
+}
+
+fn meta_kind(meta: u64) -> LogKind {
+    LogKind::decode(meta & ((1 << META_KIND_BITS) - 1))
+}
+
+fn meta_nops(meta: u64) -> u64 {
+    (meta >> META_KIND_BITS) & META_NOPS_MAX
+}
+
+fn meta_txid(meta: u64) -> u64 {
+    meta >> (META_KIND_BITS + META_NOPS_BITS)
+}
+
+/// Packed tag words needed for `nops` ops.
+fn tag_words(nops: u64) -> u64 {
+    nops.div_ceil(TAGS_PER_WORD)
+}
+
+/// An entry block's total size in words.
+fn entry_words(nops: u64) -> u64 {
+    L_TAGS + tag_words(nops) + nops * OP_WORDS
+}
 
 /// What a log entry carries.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -150,8 +198,40 @@ pub struct LogEntry {
 impl LogEntry {
     /// The entry's block size in words.
     pub fn words(&self) -> usize {
-        (L_OPS + self.ops.len() as u64 * OP_WORDS) as usize
+        entry_words(self.ops.len() as u64) as usize
     }
+}
+
+/// Write one entry's body (everything but `next`) into the block at
+/// `e` inside the caller's transaction. The block is fully overwritten,
+/// so recycled blocks need no zeroing.
+fn write_entry_in<Tx: Txn + ?Sized>(
+    tx: &mut Tx,
+    e: Addr,
+    lsn: u64,
+    kind: LogKind,
+    txid: u64,
+    ops: &[MapOp],
+) -> Result<(), Abort> {
+    let nops = ops.len() as u64;
+    tx.write(e.offset(L_LSN), lsn)?;
+    tx.write(e.offset(L_META), pack_meta(kind, txid, nops))?;
+    for (w, chunk) in ops.chunks(TAGS_PER_WORD as usize).enumerate() {
+        let mut word = 0u64;
+        for (j, &op) in chunk.iter().enumerate() {
+            let (tag, _, _) = encode_op(op);
+            word |= tag << (2 * j as u64);
+        }
+        tx.write(e.offset(L_TAGS + w as u64), word)?;
+    }
+    let base0 = L_TAGS + tag_words(nops);
+    for (i, &op) in ops.iter().enumerate() {
+        let (_, k, v) = encode_op(op);
+        let base = e.offset(base0 + i as u64 * OP_WORDS);
+        tx.write(base, k)?;
+        tx.write(base.offset(1), v)?;
+    }
+    Ok(())
 }
 
 fn encode_op(op: MapOp) -> (u64, u64, u64) {
@@ -191,18 +271,8 @@ pub(crate) fn append_in<Tx: Txn + ?Sized>(
     ops: &[MapOp],
 ) -> Result<u64, Abort> {
     let lsn = tx.read(hdr.offset(P_LAST))? + 1;
-    let e = tx.alloc((L_OPS + ops.len() as u64 * OP_WORDS) as usize)?;
-    tx.write(e.offset(L_LSN), lsn)?;
-    tx.write(e.offset(L_KIND), kind.encode())?;
-    tx.write(e.offset(L_TXID), txid)?;
-    tx.write(e.offset(L_NOPS), ops.len() as u64)?;
-    for (i, &op) in ops.iter().enumerate() {
-        let (tag, k, v) = encode_op(op);
-        let base = e.offset(L_OPS + i as u64 * OP_WORDS);
-        tx.write(base, tag)?;
-        tx.write(base.offset(1), k)?;
-        tx.write(base.offset(2), v)?;
-    }
+    let e = tx.alloc(entry_words(ops.len() as u64) as usize)?;
+    write_entry_in(tx, e, lsn, kind, txid, ops)?;
     let prev = tx.read(hdr.offset(P_HEAD))?;
     tx.write(e.offset(L_NEXT), prev)?;
     tx.write(hdr.offset(P_HEAD), e.0)?;
@@ -239,21 +309,49 @@ pub(crate) fn armed_raw(tm: &NvHalt, hdr: Addr) -> bool {
     tm.read_raw(hdr.offset(P_ARMED)) != 0
 }
 
+/// Replay one log entry's effect through the follower's transactional
+/// structures — the shared core of [`Follower::apply_entry`],
+/// [`Follower::apply_batch`], and [`Follower::receive_apply_batch`].
+fn apply_ops_in(
+    tx: &mut dyn Txn,
+    data: &HashMapTx,
+    meta: &HashMapTx,
+    e: &LogEntry,
+) -> Result<(), Abort> {
+    match e.kind {
+        LogKind::Batch | LogKind::Prepare => {
+            for &op in &e.ops {
+                data.apply_in(tx, op)?;
+            }
+            if e.kind == LogKind::Prepare {
+                meta.insert_in(tx, e.txid, 1)?;
+            }
+        }
+        LogKind::Resolve => {
+            meta.remove_in(tx, e.txid)?;
+        }
+    }
+    Ok(())
+}
+
 fn read_entry_in<Tx: Txn + ?Sized>(tx: &mut Tx, a: Addr) -> Result<LogEntry, Abort> {
-    let nops = tx.read(a.offset(L_NOPS))? as usize;
-    let mut ops = Vec::with_capacity(nops);
+    let meta = tx.read(a.offset(L_META))?;
+    let nops = meta_nops(meta);
+    let mut tags = Vec::with_capacity(tag_words(nops) as usize);
+    for w in 0..tag_words(nops) {
+        tags.push(tx.read(a.offset(L_TAGS + w))?);
+    }
+    let base0 = L_TAGS + tag_words(nops);
+    let mut ops = Vec::with_capacity(nops as usize);
     for i in 0..nops {
-        let base = a.offset(L_OPS + i as u64 * OP_WORDS);
-        ops.push(decode_op(
-            tx.read(base)?,
-            tx.read(base.offset(1))?,
-            tx.read(base.offset(2))?,
-        ));
+        let tag = (tags[(i / TAGS_PER_WORD) as usize] >> (2 * (i % TAGS_PER_WORD))) & 0b11;
+        let base = a.offset(base0 + i * OP_WORDS);
+        ops.push(decode_op(tag, tx.read(base)?, tx.read(base.offset(1))?));
     }
     Ok(LogEntry {
         lsn: tx.read(a.offset(L_LSN))?,
-        kind: LogKind::decode(tx.read(a.offset(L_KIND))?),
-        txid: tx.read(a.offset(L_TXID))?,
+        kind: meta_kind(meta),
+        txid: meta_txid(meta),
         ops,
     })
 }
@@ -313,8 +411,8 @@ pub(crate) fn trim_through(tm: &NvHalt, tid: usize, head: Addr, upto: u64) {
         }
         while !a.is_null() {
             let next = Addr(tx.read(a.offset(L_NEXT))?);
-            let nops = tx.read(a.offset(L_NOPS))?;
-            tx.free(a, (L_OPS + nops * OP_WORDS) as usize)?;
+            let nops = meta_nops(tx.read(a.offset(L_META))?);
+            tx.free(a, entry_words(nops) as usize)?;
             a = next;
         }
         Ok(())
@@ -335,8 +433,8 @@ pub(crate) fn walk_blocks_raw(tm: &NvHalt, head: Addr) -> Vec<(u64, usize)> {
     let mut out = Vec::new();
     let mut a = Addr(tm.read_raw(head));
     while !a.is_null() {
-        let nops = tm.read_raw(a.offset(L_NOPS));
-        out.push((a.0, (L_OPS + nops * OP_WORDS) as usize));
+        let nops = meta_nops(tm.read_raw(a.offset(L_META)));
+        out.push((a.0, entry_words(nops) as usize));
         a = Addr(tm.read_raw(a.offset(L_NEXT)));
     }
     out
@@ -430,34 +528,94 @@ impl Follower {
         self.tm.read_raw(self.hdr.offset(F_ROLE))
     }
 
-    /// Stage one entry into the receive log and advance the durable
-    /// `received_lsn`, all in one transaction. Entries at or below the
-    /// watermark are skipped (idempotent re-ship after a follower
-    /// recovery). Returns whether the entry was actually staged.
-    pub(crate) fn receive(&self, e: &LogEntry) -> bool {
+    /// Stage a slice of entries (ascending by LSN) into the receive log
+    /// and advance the durable `received_lsn` to the last one — all in
+    /// **one transaction**, so a whole ship round's worth of entries
+    /// costs one commit (one flush pass, one fence) instead of one per
+    /// entry. Entries at or below the watermark are skipped (idempotent
+    /// re-ship after a follower recovery). Returns how many entries were
+    /// actually staged.
+    pub(crate) fn receive_batch(&self, entries: &[LogEntry]) -> usize {
+        debug_assert!(entries.windows(2).all(|w| w[0].lsn < w[1].lsn));
         tm::txn(&*self.tm, FOLLOWER_TID, |tx| {
-            if tx.read(self.hdr.offset(F_RECEIVED))? >= e.lsn {
-                return Ok(false);
+            let watermark = tx.read(self.hdr.offset(F_RECEIVED))?;
+            let fresh: Vec<&LogEntry> = entries.iter().filter(|e| e.lsn > watermark).collect();
+            let Some(last) = fresh.last() else {
+                return Ok(0);
+            };
+            for e in &fresh {
+                let a = tx.alloc(e.words())?;
+                write_entry_in(tx, a, e.lsn, e.kind, e.txid, &e.ops)?;
+                let prev = tx.read(self.hdr.offset(F_HEAD))?;
+                tx.write(a.offset(L_NEXT), prev)?;
+                tx.write(self.hdr.offset(F_HEAD), a.0)?;
             }
-            let a = tx.alloc(e.words())?;
-            tx.write(a.offset(L_LSN), e.lsn)?;
-            tx.write(a.offset(L_KIND), e.kind.encode())?;
-            tx.write(a.offset(L_TXID), e.txid)?;
-            tx.write(a.offset(L_NOPS), e.ops.len() as u64)?;
-            for (i, &op) in e.ops.iter().enumerate() {
-                let (tag, k, v) = encode_op(op);
-                let base = a.offset(L_OPS + i as u64 * OP_WORDS);
-                tx.write(base, tag)?;
-                tx.write(base.offset(1), k)?;
-                tx.write(base.offset(2), v)?;
-            }
-            let prev = tx.read(self.hdr.offset(F_HEAD))?;
-            tx.write(a.offset(L_NEXT), prev)?;
-            tx.write(self.hdr.offset(F_HEAD), a.0)?;
-            tx.write(self.hdr.offset(F_RECEIVED), e.lsn)?;
-            Ok(true)
+            tx.write(self.hdr.offset(F_RECEIVED), last.lsn)?;
+            Ok(fresh.len())
         })
         .expect("follower transactions never cancel")
+    }
+
+    /// Steady-state ship round: apply a slice of fresh entries
+    /// (ascending by LSN) straight into the data map and advance
+    /// `received_lsn` *and* `applied_lsn` to the last one, all in **one
+    /// transaction** — the whole round costs one flush pass and one
+    /// fence, and leaves nothing in the receive log to trim. Entries at
+    /// or below the received watermark are skipped (idempotent re-ship
+    /// after a follower recovery). Refuses to fuse — receiving nothing —
+    /// while a received-but-unapplied tail exists (the caller must
+    /// drain it via [`Follower::apply_batch`] first, or the fused
+    /// watermark bump would skip it). Returns the durable
+    /// `(received_lsn, applied_lsn)` pair after the commit, for the
+    /// caller's volatile mirrors.
+    pub(crate) fn receive_apply_batch(&self, entries: &[LogEntry]) -> (u64, u64) {
+        debug_assert!(entries.windows(2).all(|w| w[0].lsn < w[1].lsn));
+        tm::txn(&*self.tm, FOLLOWER_TID, |tx| {
+            let received = tx.read(self.hdr.offset(F_RECEIVED))?;
+            let applied = tx.read(self.hdr.offset(F_APPLIED))?;
+            if applied != received {
+                return Ok((received, applied));
+            }
+            let fresh: Vec<&LogEntry> = entries.iter().filter(|e| e.lsn > received).collect();
+            let Some(last) = fresh.last() else {
+                return Ok((received, applied));
+            };
+            for e in &fresh {
+                apply_ops_in(tx, &self.data, &self.meta, e)?;
+            }
+            tx.write(self.hdr.offset(F_RECEIVED), last.lsn)?;
+            tx.write(self.hdr.offset(F_APPLIED), last.lsn)?;
+            Ok((last.lsn, last.lsn))
+        })
+        .expect("follower transactions never cancel")
+    }
+
+    /// Apply a slice of already-received entries (ascending by LSN) and
+    /// advance the durable `applied_lsn` to the last one, in **one
+    /// transaction** — recovery catch-up and promotion tail-apply cost
+    /// one commit however long the tail is. Entries at or below the
+    /// applied watermark are skipped. Returns how many were applied.
+    pub(crate) fn apply_batch(&self, entries: &[LogEntry]) -> usize {
+        debug_assert!(entries.windows(2).all(|w| w[0].lsn < w[1].lsn));
+        let applied = tm::txn(&*self.tm, FOLLOWER_TID, |tx| {
+            let watermark = tx.read(self.hdr.offset(F_APPLIED))?;
+            let fresh: Vec<&LogEntry> = entries.iter().filter(|e| e.lsn > watermark).collect();
+            let Some(last) = fresh.last() else {
+                return Ok(0);
+            };
+            for e in &fresh {
+                apply_ops_in(tx, &self.data, &self.meta, e)?;
+            }
+            tx.write(self.hdr.offset(F_APPLIED), last.lsn)?;
+            Ok(fresh.len())
+        })
+        .expect("follower transactions never cancel");
+        if applied > 0 {
+            if let Some(p) = self.tm.pmem().pool().psan() {
+                p.durability_point(FOLLOWER_TID, "kvserve::repl::applied_lsn");
+            }
+        }
+        applied
     }
 
     /// Received-but-unapplied entries, ascending by LSN.
@@ -490,19 +648,7 @@ impl Follower {
             if tx.read(self.hdr.offset(F_APPLIED))? >= e.lsn {
                 return Ok(false);
             }
-            match e.kind {
-                LogKind::Batch | LogKind::Prepare => {
-                    for &op in &e.ops {
-                        self.data.apply_in(tx, op)?;
-                    }
-                    if e.kind == LogKind::Prepare {
-                        self.meta.insert_in(tx, e.txid, 1)?;
-                    }
-                }
-                LogKind::Resolve => {
-                    self.meta.remove_in(tx, e.txid)?;
-                }
-            }
+            apply_ops_in(tx, &self.data, &self.meta, e)?;
             tx.write(self.hdr.offset(F_APPLIED), e.lsn)?;
             Ok(true)
         })
@@ -542,9 +688,7 @@ impl Follower {
     /// of a log into `ingest` calls — including overlapping re-sends —
     /// must converge to the same state as one whole-log call.
     pub fn ingest(&self, entries: &[LogEntry]) {
-        for e in entries {
-            self.receive(e);
-        }
+        self.receive_batch(entries);
         for e in self.pending() {
             self.apply_entry(&e);
         }
@@ -672,9 +816,25 @@ pub(crate) struct ShipState {
     pub hold: AtomicU64,
     /// Unshipped work exists (set by appenders, cleared by the shipper).
     dirty: AtomicBool,
+    /// A shipping round is mid-flight. Raised before the round's first
+    /// transaction and lowered only after its trailing work (amortized
+    /// trim, crash checkpoints), so quiescence pollers — `lag() == 0`
+    /// via the metrics snapshot — never observe a round whose
+    /// watermark stores have landed but whose tail has not run.
+    pub settling: AtomicBool,
+    /// Highest primary-log LSN already retired by the amortized trim.
+    trimmed: AtomicU64,
     lock: StdMutex<()>,
     cv: Condvar,
 }
+
+/// Retire shipped primary-log entries only once this many have
+/// accumulated past the last trim: trimming is pure garbage collection
+/// (the follower has durably received everything at or below the
+/// watermark), so paying its commit — a flush pass and a fence — every
+/// round would be persist traffic for nothing. The lag bounds the
+/// garbage, not the correctness.
+const PRIMARY_TRIM_BATCH: u64 = 8;
 
 impl ShipState {
     fn new() -> ShipState {
@@ -685,6 +845,8 @@ impl ShipState {
             down: AtomicBool::new(false),
             hold: AtomicU64::new(u64::MAX),
             dirty: AtomicBool::new(false),
+            settling: AtomicBool::new(false),
+            trimmed: AtomicU64::new(0),
             lock: StdMutex::new(()),
             cv: Condvar::new(),
         }
@@ -756,6 +918,8 @@ pub(crate) struct ReplRuntime {
     pub hook: Mutex<Option<ReplHook>>,
     pub stop: AtomicBool,
     pub ship_interval: Duration,
+    /// Shipper group-commit window (see `ServiceConfig::ship_coalesce`).
+    pub ship_coalesce: Duration,
     /// The reserved shipper TM thread slot on every primary shard.
     pub ship_tid: usize,
 }
@@ -808,6 +972,7 @@ impl ReplRuntime {
             hook: Mutex::new(None),
             stop: AtomicBool::new(false),
             ship_interval: cfg.ship_interval,
+            ship_coalesce: cfg.ship_coalesce,
             ship_tid: cfg.workers_per_shard + cfg.coordinators,
         }
     }
@@ -880,7 +1045,10 @@ fn shipper(rt: &ReplRuntime, s: usize) {
         if rt.stop.load(Ordering::Acquire) {
             return;
         }
-        match tm::crash::run_crashable(|| ship_round(rt, s)) {
+        state.settling.store(true, Ordering::Release);
+        let round = tm::crash::run_crashable(|| ship_round(rt, s));
+        state.settling.store(false, Ordering::Release);
+        match round {
             Some(()) => {}
             None => {
                 // A pool died mid-round. A dead primary means the whole
@@ -895,11 +1063,24 @@ fn shipper(rt: &ReplRuntime, s: usize) {
             }
         }
         state.wait_work(rt.ship_interval, &rt.stop);
+        // Group commit across worker batches: linger so every entry
+        // appended in the window rides the next round's single
+        // follower commit instead of costing its own flush pass and
+        // fence.
+        if !rt.ship_coalesce.is_zero() && !rt.stop.load(Ordering::Acquire) {
+            std::thread::sleep(rt.ship_coalesce);
+        }
     }
 }
 
-/// One shipping round for shard `s`: receive new primary entries, apply
-/// what is pending, trim both logs behind the durable watermarks.
+/// One shipping round for shard `s`. Steady state is a single follower
+/// commit: the round's fresh primary entries are applied straight into
+/// the follower's data map with both watermarks advanced under one
+/// fence ([`Follower::receive_apply_batch`]), and the primary log is
+/// retired behind the shipped watermark only every
+/// [`PRIMARY_TRIM_BATCH`] entries. A received-but-unapplied tail (left
+/// by a follower recovery) is drained first — batched, one commit —
+/// so the fused path never skips it.
 fn ship_round(rt: &ReplRuntime, s: usize) {
     let state = &rt.states[s];
     let cell = rt.followers[s].lock();
@@ -910,6 +1091,14 @@ fn ship_round(rt: &ReplRuntime, s: usize) {
         return;
     }
     let p = &rt.primaries[s];
+    let pending = f.pending();
+    if !pending.is_empty() {
+        f.apply_batch(&pending);
+        let last = pending.last().expect("non-empty").lsn;
+        state.applied.fetch_max(last, Ordering::AcqRel);
+        ship_crash_check(rt, f, ReplStep::MidApply);
+        f.trim_applied(state.applied.load(Ordering::Acquire));
+    }
     let received = state.received.load(Ordering::Acquire);
     let Some(fresh) = read_after(&p.tm, rt.ship_tid, p.hdr.offset(P_HEAD), received) else {
         // Lost the read race against appenders (e.g. a prepared 2PC
@@ -917,31 +1106,31 @@ fn ship_round(rt: &ReplRuntime, s: usize) {
         // one ship interval away — retries.
         return;
     };
+    let mut processed = !pending.is_empty();
     if !fresh.is_empty() {
         ship_crash_check(rt, f, ReplStep::BeforeReceive);
-        for e in &fresh {
-            f.receive(e);
-            state.received.store(e.lsn, Ordering::Release);
-            state.notify_all();
-        }
+        // The round's group commit: received and applied in one
+        // transaction. Acks unblock at the round's granularity.
+        let (recv, appl) = f.receive_apply_batch(&fresh);
+        state.received.fetch_max(recv, Ordering::AcqRel);
+        state.applied.fetch_max(appl, Ordering::AcqRel);
+        state.notify_all();
         ship_crash_check(rt, f, ReplStep::Received);
+        // Receive and apply commit together, so "mid-apply" is no
+        // longer a distinct durable state; the hook stays a live crash
+        // point at the same protocol position.
+        ship_crash_check(rt, f, ReplStep::MidApply);
+        processed = true;
     }
-    let pending = f.pending();
-    if !pending.is_empty() {
-        for (i, e) in pending.iter().enumerate() {
-            f.apply_entry(e);
-            state.applied.store(e.lsn, Ordering::Release);
-            if i == 0 {
-                ship_crash_check(rt, f, ReplStep::MidApply);
-            }
-        }
-        let applied = state.applied.load(Ordering::Acquire);
-        f.trim_applied(applied);
+    if processed {
         let upto = state
             .received
             .load(Ordering::Acquire)
             .min(state.hold.load(Ordering::Acquire));
-        trim_through(&p.tm, rt.ship_tid, p.hdr.offset(P_HEAD), upto);
+        if upto.saturating_sub(state.trimmed.load(Ordering::Acquire)) >= PRIMARY_TRIM_BATCH {
+            trim_through(&p.tm, rt.ship_tid, p.hdr.offset(P_HEAD), upto);
+            state.trimmed.store(upto, Ordering::Release);
+        }
         ship_crash_check(rt, f, ReplStep::Applied);
     }
 }

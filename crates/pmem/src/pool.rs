@@ -169,6 +169,25 @@ struct PerThread {
     pending: Mutex<Vec<usize>>,
     pending_count: AtomicU32,
     rng: AtomicU64,
+    /// One bit per line: set by this thread's stores, cleared by its
+    /// flushes. A flush of a clear bit did no work — the native
+    /// `RedundantFlush` signal, independent of the sanitizer (which only
+    /// diagnoses; release bench runs carry no psan instance).
+    dirty: Box<[AtomicU64]>,
+}
+
+impl PerThread {
+    #[inline]
+    fn mark_dirty(&self, line: usize) {
+        self.dirty[line / 64].fetch_or(1 << (line % 64), Ordering::Relaxed);
+    }
+
+    /// Clear the line's dirty bit, returning whether it was set.
+    #[inline]
+    fn take_dirty(&self, line: usize) -> bool {
+        let mask = 1u64 << (line % 64);
+        self.dirty[line / 64].fetch_and(!mask, Ordering::Relaxed) & mask != 0
+    }
 }
 
 /// The simulated persistent-memory pool. See the module docs.
@@ -240,6 +259,7 @@ impl PmemPool {
                         rng: AtomicU64::new(
                             cfg.seed ^ (t as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
                         ),
+                        dirty: (0..lines.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
                     })
                 })
                 .collect(),
@@ -340,6 +360,7 @@ impl PmemPool {
     fn write_unsanitized(&self, tid: usize, w: usize, v: u64) {
         spin_ns(self.lat.pm_write_ns);
         let line = w / LINE_WORDS;
+        self.per_thread[tid].mark_dirty(line);
         self.lock_line(line);
         self.cache[w].store(v, Ordering::Release);
         self.unlock_line(line);
@@ -354,6 +375,36 @@ impl PmemPool {
                 }
             }
         }
+    }
+
+    /// Atomically replace word `w` with `new` iff it currently holds
+    /// `expect` (takes effect in the cache layer, like [`PmemPool::write`]).
+    /// Returns whether the swap happened.
+    ///
+    /// Exists for cross-thread commit-marker upgrades: a plain store could
+    /// clobber a *newer* marker the owning thread is concurrently
+    /// publishing, losing its commit.
+    pub fn cas_word(&self, tid: usize, w: usize, expect: u64, new: u64) -> bool {
+        self.check_crash();
+        spin_ns(self.lat.pm_write_ns);
+        let line = w / LINE_WORDS;
+        self.lock_line(line);
+        let cur = self.cache[w].load(Ordering::Relaxed);
+        let swapped = cur == expect;
+        if swapped {
+            self.cache[w].store(new, Ordering::Release);
+        }
+        self.unlock_line(line);
+        if swapped {
+            if let Some(p) = &self.psan {
+                p.on_store(tid, w);
+            }
+            self.per_thread[tid].mark_dirty(line);
+            if let Some(s) = &self.stats {
+                s.bump(tid, Counter::PmWords);
+            }
+        }
+        swapped
     }
 
     /// Load persistent word `w` from the cache layer.
@@ -373,19 +424,25 @@ impl PmemPool {
         // The sanitizer tracks call discipline in every mode (eADR
         // programs must still order their stores), before the mode
         // early-outs below.
-        let redundant = self.psan.as_ref().is_some_and(|p| p.on_flush(tid, w));
+        if let Some(p) = &self.psan {
+            p.on_flush(tid, w);
+        }
         if self.mode != PmemMode::Nvram {
             return;
         }
         spin_ns(self.lat.flush_ns);
+        let line = w / LINE_WORDS;
+        let pt = &self.per_thread[tid];
+        // Native redundancy signal: a flush of a line this thread has not
+        // stored to since its last flush did no work. Tracked in the pool
+        // itself (not just psan) so release runs report real numbers.
+        let redundant = !pt.take_dirty(line);
         if let Some(s) = &self.stats {
             s.bump(tid, Counter::Flush);
             if redundant {
                 s.bump(tid, Counter::RedundantFlush);
             }
         }
-        let line = w / LINE_WORDS;
-        let pt = &self.per_thread[tid];
         let immediate = match self.flush {
             FlushPolicy::Eager => true,
             FlushPolicy::Deferred => false,

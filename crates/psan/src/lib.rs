@@ -22,9 +22,11 @@
 //!   `snapshot_durable`, prepared-transaction staging) is reached while
 //!   the thread still owns unfenced lines;
 //! * **(b) entry-protocol epoch violations** — the Trinity colocated-undo
-//!   entry must be written `back` → `meta` → `data` and only then
-//!   flushed; stores out of that order, a flush before the `data` store,
-//!   or a store into an entry already flushed this epoch are reported;
+//!   entry must be written `back` → `meta` → `data` → `pad` (the pad
+//!   word is the completion witness counted commit markers rely on) and
+//!   only then flushed; stores out of that order, a flush of an
+//!   incomplete entry, or a store into an entry already flushed this
+//!   epoch are reported;
 //! * **(c) redundant flushes** — a flush of a line with no store since its
 //!   last flush does no work but costs full flush latency; counted as a
 //!   performance diagnostic (never fatal);
@@ -97,8 +99,12 @@ pub enum EntryRole {
     Back,
     /// The `meta` (`{tid, pver}`) word — after `back`, before `data`.
     Meta,
-    /// The `data` (new value) word — last, immediately before the flush.
+    /// The `data` (new value) word — after `meta`, before `pad`.
     Data,
+    /// The `pad` (completion witness) word — last, immediately before the
+    /// flush. Counted commit markers rely on `pad == meta` to certify
+    /// that the whole entry (data included) reached the media.
+    Pad,
 }
 
 /// What kind of violation a [`Diagnostic`] reports.
@@ -191,6 +197,7 @@ struct EntryEpoch {
     back: bool,
     meta: bool,
     data: bool,
+    pad: bool,
     flushed: bool,
 }
 
@@ -354,6 +361,7 @@ impl Psan {
             EntryRole::Data => w,
             EntryRole::Back => w - 1,
             EntryRole::Meta => w - 2,
+            EntryRole::Pad => w - 3,
         };
         let mut state = self.lock();
         let site = Self::site_of(&state, tid);
@@ -379,6 +387,12 @@ impl Psan {
                         format!("data stored before meta in entry @{base}"),
                     ));
                 }
+                EntryRole::Pad if !epoch.data => {
+                    violation = Some((
+                        DiagClass::EntryStoreOrder,
+                        format!("pad witness stored before data in entry @{base}"),
+                    ));
+                }
                 _ => {}
             }
         }
@@ -386,6 +400,7 @@ impl Psan {
             EntryRole::Back => epoch.back = true,
             EntryRole::Meta => epoch.meta = true,
             EntryRole::Data => epoch.data = true,
+            EntryRole::Pad => epoch.pad = true,
         }
         self.track_store(&mut state, tid, w / LINE_WORDS);
         drop(state);
@@ -421,10 +436,20 @@ impl Psan {
         let mut violation: Option<(DiagClass, String)> = None;
         for ((t, base), epoch) in state.entries.iter_mut() {
             if *t == tid && (lo..hi).contains(base) {
-                if (epoch.back || epoch.meta) && !epoch.data && violation.is_none() {
+                let complete = epoch.back && epoch.meta && epoch.data && epoch.pad;
+                if !complete && violation.is_none() {
+                    let missing = if !epoch.back {
+                        "back"
+                    } else if !epoch.meta {
+                        "meta"
+                    } else if !epoch.data {
+                        "data"
+                    } else {
+                        "pad witness"
+                    };
                     violation = Some((
                         DiagClass::FlushBeforeStore,
-                        format!("entry @{base} flushed before its data store"),
+                        format!("entry @{base} flushed before its {missing} store"),
                     ));
                 }
                 epoch.flushed = true;
@@ -754,10 +779,12 @@ mod tests {
     #[test]
     fn entry_epoch_order_enforced() {
         let p = psan();
-        // Correct order: back (base+1), meta (base+2), data (base).
+        // Correct order: back (base+1), meta (base+2), data (base),
+        // pad witness (base+3).
         p.on_entry_store(0, 41, EntryRole::Back);
         p.on_entry_store(0, 42, EntryRole::Meta);
         p.on_entry_store(0, 40, EntryRole::Data);
+        p.on_entry_store(0, 43, EntryRole::Pad);
         p.on_flush(0, 40);
         p.on_fence(0);
         assert!(classes(&p).is_empty());
@@ -768,6 +795,12 @@ mod tests {
         // Meta before back (new epoch after a fence).
         p.on_fence(0);
         p.on_entry_store(0, 42, EntryRole::Meta);
+        assert_eq!(classes(&p), vec![DiagClass::EntryStoreOrder]);
+        // Pad witness before data (new epoch after a fence).
+        p.on_fence(0);
+        p.on_entry_store(0, 41, EntryRole::Back);
+        p.on_entry_store(0, 42, EntryRole::Meta);
+        p.on_entry_store(0, 43, EntryRole::Pad);
         assert_eq!(classes(&p), vec![DiagClass::EntryStoreOrder]);
     }
 
@@ -781,11 +814,25 @@ mod tests {
     }
 
     #[test]
+    fn flush_before_pad_witness_detected() {
+        let p = psan();
+        p.on_entry_store(0, 41, EntryRole::Back);
+        p.on_entry_store(0, 42, EntryRole::Meta);
+        p.on_entry_store(0, 40, EntryRole::Data);
+        p.on_flush(0, 40);
+        let d = p.take_diagnostics();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].class, DiagClass::FlushBeforeStore);
+        assert!(d[0].detail.contains("pad witness"), "{}", d[0].detail);
+    }
+
+    #[test]
     fn store_after_flush_detected() {
         let p = psan();
         p.on_entry_store(0, 41, EntryRole::Back);
         p.on_entry_store(0, 42, EntryRole::Meta);
         p.on_entry_store(0, 40, EntryRole::Data);
+        p.on_entry_store(0, 43, EntryRole::Pad);
         p.on_flush(0, 40);
         p.on_entry_store(0, 40, EntryRole::Data);
         assert_eq!(classes(&p), vec![DiagClass::StoreAfterFlush]);

@@ -243,23 +243,24 @@ impl Spht {
             self.pmem.write(tid, base + 1 + 2 * i, a);
             self.pmem.write(tid, base + 2 + 2 * i, v);
         }
-        let mut w = base;
-        while w < base + need {
+        // Truncate the *next* record slot (reads n = 0) and make it
+        // durable under the SAME fence as the record body. When the
+        // validity marker below lands, recovery's scan must find a zero
+        // length in the following slot; flushing the truncation with the
+        // marker instead would let their write-backs complete in either
+        // order (flush completion is unordered until a fence), so a
+        // crash could leave a durable marker behind a stale slot length.
+        let next = base + need;
+        self.pmem.write(tid, next, 0);
+        // One coalesced pass over every line of the record: body words
+        // and truncation word (the marker word is written and flushed
+        // separately below, after the body is fenced durable).
+        let mut w = base - base % LINE_WORDS;
+        while w <= next {
             self.pmem.flush_line(tid, w);
             w += LINE_WORDS;
         }
         self.pmem.sfence(tid);
-        // Truncate the *next* record slot (reads n = 0) before the validity
-        // marker, so the marker's flush/fence batch below also covers the
-        // truncation store (it must not still be in the cache when the
-        // record is declared complete).
-        let next = base + need;
-        if ts.log_head + need < self.cfg.log_words {
-            self.pmem.write(tid, next, 0);
-            if next / LINE_WORDS != (base + need - 1) / LINE_WORDS {
-                self.pmem.flush_line(tid, next);
-            }
-        }
         // Validity marker last: a record is complete iff its ts is set.
         self.pmem.write(tid, base + need - 1, cts);
         self.pmem.flush_line(tid, base + need - 1);

@@ -3,12 +3,18 @@
 //! durability negotiation, marker free-riding, and the paper's point that
 //! SPHT blocks *disjoint* transactions.
 
+use pmem::pool::{EvictionPolicy, FlushPolicy};
+use pmem::{Diagnostic, PsanMode};
 use spht::{Spht, SphtConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Barrier;
+use std::sync::{Barrier, Mutex};
 use tm::policy::HybridPolicy;
 use tm::stats::Counter;
 use tm::{txn, Abort, Addr, Tm};
+
+fn correctness(diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    diags.into_iter().filter(|d| !d.class.is_perf()).collect()
+}
 
 /// While one thread sits in the software fallback (global lock held),
 /// other threads' transactions cannot commit in hardware — they wait or
@@ -137,6 +143,102 @@ fn concurrent_disjoint_writers_recover_completely() {
     let rec = Spht::recover(cfg, &tmem.crash_image());
     for t in 0..4u64 {
         assert_eq!(rec.read_raw(Addr(100 + t)), 500, "thread {t}");
+    }
+}
+
+/// Log-record persist ordering under the sanitizer, covering both
+/// next-slot truncation layouts: a 1-write record (`need = 4`) leaves
+/// the truncation word on the *same* cache line as the validity marker,
+/// a 3-write record (`need = 8`) pushes it onto the *next* line. In
+/// both layouts the record body and the truncation zero must be fenced
+/// durable before the marker is declared, and psan must see a clean
+/// store→flush→fence discipline throughout commit, crash, and recovery.
+#[test]
+fn record_truncation_layouts_are_clean_under_record() {
+    let mut cfg = SphtConfig::test(1 << 10, 1);
+    cfg.pm.psan = PsanMode::Record;
+    let tm = Spht::new(cfg.clone());
+    // Alternate 1-write (same-line truncation) and 3-write (cross-line
+    // truncation) records; the log head walks through both phases of
+    // every line-alignment class.
+    for i in 0..32u64 {
+        if i % 2 == 0 {
+            txn(&tm, 0, |tx| tx.write(Addr(1 + i), i + 1)).unwrap();
+        } else {
+            txn(&tm, 0, |tx| {
+                tx.write(Addr(1 + i), i + 1)?;
+                tx.write(Addr(100 + i), i + 1)?;
+                tx.write(Addr(200 + i), i + 1)
+            })
+            .unwrap();
+        }
+    }
+    tm.crash();
+    let pre = tm
+        .pool()
+        .psan()
+        .map(|s| correctness(s.take_diagnostics()))
+        .unwrap_or_default();
+    assert!(pre.is_empty(), "pre-crash diagnostics: {pre:?}");
+
+    let rec = Spht::recover(cfg, &tm.crash_image());
+    for i in 0..32u64 {
+        assert_eq!(rec.read_raw(Addr(1 + i)), i + 1, "slot {i}");
+    }
+    let post = rec
+        .pool()
+        .psan()
+        .map(|s| correctness(s.take_diagnostics()))
+        .unwrap_or_default();
+    assert!(post.is_empty(), "post-recovery diagnostics: {post:?}");
+}
+
+/// Adversarial persist schedule for the truncation-ordering fix: with
+/// `Seeded` flush completion (write-backs complete immediately or at
+/// the next fence, per-flush at random) plus random eviction, a
+/// truncation store whose durability is not ordered *before* the
+/// validity marker's would eventually leave a durable marker behind a
+/// stale next-slot length — and a tiny log forces wraps, so stale
+/// bytes really are sitting in the next slot. Every committed write
+/// must still be recovered.
+#[test]
+fn truncation_survives_reordered_writebacks_and_wraps() {
+    for round in 0..8u64 {
+        let mut cfg = SphtConfig::test(1 << 10, 2);
+        cfg.log_words = 64; // wraps every few records
+        cfg.pm.flush = FlushPolicy::Seeded { num: 128 };
+        cfg.pm.eviction = EvictionPolicy::Random { prob_log2: 6 };
+        cfg.pm.seed = 0x5eed_0000 + round;
+        let tm = Spht::new(cfg.clone());
+        let committed: Mutex<Vec<(u64, u64)>> = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for t in 0..2usize {
+                let committed = &committed;
+                let tm = &tm;
+                s.spawn(move || {
+                    tm::crash::run_crashable(|| {
+                        for i in 1..u64::MAX {
+                            let slot = 1 + t as u64;
+                            if txn(tm, t, |tx| tx.write(Addr(slot), i)).is_ok() {
+                                committed.lock().unwrap().push((slot, i));
+                            } else {
+                                break;
+                            }
+                        }
+                    });
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(15));
+            tm.crash();
+        });
+        let rec = Spht::recover(cfg, &tm.crash_image());
+        for (slot, v) in committed.into_inner().unwrap() {
+            let got = rec.read_raw(Addr(slot));
+            assert!(
+                got >= v,
+                "round {round} slot {slot}: durable {got} older than committed {v}"
+            );
+        }
     }
 }
 

@@ -24,7 +24,7 @@
 
 use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
-use pmem::annot::AnnotLayout;
+use pmem::annot::{AnnotLayout, PVER_COUNT_TRUSTED};
 use pmem::pool::{DurableImage, PmemConfig};
 use pmem::{AnnotPmem, Meta};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -83,6 +83,9 @@ struct ThreadState {
     /// The commit version drawn at prepare time (locks are stamped with it
     /// at release, whichever way the decision goes).
     pwv: u64,
+    /// Scratch for the group-commit flush pass: distinct entry lines of the
+    /// write set, flushed once each instead of once per entry.
+    flush_lines: Vec<usize>,
 }
 
 /// The TrinityVR-TL2 persistent STM.
@@ -140,6 +143,7 @@ impl Trinity {
                     prepared: false,
                     pundo: Vec::with_capacity(64),
                     pwv: 0,
+                    flush_lines: Vec::with_capacity(64),
                 }))
             })
             .collect();
@@ -191,16 +195,24 @@ impl Trinity {
             max_threads: cfg.max_threads,
         };
         let stats = Arc::new(TmStats::new(cfg.max_threads));
-        let pvers: Vec<u64> = (0..cfg.max_threads)
-            .map(|t| layout.image_pver(image, t))
-            .collect();
+        // Thresholds fold in the counted-marker check: a one-fence commit
+        // whose marker is durable but whose generation is missing pad
+        // witnesses is torn, and the whole generation (threshold - 1 = its
+        // stamp) rolls back. The verdicts are pinned durably before any
+        // neutralization destroys the evidence they came from.
+        let pvers = layout.revert_thresholds(image);
         let tm = Self::build(cfg, stats, Some(image), &pvers);
+        tm.pmem.pin_recovery_verdicts(image, &pvers);
         for a in 0..tm.cfg.heap_words {
             let (data, back, meta) = layout.image_entry(image, a);
-            let incomplete = meta.tid() < tm.cfg.max_threads && meta.ver() >= pvers[meta.tid()];
+            let incomplete =
+                meta.0 != 0 && meta.tid() < tm.cfg.max_threads && meta.ver() >= pvers[meta.tid()];
             let value = if incomplete { back } else { data };
-            if incomplete && data != back {
-                tm.pmem.recovery_store(a, back);
+            if incomplete {
+                // Durable roll-back *and* stamp clearing: a stale `{tid, v}`
+                // with its pad witness intact would be miscounted as part of
+                // that thread's next counted commit.
+                tm.pmem.recovery_neutralize(a, back);
             }
             tm.vol[a].store(value, Ordering::Relaxed);
         }
@@ -322,22 +334,47 @@ impl Trinity {
                 }
             }
         }
-        // Persist (Trinity) and apply the write set, then release locks
-        // stamped with the commit version wv.
+        // Persist (Trinity) and apply the write set as a one-fence group
+        // commit — coalesced flush pass, counted marker, single fence —
+        // then release locks stamped with the commit version wv.
         let _psan = self.pmem.pool().psan_scope(tid, "trinity::commit");
+        self.pmem
+            .preserve_witnesses(tid, ts.wset.iter().map(|&(a, _)| a as usize));
         let meta = Meta::pack(tid, ts.pver);
+        ts.flush_lines.clear();
         for &(a, val) in ts.wset.iter() {
             let old = self.vol[a as usize].load(Ordering::Acquire);
-            self.pmem.persist_entry(tid, a as usize, old, val, meta);
+            self.pmem.stage_entry(tid, a as usize, old, val, meta);
+            ts.flush_lines.push(self.pmem.entry_line(a as usize));
             self.vol[a as usize].store(val, Ordering::Release);
         }
-        self.pmem.sfence(tid);
+        self.pmem.flush_lines(tid, &mut ts.flush_lines);
         ts.pver += 1;
-        self.pmem.persist_pver(tid, ts.pver);
-        self.pmem.sfence(tid);
+        self.persist_commit_marker(tid, ts.pver, ts.wset.len() as u64, meta);
         self.release(&ts.acquired, Some(wv << 1));
         ts.acquired.clear();
         true
+    }
+
+    /// Make the commit of an already-staged-and-flushed (but unfenced)
+    /// generation durable. Normally a *counted* marker plus ONE fence —
+    /// recovery tells a torn commit from a complete one by counting the
+    /// generation's durable pad witnesses. Falls back to the legacy
+    /// two-fence order when the generation stamp packs to zero (thread
+    /// 0's first commit) or the write set overflows the count field.
+    fn persist_commit_marker(&self, tid: usize, pver: u64, count: u64, gen: Meta) {
+        debug_assert!(count > 0);
+        if gen.0 != 0 && count < PVER_COUNT_TRUSTED {
+            self.pmem.persist_pver_counted(tid, pver, count);
+            self.pmem.sfence(tid);
+            self.pmem
+                .pool()
+                .durability_point(tid, "trinity::commit_durable");
+        } else {
+            self.pmem.sfence(tid);
+            self.pmem.persist_pver(tid, pver);
+            self.pmem.sfence(tid);
+        }
     }
 
     /// One *prepare* attempt: like [`Trinity::attempt`] but stops the
@@ -434,14 +471,19 @@ impl Trinity {
         // Stage the writes durably *below* the current pver: a crash before
         // the decision recovers them as incomplete and rolls them back.
         let _psan = self.pmem.pool().psan_scope(tid, "trinity::prepare");
+        self.pmem
+            .preserve_witnesses(tid, ts.wset.iter().map(|&(a, _)| a as usize));
         ts.pundo.clear();
+        ts.flush_lines.clear();
         let meta = Meta::pack(tid, ts.pver);
         for &(a, val) in ts.wset.iter() {
             let old = self.vol[a as usize].load(Ordering::Acquire);
             ts.pundo.push((a, old));
-            self.pmem.persist_entry(tid, a as usize, old, val, meta);
+            self.pmem.stage_entry(tid, a as usize, old, val, meta);
+            ts.flush_lines.push(self.pmem.entry_line(a as usize));
             self.vol[a as usize].store(val, Ordering::Release);
         }
+        self.pmem.flush_lines(tid, &mut ts.flush_lines);
         self.pmem.sfence(tid);
         // The coordinator may record its durable decision as soon as
         // `prepare` returns: every staged entry must already be fenced.
@@ -508,11 +550,23 @@ impl TmPrepare for Trinity {
         // pver bump by this thread cannot resurrect the aborted writes.
         let _psan = self.pmem.pool().psan_scope(tid, "trinity::abort_prepared");
         let meta = Meta::pack(tid, ts.pver);
+        ts.flush_lines.clear();
         for &(a, old) in ts.pundo.iter() {
             self.vol[a as usize].store(old, Ordering::Release);
-            self.pmem.persist_entry(tid, a as usize, old, old, meta);
+            self.pmem.stage_entry(tid, a as usize, old, old, meta);
+            ts.flush_lines.push(self.pmem.entry_line(a as usize));
         }
+        self.pmem.flush_lines(tid, &mut ts.flush_lines);
         self.pmem.sfence(tid);
+        // Consume the generation the aborted entries are stamped with: a
+        // trusted marker pushes the durable pver past them so they are
+        // neither resurrected by recovery nor miscounted as witnesses of
+        // this thread's *next* (counted, one-fence) commit.
+        if !ts.pundo.is_empty() {
+            ts.pver += 1;
+            self.pmem.persist_pver(tid, ts.pver);
+            self.pmem.sfence(tid);
+        }
         self.release(&ts.acquired, Some(ts.pwv << 1));
         ts.acquired.clear();
         self.alloc.abort(tid, &mut ts.alloc_log);

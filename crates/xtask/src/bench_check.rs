@@ -9,7 +9,11 @@
 //! in-flight depth. `--min-depth N` additionally requires
 //! `summary.max_in_flight >= N` — the acceptance gate proving the
 //! open-loop generator actually sustained N requests in flight from a
-//! single submitting thread.
+//! single submitting thread. `--max-flushes-per-op X` requires every
+//! cell that committed work to stay at or under X flushes per committed
+//! op — the persist-path efficiency gate: a regression that re-inflates
+//! flush traffic (losing the group-commit coalescing) fails CI like a
+//! latency regression would.
 //!
 //! Dependency-free by design (the workspace has no serde): a ~100-line
 //! recursive-descent parser over the JSON subset the bench emits.
@@ -255,7 +259,7 @@ fn require_num(v: &Val, path: &str, errors: &mut Vec<String>) -> f64 {
 
 /// Validate one parsed artifact against the `kvserve-bench-v1` schema.
 /// Returns the violations (empty = valid).
-pub fn validate(doc: &Val, min_depth: Option<u64>) -> Vec<String> {
+pub fn validate(doc: &Val, min_depth: Option<u64>, max_flushes: Option<f64>) -> Vec<String> {
     let mut errors = Vec::new();
     match doc.get("schema").and_then(Val::str) {
         Some("kvserve-bench-v1") => {}
@@ -293,9 +297,19 @@ pub fn validate(doc: &Val, min_depth: Option<u64>) -> Vec<String> {
                         _ => cell_errors.push(format!("missing `latency_us.{q}`")),
                     }
                 }
-                require_num(cell, "persist.flushes_per_op", &mut cell_errors);
+                let flushes = require_num(cell, "persist.flushes_per_op", &mut cell_errors);
                 require_num(cell, "persist.fences_per_op", &mut cell_errors);
                 require_num(cell, "max_in_flight", &mut cell_errors);
+                if let Some(max) = max_flushes {
+                    // Idle cells report 0 and pass trivially; NaN from a
+                    // missing field is already an error above.
+                    if flushes > max {
+                        cell_errors.push(format!(
+                            "persist.flushes_per_op = {flushes} above \
+                             required --max-flushes-per-op {max}"
+                        ));
+                    }
+                }
                 errors.extend(cell_errors.into_iter().map(|e| format!("cell {i}: {e}")));
             }
         }
@@ -316,6 +330,7 @@ pub fn validate(doc: &Val, min_depth: Option<u64>) -> Vec<String> {
 pub fn run(args: &[String]) -> ExitCode {
     let mut files = Vec::new();
     let mut min_depth = None;
+    let mut max_flushes = None;
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--min-depth" {
@@ -325,13 +340,23 @@ pub fn run(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
             i += 2;
+        } else if args[i] == "--max-flushes-per-op" {
+            max_flushes = args.get(i + 1).and_then(|s| s.parse().ok());
+            if max_flushes.is_none() {
+                eprintln!("--max-flushes-per-op needs a number");
+                return ExitCode::FAILURE;
+            }
+            i += 2;
         } else {
             files.push(args[i].clone());
             i += 1;
         }
     }
     if files.is_empty() {
-        eprintln!("usage: cargo xtask check-bench FILE... [--min-depth N]");
+        eprintln!(
+            "usage: cargo xtask check-bench FILE... [--min-depth N] \
+             [--max-flushes-per-op X]"
+        );
         return ExitCode::FAILURE;
     }
     let mut failed = false;
@@ -345,7 +370,7 @@ pub fn run(args: &[String]) -> ExitCode {
             }
         };
         let errors = match parse(&text) {
-            Ok(doc) => validate(&doc, min_depth),
+            Ok(doc) => validate(&doc, min_depth, max_flushes),
             Err(e) => vec![format!("not valid JSON: {e}")],
         };
         if errors.is_empty() {
@@ -390,17 +415,30 @@ mod tests {
     #[test]
     fn valid_artifact_passes() {
         let v = parse(&doc(4096)).unwrap();
-        assert_eq!(validate(&v, None), Vec::<String>::new());
-        assert_eq!(validate(&v, Some(1024)), Vec::<String>::new());
+        assert_eq!(validate(&v, None, None), Vec::<String>::new());
+        assert_eq!(validate(&v, Some(1024), None), Vec::<String>::new());
     }
 
     #[test]
     fn min_depth_gate_enforced() {
         let v = parse(&doc(512)).unwrap();
-        assert!(validate(&v, None).is_empty());
-        let errs = validate(&v, Some(1024));
+        assert!(validate(&v, None, None).is_empty());
+        let errs = validate(&v, Some(1024), None);
         assert_eq!(errs.len(), 1);
         assert!(errs[0].contains("below required"), "{errs:?}");
+    }
+
+    #[test]
+    fn max_flushes_gate_enforced() {
+        // The fixture cell reports 1.29 flushes per op.
+        let v = parse(&doc(4096)).unwrap();
+        assert!(validate(&v, None, Some(4.0)).is_empty());
+        let errs = validate(&v, None, Some(1.0));
+        assert_eq!(errs.len(), 1);
+        assert!(
+            errs[0].contains("above required --max-flushes-per-op"),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -412,7 +450,7 @@ mod tests {
   "summary": {"max_in_flight": 8},
   "cells": [{"tput_ops_per_sec": 100, "max_in_flight": 8, "latency_us": {"p50": 1}}]
 }"#;
-        let errs = validate(&parse(text).unwrap(), None);
+        let errs = validate(&parse(text).unwrap(), None, None);
         assert!(
             errs.iter().any(|e| e.contains("latency_us.p95")),
             "{errs:?}"
@@ -426,7 +464,7 @@ mod tests {
     #[test]
     fn wrong_schema_and_empty_cells_flagged() {
         let text = r#"{"schema": "v0", "mode": "open-loop", "cells": []}"#;
-        let errs = validate(&parse(text).unwrap(), None);
+        let errs = validate(&parse(text).unwrap(), None, None);
         assert!(errs.iter().any(|e| e.contains("unknown schema")));
         assert!(errs.iter().any(|e| e.contains("cells")));
     }

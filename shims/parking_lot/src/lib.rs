@@ -1,8 +1,8 @@
 //! Offline stand-in for the crates.io `parking_lot` crate.
 //!
-//! Provides `Mutex` and `RwLock` with parking_lot's signatures (no lock
-//! poisoning: `lock()` returns the guard directly) implemented over the
-//! std primitives. A poisoned std lock means a thread panicked while
+//! Provides `Mutex`, `RwLock`, and `Condvar` with parking_lot's
+//! signatures (no lock poisoning: `lock()` returns the guard directly)
+//! implemented over the std primitives. A poisoned std lock means a thread panicked while
 //! holding the guard; this workspace's crash simulation unwinds worker
 //! threads deliberately (see `tm::crash`), so the shim — like parking_lot
 //! itself — treats that as a normal release and hands the lock out again.
@@ -18,8 +18,11 @@ pub struct Mutex<T: ?Sized> {
 }
 
 /// RAII guard for [`Mutex`].
+///
+/// The guard is held in an `Option` only so [`Condvar::wait`] can move
+/// it through std's consuming `wait`; it is `Some` at all other times.
 pub struct MutexGuard<'a, T: ?Sized> {
-    inner: sync::MutexGuard<'a, T>,
+    inner: Option<sync::MutexGuard<'a, T>>,
 }
 
 impl<T> Mutex<T> {
@@ -46,15 +49,15 @@ impl<T: ?Sized> Mutex<T> {
             Ok(g) => g,
             Err(p) => p.into_inner(),
         };
-        MutexGuard { inner }
+        MutexGuard { inner: Some(inner) }
     }
 
     /// Attempts to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: g }),
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
             Err(TryLockError::Poisoned(p)) => Some(MutexGuard {
-                inner: p.into_inner(),
+                inner: Some(p.into_inner()),
             }),
             Err(TryLockError::WouldBlock) => None,
         }
@@ -73,13 +76,52 @@ impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
 
     fn deref(&self) -> &T {
-        &self.inner
+        self.inner.as_deref().expect("guard holds the lock")
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.inner
+        self.inner.as_deref_mut().expect("guard holds the lock")
+    }
+}
+
+/// A condition variable with `parking_lot::Condvar`'s signatures:
+/// `wait` re-borrows the guard instead of consuming it, and there is no
+/// poison plumbing.
+#[derive(Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Condvar {
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until another thread notifies this condvar, atomically
+    /// releasing (and on wake re-acquiring) the mutex behind `guard`.
+    /// Spurious wake-ups are possible, as with any condvar.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.inner.take().expect("guard holds the lock");
+        let g = match self.inner.wait(g) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        guard.inner = Some(g);
+    }
+
+    /// Wakes one blocked waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every blocked waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
     }
 }
 

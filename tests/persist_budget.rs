@@ -1,0 +1,88 @@
+//! Persist-path budget tests: hard upper bounds on the flushes and
+//! fences a single no-conflict committed put may issue on each backend,
+//! measured as `TmStats` deltas. A regression that re-inflates the
+//! persist path (an extra per-entry flush, a second commit fence, a
+//! redundant marker write-back) fails here in `cargo test`, not just in
+//! the bench gate.
+//!
+//! Budgets (steady state, after a warm-up commit — a thread's *first*
+//! commit may take the legacy two-fence marker path because its
+//! generation stamp is indistinguishable from freshly zeroed memory):
+//!
+//! | backend | flushes | fences | why |
+//! |---------|---------|--------|-----|
+//! | NV-HALT | 2       | 1      | one coalesced entry-line pass + the counted commit marker, one post-marker fence |
+//! | Trinity | 2       | 1      | same counted one-fence protocol over its redo entries |
+//! | SPHT    | 4       | 3      | record body+truncation pass, validity marker (fence each), marker-word advance (fence) — the paper's 2-fence-per-commit baseline plus marker traffic |
+
+use nv_halt::prelude::*;
+use nvhalt::NvHaltConfig;
+use tm::stats::Counter;
+
+/// Flush/fence deltas for one committed put after `warmup` prior puts.
+fn put_cost<T: Tm>(tm: &T, warmup: u64) -> (u64, u64) {
+    for i in 0..warmup {
+        txn(tm, 0, |tx| tx.write(Addr(1 + i), i + 1)).unwrap();
+    }
+    let before = tm.stats();
+    txn(tm, 0, |tx| tx.write(Addr(100), 7)).unwrap();
+    let after = tm.stats();
+    (
+        after.get(Counter::Flush) - before.get(Counter::Flush),
+        after.get(Counter::Fence) - before.get(Counter::Fence),
+    )
+}
+
+#[test]
+fn nvhalt_put_budget() {
+    let tm = NvHalt::new(NvHaltConfig::test(1 << 10, 1));
+    let (flushes, fences) = put_cost(&tm, 2);
+    assert!(
+        flushes <= 2 && fences <= 1,
+        "NV-HALT no-conflict put: {flushes} flushes / {fences} fences \
+         (budget 2 / 1)"
+    );
+}
+
+#[test]
+fn trinity_put_budget() {
+    let tm = Trinity::new(TrinityConfig::test(1 << 10, 1));
+    let (flushes, fences) = put_cost(&tm, 2);
+    assert!(
+        flushes <= 2 && fences <= 1,
+        "Trinity no-conflict put: {flushes} flushes / {fences} fences \
+         (budget 2 / 1)"
+    );
+}
+
+#[test]
+fn spht_put_budget() {
+    let tm = Spht::new(SphtConfig::test(1 << 10, 1));
+    let (flushes, fences) = put_cost(&tm, 2);
+    assert!(
+        flushes <= 4 && fences <= 3,
+        "SPHT no-conflict put: {flushes} flushes / {fences} fences \
+         (budget 4 / 3)"
+    );
+}
+
+/// The warm-up commit itself is allowed the legacy two-fence path, but
+/// never more: even a cold thread's first put stays within one extra
+/// fence of the steady-state budget on the counted-marker backends.
+#[test]
+fn first_commit_budget() {
+    let tm = NvHalt::new(NvHaltConfig::test(1 << 10, 1));
+    let (flushes, fences) = put_cost(&tm, 0);
+    assert!(
+        flushes <= 2 && fences <= 2,
+        "NV-HALT first put: {flushes} flushes / {fences} fences \
+         (budget 2 / 2)"
+    );
+    let tm = Trinity::new(TrinityConfig::test(1 << 10, 1));
+    let (flushes, fences) = put_cost(&tm, 0);
+    assert!(
+        flushes <= 2 && fences <= 2,
+        "Trinity first put: {flushes} flushes / {fences} fences \
+         (budget 2 / 2)"
+    );
+}

@@ -153,6 +153,7 @@ fn store_into_an_already_flushed_entry_is_reported() {
     p.write_role(0, 9, 3, EntryRole::Back);
     p.write_role(0, 10, 42, EntryRole::Meta);
     p.write_role(0, 8, 11, EntryRole::Data);
+    p.write_role(0, 11, 42, EntryRole::Pad);
     p.flush_line(0, 8);
     // Mutating the entry after its flush (before the fence closes the
     // epoch) silently reorders against the flush.
@@ -178,11 +179,13 @@ fn fence_closes_entry_epochs() {
     p.write_role(0, 9, 3, EntryRole::Back);
     p.write_role(0, 10, 42, EntryRole::Meta);
     p.write_role(0, 8, 11, EntryRole::Data);
+    p.write_role(0, 11, 42, EntryRole::Pad);
     p.flush_line(0, 8);
     p.sfence(0);
     p.write_role(0, 9, 4, EntryRole::Back);
     p.write_role(0, 10, 43, EntryRole::Meta);
     p.write_role(0, 8, 12, EntryRole::Data);
+    p.write_role(0, 11, 43, EntryRole::Pad);
     p.flush_line(0, 8);
     p.sfence(0);
     assert!(drain(&p).is_empty());
