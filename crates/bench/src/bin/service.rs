@@ -380,6 +380,16 @@ fn run_cell(sweep: &Sweep, mix: Mix, shards: usize, batch: usize) -> Json {
         per_commit(flushes),
         per_commit(fences),
     );
+    // Lock-discipline observability: fast-path stripe contention always;
+    // held-lock depth and service-lock contention when locksan is on.
+    if snap.lock_held_hwm > 0 || snap.lock_contended > 0 || snap.stripe_contended() > 0 {
+        println!(
+            "  locks: held_hwm={} contended={} stripe_contended={}",
+            snap.lock_held_hwm,
+            snap.lock_contended,
+            snap.stripe_contended(),
+        );
+    }
     if snap.coordinator.cross_batches > 0 {
         println!("  {}", snap.coordinator);
     }
@@ -427,6 +437,13 @@ fn run_cell(sweep: &Sweep, mix: Mix, shards: usize, batch: usize) -> Json {
                 .field("flushes_per_op", per_op(flushes))
                 .field("redundant_flushes", redundant)
                 .field("fences_per_op", per_op(fences)),
+        )
+        .field(
+            "locks",
+            Json::obj()
+                .field("held_hwm", snap.lock_held_hwm)
+                .field("contended", snap.lock_contended)
+                .field("stripe_contended", snap.stripe_contended()),
         )
 }
 
@@ -909,6 +926,13 @@ fn run_open_cell(sweep: &Sweep, mix: Mix, shards: usize, batch: usize, rate: f64
                 .field("flushes_per_op", per_op(flushes))
                 .field("redundant_flushes", redundant)
                 .field("fences_per_op", per_op(fences)),
+        )
+        .field(
+            "locks",
+            Json::obj()
+                .field("held_hwm", snap.lock_held_hwm)
+                .field("contended", snap.lock_contended)
+                .field("stripe_contended", snap.stripe_contended()),
         )
 }
 

@@ -139,7 +139,7 @@ impl NvHalt {
     ) -> Vec<CachePadded<Mutex<ThreadState>>> {
         (0..cfg.max_threads)
             .map(|t| {
-                CachePadded::new(Mutex::new(ThreadState {
+                let cell = CachePadded::new(Mutex::new(ThreadState {
                     htm_th: HtmThread::new(htm, t),
                     rset: Vec::with_capacity(256),
                     wset: Vec::with_capacity(64),
@@ -152,7 +152,12 @@ impl NvHalt {
                     prepared: false,
                     pundo: Vec::with_capacity(64),
                     flush_lines: Vec::with_capacity(64),
-                }))
+                }));
+                // Commit persists the wset while this cell is held — by
+                // design (the cell *is* the transaction), so exempt it
+                // from the lock-across-persist rule.
+                cell.locksan_label("nvhalt::thread_state", true);
+                cell
             })
             .collect()
     }
@@ -432,6 +437,10 @@ impl NvHalt {
 
         // Acquire write-set locks by CAS from the encounter value.
         ts.acquired.clear();
+        // A fresh acquisition sequence: clears any stale stripe state a
+        // crash unwind left behind mid-commit.
+        #[cfg(feature = "locksan")]
+        locksan::on_stripe_release_all();
         for e in &ts.wset {
             let cell = self.heap.lock_cell(e.addr as usize);
             if let Some(&(_, pre)) = ts
@@ -449,8 +458,20 @@ impl NvHalt {
                 continue;
             }
             match self.htm.nt_cas(cell, e.enc.0, e.enc.sw_acquired(tid).0) {
-                Ok(_) => ts.acquired.push((e.addr, e.enc)),
+                Ok(_) => {
+                    // Strong sorts the wset by the canonical key, so the
+                    // distinct cells acquired here must rank upward; Weak
+                    // try-locks unordered and claims nothing.
+                    #[cfg(feature = "locksan")]
+                    locksan::on_stripe_acquire(
+                        cell as *const AtomicU64 as usize as u64,
+                        self.cfg.progress == Progress::Strong,
+                        "nvhalt::sw_commit",
+                    );
+                    ts.acquired.push((e.addr, e.enc))
+                }
                 Err(_) => {
+                    self.stats.bump(tid, Counter::StripeContended);
                     self.sw_release(ts, false);
                     return Err(());
                 }
@@ -536,6 +557,8 @@ impl NvHalt {
             self.htm.nt_store(cell, word.0);
         }
         ts.acquired.clear();
+        #[cfg(feature = "locksan")]
+        locksan::on_stripe_release_all();
     }
 
     // ------------------------------------------------------------------
@@ -629,6 +652,8 @@ impl NvHalt {
             .collect();
         plan.sort_unstable_by_key(|&(cell, addr, _)| (cell, addr));
         ts.acquired.clear();
+        #[cfg(feature = "locksan")]
+        locksan::on_stripe_release_all();
         let mut last_cell: Option<(usize, LockWord)> = None;
         for &(cell_id, addr, enc) in &plan {
             if let Some((lc, lenc)) = last_cell {
@@ -646,8 +671,15 @@ impl NvHalt {
             last_cell = Some((cell_id, enc));
             let cell = heap.lock_cell(addr as usize);
             match self.htm.nt_cas(cell, enc.0, enc.sw_acquired(tid).0) {
-                Ok(_) => ts.acquired.push((addr, enc)),
+                Ok(_) => {
+                    // The plan is always (cell, addr)-sorted: preparers
+                    // claim canonical order regardless of progress mode.
+                    #[cfg(feature = "locksan")]
+                    locksan::on_stripe_acquire(cell_id as u64, true, "nvhalt::sw_prepare");
+                    ts.acquired.push((addr, enc))
+                }
                 Err(_) => {
+                    self.stats.bump(tid, Counter::StripeContended);
                     self.sw_release(ts, false);
                     return Err(());
                 }

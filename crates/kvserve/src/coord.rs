@@ -198,7 +198,7 @@ impl Coordinator {
     }
 
     fn assemble(log: Arc<NvHalt>, head: Addr, route: Addr, next_txid: u64) -> Coordinator {
-        Coordinator {
+        let co = Coordinator {
             log,
             head,
             route,
@@ -208,7 +208,11 @@ impl Coordinator {
             group_cv: Condvar::new(),
             metrics: Arc::new(CoordinatorMetrics::new()),
             hook: Mutex::new(None),
-        }
+        };
+        co.free.locksan_label("coord::free", false);
+        co.group.locksan_label("coord::group", false);
+        co.hook.locksan_label("coord::hook", false);
+        co
     }
 
     /// Durably (re)write the routing root as **one committed

@@ -357,6 +357,19 @@ impl RoutingTable {
 /// the migration drains those queues after installing epoch E+1, so
 /// every in-ring request submitted under the old table is re-routed (or
 /// answered [`ServeError::Rerouted`]) deterministically.
+/// (held-lock high-water mark, contended blocking acquisitions) from
+/// the lock-discipline sanitizer, for the observability snapshot.
+#[cfg(feature = "locksan")]
+fn lock_counters() -> (u64, u64) {
+    (locksan::held_hwm(), locksan::contended_acquires())
+}
+
+/// Lock counters read zero without the `locksan` feature.
+#[cfg(not(feature = "locksan"))]
+fn lock_counters() -> (u64, u64) {
+    (0, 0)
+}
+
 pub(crate) struct Router {
     inner: parking_lot::Mutex<RouterInner>,
 }
@@ -370,9 +383,11 @@ pub(crate) struct RouterInner {
 
 impl Router {
     pub fn new(inner: RouterInner) -> Router {
-        Router {
+        let r = Router {
             inner: parking_lot::Mutex::new(inner),
-        }
+        };
+        r.inner.locksan_label("service::router", false);
+        r
     }
 
     /// A coherent `(table, lanes, xqueue)` snapshot.
@@ -771,6 +786,21 @@ impl Service {
         out
     }
 
+    /// Drain the lock-discipline sanitizer's reports. Always empty
+    /// without the `locksan` feature (or with the sanitizer off). Test
+    /// plumbing: crash suites assert this stays empty too.
+    #[cfg(feature = "locksan")]
+    pub fn locksan_reports(&self) -> Vec<locksan::Report> {
+        locksan::take_reports()
+    }
+
+    /// Drain the lock-discipline sanitizer's reports (always empty: the
+    /// `locksan` feature is disabled).
+    #[cfg(not(feature = "locksan"))]
+    pub fn locksan_reports(&self) -> Vec<String> {
+        Vec::new()
+    }
+
     /// Install (or clear) the replication crash-injection hook: called at
     /// every [`ReplStep`]. At the worker steps a `true` poisons the
     /// *primary* pools (the failure failover exists for); at the shipper
@@ -920,6 +950,8 @@ impl Service {
                     })
                     .collect(),
             }),
+            lock_held_hwm: lock_counters().0,
+            lock_contended: lock_counters().1,
         }
     }
 

@@ -10,7 +10,7 @@ use crossbeam::utils::CachePadded;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
-use tm::stats::StatsSnapshot;
+use tm::stats::{Counter, StatsSnapshot};
 
 /// Number of latency buckets: 16 exact sub-16 ns buckets plus 4 buckets
 /// per power of two up to 2^63 ns.
@@ -668,6 +668,13 @@ pub struct ServiceSnapshot {
     pub ring: RingSnapshot,
     /// Replication watermarks, when replication is on.
     pub replication: Option<ReplSnapshot>,
+    /// Deepest tracked held-lock stack any thread reached (locksan's
+    /// held-lock high-water mark). Zero unless built with `--features
+    /// locksan` and the sanitizer is on.
+    pub lock_held_hwm: u64,
+    /// Blocking shim-lock acquisitions that found their lock contended
+    /// (locksan's contended-acquire count). Zero unless locksan is on.
+    pub lock_contended: u64,
 }
 
 impl ServiceSnapshot {
@@ -702,6 +709,15 @@ impl ServiceSnapshot {
             });
         }
         merged.and_then(|m| m.quantile(q))
+    }
+
+    /// Stripe-lock CAS acquisitions that lost to another owner across
+    /// all shards' TMs (the fast path's fine-grained lock contention).
+    pub fn stripe_contended(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.tm.get(Counter::StripeContended))
+            .sum()
     }
 
     /// Aborted TM attempts per committed TM transaction, service-wide.
@@ -785,6 +801,15 @@ impl fmt::Display for ServiceSnapshot {
         }
         if let Some(repl) = &self.replication {
             writeln!(f, "{repl}")?;
+        }
+        if self.lock_held_hwm > 0 || self.lock_contended > 0 || self.stripe_contended() > 0 {
+            writeln!(
+                f,
+                "locks: held_hwm={} contended={} stripe_contended={}",
+                self.lock_held_hwm,
+                self.lock_contended,
+                self.stripe_contended(),
+            )?;
         }
         write!(
             f,

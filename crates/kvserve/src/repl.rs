@@ -66,9 +66,9 @@
 
 use crate::ServiceConfig;
 use nvhalt::{NvHalt, NvHaltConfig};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tm::{Abort, Addr, Tm, Txn};
@@ -824,7 +824,7 @@ pub(crate) struct ShipState {
     pub settling: AtomicBool,
     /// Highest primary-log LSN already retired by the amortized trim.
     trimmed: AtomicU64,
-    lock: StdMutex<()>,
+    lock: Mutex<()>,
     cv: Condvar,
 }
 
@@ -838,7 +838,7 @@ const PRIMARY_TRIM_BATCH: u64 = 8;
 
 impl ShipState {
     fn new() -> ShipState {
-        ShipState {
+        let state = ShipState {
             appended: AtomicU64::new(0),
             received: AtomicU64::new(0),
             applied: AtomicU64::new(0),
@@ -847,14 +847,16 @@ impl ShipState {
             dirty: AtomicBool::new(false),
             settling: AtomicBool::new(false),
             trimmed: AtomicU64::new(0),
-            lock: StdMutex::new(()),
+            lock: Mutex::new(()),
             cv: Condvar::new(),
-        }
+        };
+        state.lock.locksan_label("repl::ship_state", false);
+        state
     }
 
     /// Wake every waiter (ack waiters and the shipper).
     pub fn notify_all(&self) {
-        drop(self.lock.lock().unwrap());
+        drop(self.lock.lock());
         self.cv.notify_all();
     }
 
@@ -878,7 +880,7 @@ impl ShipState {
             if now >= deadline {
                 return false;
             }
-            let guard = self.lock.lock().unwrap();
+            let mut guard = self.lock.lock();
             if self.received.load(Ordering::Acquire) >= lsn {
                 return true;
             }
@@ -886,17 +888,17 @@ impl ShipState {
                 return false;
             }
             let wait = (deadline - now).min(Duration::from_millis(5));
-            let _ = self.cv.wait_timeout(guard, wait).unwrap();
+            let _ = self.cv.wait_for(&mut guard, wait);
         }
     }
 
     /// Shipper-side wait: until new work, a stop, or `interval`.
     fn wait_work(&self, interval: Duration, stop: &AtomicBool) {
-        let guard = self.lock.lock().unwrap();
+        let mut guard = self.lock.lock();
         if self.dirty.swap(false, Ordering::AcqRel) || stop.load(Ordering::Acquire) {
             return;
         }
-        let _ = self.cv.wait_timeout(guard, interval).unwrap();
+        let _ = self.cv.wait_for(&mut guard, interval);
         self.dirty.store(false, Ordering::Release);
     }
 }
@@ -964,7 +966,7 @@ impl ReplRuntime {
                 Arc::new(st)
             })
             .collect();
-        ReplRuntime {
+        let rt = ReplRuntime {
             primaries,
             decision_log,
             followers: followers.into_iter().map(|f| Mutex::new(Some(f))).collect(),
@@ -974,7 +976,15 @@ impl ReplRuntime {
             ship_interval: cfg.ship_interval,
             ship_coalesce: cfg.ship_coalesce,
             ship_tid: cfg.workers_per_shard + cfg.coordinators,
+        };
+        for f in &rt.followers {
+            // The shipper commits follower transactions (persists) while
+            // the cell is held — that *is* the cell's job; exempt it
+            // from the lock-across-persist rule.
+            f.locksan_label("repl::follower_cell", true);
         }
+        rt.hook.locksan_label("repl::hook", false);
+        rt
     }
 
     /// The primary-side power failure: poison every shard pool and the

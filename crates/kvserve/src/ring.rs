@@ -34,10 +34,10 @@ use crate::metrics::RingMetrics;
 use crate::shard::ShardRequest;
 use crate::{op_key, Reply, Router, ServeError, XRequest};
 use crossbeam::channel::{Sender, TrySendError};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use txstructs::MapOp;
 
@@ -93,14 +93,14 @@ pub(crate) struct RingShared {
     free: Mutex<Vec<u32>>,
     /// Reap queue of completed slot indices; paired with `cv` so
     /// `wait`-ers learn about deliveries.
-    done: StdMutex<VecDeque<u32>>,
+    done: Mutex<VecDeque<u32>>,
     cv: Condvar,
     metrics: Arc<RingMetrics>,
 }
 
 impl RingShared {
     fn new(slots: usize, metrics: Arc<RingMetrics>) -> RingShared {
-        RingShared {
+        let shared = RingShared {
             slots: (0..slots)
                 .map(|_| {
                     Mutex::new(Slot {
@@ -110,10 +110,16 @@ impl RingShared {
                 })
                 .collect(),
             free: Mutex::new((0..slots as u32).rev().collect()),
-            done: StdMutex::new(VecDeque::new()),
+            done: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
             metrics,
+        };
+        for s in &shared.slots {
+            s.locksan_label("ring::slot", false);
         }
+        shared.free.locksan_label("ring::free", false);
+        shared.done.locksan_label("ring::done", false);
+        shared
     }
 
     /// Take a free slot and mark it in flight. `None` means RingFull.
@@ -175,7 +181,7 @@ impl RingShared {
             self.free.lock().push(slot);
             self.metrics.vacate_reaped();
         } else {
-            let mut done = self.done.lock().unwrap();
+            let mut done = self.done.lock();
             done.push_back(slot);
             drop(done);
             self.cv.notify_all();
@@ -440,7 +446,7 @@ impl Ring {
     /// Reap one completion, if any is ready. Non-blocking.
     pub fn complete(&self) -> Option<Completion> {
         loop {
-            let idx = self.shared.done.lock().unwrap().pop_front()?;
+            let idx = self.shared.done.lock().pop_front()?;
             // A stale entry (its completion was taken by `wait`) skips.
             if let Some(c) = self.shared.try_reap(idx) {
                 return Some(c);
@@ -504,14 +510,14 @@ impl Ring {
                 }
             }
             // Sleep until a delivery (bounded, to recheck the deadline).
-            let guard = self.shared.done.lock().unwrap();
+            let mut guard = self.shared.done.lock();
             let wait = match deadline {
                 Some(d) => d
                     .saturating_duration_since(Instant::now())
                     .min(Duration::from_millis(5)),
                 None => Duration::from_millis(5),
             };
-            let _ = self.shared.cv.wait_timeout(guard, wait).unwrap();
+            let _ = self.shared.cv.wait_for(&mut guard, wait);
         }
     }
 }
@@ -550,7 +556,7 @@ mod tests {
         let t = sh.acquire(Instant::now()).unwrap();
         let s = sink(&sh, t);
         s.send(Ok(vec![Some(7)]));
-        let idx = sh.done.lock().unwrap().pop_front().unwrap();
+        let idx = sh.done.lock().pop_front().unwrap();
         let c = sh.try_reap(idx).unwrap();
         assert_eq!(c.ticket, t);
         assert_eq!(c.result, Ok(vec![Some(7)]));
@@ -565,7 +571,7 @@ mod tests {
         let sh = shared(1);
         let t = sh.acquire(Instant::now()).unwrap();
         drop(sink(&sh, t));
-        let idx = sh.done.lock().unwrap().pop_front().unwrap();
+        let idx = sh.done.lock().pop_front().unwrap();
         let c = sh.try_reap(idx).unwrap();
         assert_eq!(c.result, Err(ServeError::Stopped));
     }
@@ -578,9 +584,9 @@ mod tests {
         s.send(Ok(vec![None]));
         s.send(Err(ServeError::Aborted));
         drop(s);
-        let idx = sh.done.lock().unwrap().pop_front().unwrap();
+        let idx = sh.done.lock().pop_front().unwrap();
         assert_eq!(sh.try_reap(idx).unwrap().result, Ok(vec![None]));
-        assert!(sh.done.lock().unwrap().is_empty());
+        assert!(sh.done.lock().is_empty());
     }
 
     #[test]
@@ -591,7 +597,7 @@ mod tests {
         s.defuse();
         drop(s);
         sh.cancel(t);
-        assert!(sh.done.lock().unwrap().is_empty());
+        assert!(sh.done.lock().is_empty());
         assert!(sh.acquire(Instant::now()).is_some());
     }
 
@@ -601,16 +607,16 @@ mod tests {
         let t1 = sh.acquire(Instant::now()).unwrap();
         let s1 = sink(&sh, t1);
         s1.send(Ok(vec![]));
-        let idx = sh.done.lock().unwrap().pop_front().unwrap();
+        let idx = sh.done.lock().pop_front().unwrap();
         sh.try_reap(idx).unwrap();
         let t2 = sh.acquire(Instant::now()).unwrap();
         assert_ne!(t1.seq, t2.seq);
         // A straggler delivery carrying the old seq must not touch t2.
         sh.deliver(t1.slot, t1.seq, Err(ServeError::Aborted));
-        assert!(sh.done.lock().unwrap().is_empty());
+        assert!(sh.done.lock().is_empty());
         let s2 = sink(&sh, t2);
         s2.send(Ok(vec![Some(1)]));
-        let idx = sh.done.lock().unwrap().pop_front().unwrap();
+        let idx = sh.done.lock().pop_front().unwrap();
         assert_eq!(sh.try_reap(idx).unwrap().result, Ok(vec![Some(1)]));
     }
 }

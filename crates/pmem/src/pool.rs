@@ -427,6 +427,8 @@ impl PmemPool {
         if let Some(p) = &self.psan {
             p.on_flush(tid, w);
         }
+        #[cfg(feature = "locksan")]
+        locksan::on_persist("flush");
         if self.mode != PmemMode::Nvram {
             return;
         }
@@ -464,6 +466,8 @@ impl PmemPool {
         if let Some(p) = &self.psan {
             p.on_fence(tid);
         }
+        #[cfg(feature = "locksan")]
+        locksan::on_persist("fence");
         if self.mode != PmemMode::Nvram {
             return;
         }

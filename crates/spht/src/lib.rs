@@ -169,15 +169,19 @@ impl Spht {
             Some(img) => PmemPool::from_durable(&pm_cfg, img, Some(stats.clone())),
         };
         let htm = Htm::new(cfg.htm);
-        let threads = (0..cfg.max_threads)
+        let threads: Vec<CachePadded<Mutex<ThreadState>>> = (0..cfg.max_threads)
             .map(|t| {
-                CachePadded::new(Mutex::new(ThreadState {
+                let cell = CachePadded::new(Mutex::new(ThreadState {
                     htm_th: HtmThread::new(&htm, t),
                     redo: Vec::with_capacity(64),
                     undo: Vec::with_capacity(64),
                     log_head: 0,
                     seed: (t as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-                }))
+                }));
+                // Held across the redo-log persist by design (the cell
+                // is the transaction); exempt for locksan.
+                cell.locksan_label("spht::thread_state", true);
+                cell
             })
             .collect();
         // Idle threads read as "persisted at ts 0".
@@ -193,7 +197,13 @@ impl Spht {
             vol: (0..cfg.heap_words).map(|_| AtomicU64::new(0)).collect(),
             global_lock: AtomicU64::new(0),
             slots,
-            marker: Mutex::new((0, 0)),
+            marker: {
+                let m = Mutex::new((0, 0));
+                // Persisting the marker under this lock is the lock's
+                // whole job (advance_marker); exempt for locksan.
+                m.locksan_label("spht::marker", true);
+                m
+            },
             bumps,
             pool_chunk,
             htm,

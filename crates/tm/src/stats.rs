@@ -41,11 +41,14 @@ pub enum Counter {
     OrderWaitNs,
     /// Redo-log entries replayed (SPHT).
     Replayed,
+    /// Stripe-lock CAS acquisitions that lost to another owner (the
+    /// sw fallback's fine-grained lock contention).
+    StripeContended,
 }
 
 impl Counter {
     /// Number of counter slots.
-    pub const COUNT: usize = Counter::Replayed as usize + 1;
+    pub const COUNT: usize = Counter::StripeContended as usize + 1;
 
     /// All counters in slot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -63,6 +66,7 @@ impl Counter {
         Counter::PmWords,
         Counter::OrderWaitNs,
         Counter::Replayed,
+        Counter::StripeContended,
     ];
 
     /// Short label used in reports.
@@ -82,6 +86,7 @@ impl Counter {
             Counter::PmWords => "pm_words",
             Counter::OrderWaitNs => "order_wait_ns",
             Counter::Replayed => "replayed",
+            Counter::StripeContended => "stripe_contended",
         }
     }
 }

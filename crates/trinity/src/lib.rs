@@ -133,7 +133,7 @@ impl Trinity {
         };
         let threads = (0..cfg.max_threads)
             .map(|t| {
-                CachePadded::new(Mutex::new(ThreadState {
+                let cell = CachePadded::new(Mutex::new(ThreadState {
                     rset: Vec::with_capacity(256),
                     wset: Vec::with_capacity(64),
                     acquired: Vec::with_capacity(64),
@@ -144,7 +144,11 @@ impl Trinity {
                     pundo: Vec::with_capacity(64),
                     pwv: 0,
                     flush_lines: Vec::with_capacity(64),
-                }))
+                }));
+                // Commit persists the write set while this cell is held
+                // — by design; exempt from the lock-across-persist rule.
+                cell.locksan_label("trinity::thread_state", true);
+                cell
             })
             .collect();
         Trinity {
@@ -286,6 +290,8 @@ impl Trinity {
         for &(idx, pre) in acquired {
             self.locks[idx as usize].store(new_word.unwrap_or(pre), Ordering::Release);
         }
+        #[cfg(feature = "locksan")]
+        locksan::on_stripe_release_all();
     }
 
     /// TL2 commit with Trinity persistence.
@@ -305,6 +311,9 @@ impl Trinity {
             .collect();
         idxs.sort_unstable();
         idxs.dedup();
+        // Fresh ordered acquisition sequence (clears crash-unwind residue).
+        #[cfg(feature = "locksan")]
+        locksan::on_stripe_release_all();
         for idx in idxs {
             let cell = &self.locks[idx as usize];
             let pre = cell.load(Ordering::Acquire);
@@ -313,10 +322,13 @@ impl Trinity {
                     .compare_exchange(pre, pre | 1, Ordering::AcqRel, Ordering::Relaxed)
                     .is_err()
             {
+                self.stats.bump(tid, Counter::StripeContended);
                 self.release(&ts.acquired, None);
                 ts.acquired.clear();
                 return false;
             }
+            #[cfg(feature = "locksan")]
+            locksan::on_stripe_acquire(idx as u64, true, "trinity::commit");
             ts.acquired.push((idx, pre));
         }
         pmem::latency::spin_ns(self.cfg.clock_ns);
@@ -448,6 +460,8 @@ impl Trinity {
             .collect();
         idxs.sort_unstable();
         idxs.dedup();
+        #[cfg(feature = "locksan")]
+        locksan::on_stripe_release_all();
         for idx in idxs {
             let cell = &self.locks[idx as usize];
             let pre = cell.load(Ordering::Acquire);
@@ -460,10 +474,13 @@ impl Trinity {
                     .compare_exchange(pre, pre | 1, Ordering::AcqRel, Ordering::Relaxed)
                     .is_err()
             {
+                self.stats.bump(tid, Counter::StripeContended);
                 self.release(&ts.acquired, None);
                 ts.acquired.clear();
                 return false;
             }
+            #[cfg(feature = "locksan")]
+            locksan::on_stripe_acquire(idx as u64, true, "trinity::prepare");
             ts.acquired.push((idx, pre));
         }
         pmem::latency::spin_ns(self.cfg.clock_ns);

@@ -122,13 +122,17 @@ impl TxAlloc {
     /// Create an allocator over `[reserve_words, heap_words)`.
     pub fn new(cfg: AllocConfig) -> Self {
         assert!(cfg.reserve_words < cfg.heap_words);
-        TxAlloc {
+        let alloc = TxAlloc {
             bump: AtomicU64::new(cfg.reserve_words as u64),
             cfg,
             arenas: (0..cfg.max_threads.max(1))
                 .map(|_| CachePadded::new(Mutex::new(Arena::new())))
                 .collect(),
+        };
+        for a in &alloc.arenas {
+            a.locksan_label("txalloc::arena", false);
         }
+        alloc
     }
 
     /// The configuration.

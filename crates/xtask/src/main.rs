@@ -38,6 +38,21 @@
 //!    `migrate` silently routes with the epoch-0 assignment and
 //!    misdirects every key whose slot has moved. Only `lib.rs` (which
 //!    defines it and uses it as the slot hash) may name it.
+//! 7. **No direct `std::sync::{Mutex,RwLock,Condvar}` outside the shim.**
+//!    The `parking_lot` shim is where the lock-discipline sanitizer
+//!    (`locksan`) hooks acquire/release; a raw `std::sync` lock is
+//!    invisible to deadlock-cycle detection and to the held-lock
+//!    counters. Exempt: the shim itself, the sanitizers (`locksan`,
+//!    `psan` — they must not instrument their own internals), `pmem`
+//!    (which sits *below* the persist layer the sanitizer watches),
+//!    `tm::check`'s test-support recorder, and tests/examples.
+//! 8. **No `.lock()` inside a transaction closure body.** Blocking on a
+//!    service lock while a `tm::txn(` speculation is open inverts the
+//!    lock hierarchy (stripe locks are acquired at commit, below every
+//!    service lock) and can deadlock against a holder waiting for the
+//!    stripes — and the closure may rerun on abort, re-acquiring
+//!    arbitrarily often. Take the lock before entering the
+//!    transaction, or hand the data in by value.
 //!
 //! `cargo xtask check-bench` (see `bench_check`) validates
 //! `kvserve-bench-v1` benchmark artifacts instead of sources.
@@ -82,6 +97,58 @@ const POOL_WRITE_TOKENS: &[&str] = &["pmem.write(", "pool.write(", "pool().write
 /// File-path substrings allowed to issue raw pool stores (rule 2).
 const POOL_WRITE_ALLOWLIST: &[&str] = &["crates/pmem/", "crates/spht/"];
 
+/// Lock-type names that must come from the shim, not `std::sync` (rule 7).
+const STD_SYNC_LOCK_TOKENS: &[&str] = &["Mutex", "RwLock", "Condvar"];
+
+/// File-path prefixes allowed to name `std::sync` locks directly (rule 7).
+/// The shim wraps std; locksan must not instrument its own internals;
+/// `tm::check` is a test-support recorder deliberately outside the
+/// tracked hierarchy; integration tests and examples are harness code.
+const STD_SYNC_ALLOWLIST: &[&str] = &[
+    "crates/locksan/",
+    "crates/psan/",
+    "crates/pmem/",
+    "crates/tm/src/check.rs",
+    "tests/",
+    "examples/",
+];
+
+/// Every lint rule, for `cargo xtask lint --rules`.
+const RULES: &[(&str, &str)] = &[
+    (
+        "relaxed-lock-word",
+        "no `Ordering::Relaxed` on lock or clock words (CAS failure ordering exempt)",
+    ),
+    (
+        "raw-pool-write",
+        "no raw `PmemPool::write` outside pmem/spht; go through `pmem::annot`",
+    ),
+    (
+        "flush-in-htm",
+        "no flush/fence in the htm crate or inside `.execute(` closures",
+    ),
+    (
+        "safety-comment",
+        "every `unsafe` needs a `SAFETY:` comment within 3 lines above",
+    ),
+    (
+        "reply-channel-recv",
+        "no blocking `recv` on reply channels in kvserve; reap via the completion ring",
+    ),
+    (
+        "raw-shard-of-key",
+        "no raw `shard_of_key` in kvserve's routing-dependent modules; use the `RoutingTable`",
+    ),
+    (
+        "std-sync-lock",
+        "no direct `std::sync::{Mutex,RwLock,Condvar}` outside the shim; use `parking_lot`",
+    ),
+    (
+        "lock-in-txn",
+        "no `.lock()` inside a `tm::txn(` closure body; acquire before the transaction",
+    ),
+];
+
 fn is_comment(line: &str) -> bool {
     let t = line.trim_start();
     t.starts_with("//") || t.starts_with("*")
@@ -121,9 +188,16 @@ fn lint_file(file: &str, text: &str) -> Vec<Finding> {
     let lines: Vec<&str> = text.lines().collect();
     let in_htm = file.starts_with("crates/htm/");
     let pool_writes_allowed = POOL_WRITE_ALLOWLIST.iter().any(|p| file.starts_with(p));
+    // Harness code (top-level and per-crate test dirs, examples) may
+    // record results under std locks inside txn closures; the hierarchy
+    // rules 7-8 enforce are about production lock discipline.
+    let harness =
+        STD_SYNC_ALLOWLIST.iter().any(|p| file.starts_with(p)) || file.contains("/tests/");
     let mut in_test = false;
     // Brace depth of an open `.execute(` closure region; None outside.
     let mut execute_depth: Option<i64> = None;
+    // Brace depth of an open `tm::txn(` closure region; None outside.
+    let mut txn_depth: Option<i64> = None;
     for (i, &line) in lines.iter().enumerate() {
         let lineno = i + 1;
         if line.trim_start().starts_with("#[cfg(test)]") {
@@ -211,6 +285,46 @@ fn lint_file(file: &str, text: &str) -> Vec<Finding> {
             });
         }
 
+        // Rule 7: std::sync locks outside the instrumented shim.
+        if !harness
+            && line.contains("std::sync::")
+            && STD_SYNC_LOCK_TOKENS.iter().any(|t| line.contains(t))
+        {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: lineno,
+                rule: "std-sync-lock",
+                message:
+                    "direct `std::sync` lock; use the `parking_lot` shim (locksan hooks there)"
+                        .into(),
+            });
+        }
+
+        // Rule 8: blocking lock acquisition inside a transaction closure.
+        match txn_depth {
+            Some(depth) => {
+                if line.contains(".lock(") || line.contains(".try_lock(") {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: lineno,
+                        rule: "lock-in-txn",
+                        message: "`.lock()` inside a `tm::txn(` closure; acquire before the txn"
+                            .into(),
+                    });
+                }
+                let d = depth + brace_delta(line);
+                txn_depth = if d > 0 { Some(d) } else { None };
+            }
+            None => {
+                if !harness && (line.contains("tm::txn(") || line.contains("tm.txn(")) {
+                    let d = brace_delta(line);
+                    if d > 0 {
+                        txn_depth = Some(d);
+                    }
+                }
+            }
+        }
+
         match execute_depth {
             Some(depth) => {
                 if flushy {
@@ -265,7 +379,17 @@ fn workspace_root() -> PathBuf {
     p
 }
 
-fn run_lint() -> ExitCode {
+fn print_rules() -> ExitCode {
+    for (name, desc) in RULES {
+        println!("{name}: {desc}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--rules") {
+        return print_rules();
+    }
     let root = workspace_root();
     let mut files = Vec::new();
     for sub in ["crates", "src", "tests", "examples"] {
@@ -308,7 +432,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let task = args.first().map(String::as_str).unwrap_or("lint");
     match task {
-        "lint" => run_lint(),
+        "lint" => run_lint(&args[1..]),
         "check-bench" => bench_check::run(&args[1..]),
         other => {
             eprintln!("unknown task `{other}`; available: lint, check-bench");
@@ -474,6 +598,66 @@ mod tests {
         // Test regions inside the modules are exempt like rules 1-3 and 5.
         let test_src = "#[cfg(test)]\nmod tests {\n let s = shard_of_key(k, 4);\n}\n";
         assert!(rules("crates/kvserve/src/ring.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn std_sync_lock_flagged_outside_shim() {
+        let src = "use std::sync::Mutex;\n";
+        assert_eq!(rules("crates/kvserve/src/ring.rs", src), ["std-sync-lock"]);
+        let src = "use std::sync::{Arc, Condvar, Mutex};\n";
+        assert_eq!(rules("crates/kvserve/src/repl.rs", src), ["std-sync-lock"]);
+        let src = "let g: std::sync::RwLock<u64> = std::sync::RwLock::new(0);\n";
+        assert_eq!(rules("crates/core/src/engine.rs", src), ["std-sync-lock"]);
+    }
+
+    #[test]
+    fn std_sync_lock_exemptions() {
+        let src = "use std::sync::Mutex;\n";
+        // The sanitizers must not instrument their own internals.
+        assert!(rules("crates/locksan/src/lib.rs", src).is_empty());
+        assert!(rules("crates/psan/src/lib.rs", src).is_empty());
+        // pmem sits below the persist layer the sanitizer watches.
+        assert!(rules("crates/pmem/src/pool.rs", src).is_empty());
+        // tm::check's recorder is test-support outside the hierarchy.
+        assert!(rules("crates/tm/src/check.rs", src).is_empty());
+        // Integration tests (top-level or per-crate) and examples are harness code.
+        assert!(rules("tests/kvserve_crash.rs", src).is_empty());
+        assert!(rules("crates/spht/tests/ordering.rs", src).is_empty());
+        assert!(rules("examples/durable_index.rs", src).is_empty());
+        // Test regions are exempt like rules 1-3.
+        let test_src = "#[cfg(test)]\nmod tests {\n use std::sync::Mutex;\n}\n";
+        assert!(rules("crates/kvserve/src/ring.rs", test_src).is_empty());
+        // std::sync::Arc and atomics are not locks.
+        let src = "use std::sync::Arc;\nuse std::sync::atomic::AtomicU64;\n";
+        assert!(rules("crates/kvserve/src/ring.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lock_inside_txn_closure_flagged() {
+        let src =
+            "tm::txn(&*self.log, ltid, |tx| {\n    let g = self.free.lock();\n    Ok(())\n})\n";
+        let got = lint_file("crates/kvserve/src/coord.rs", src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].rule, "lock-in-txn");
+        assert_eq!(got[0].line, 2);
+        let src = "tm.txn(0, |tx| {\n    let g = cell.try_lock();\n    Ok(())\n})\n";
+        assert_eq!(rules("crates/core/src/engine.rs", src), ["lock-in-txn"]);
+    }
+
+    #[test]
+    fn lock_outside_txn_closure_not_flagged() {
+        // Acquire-before-txn is the sanctioned pattern.
+        let src = "let g = self.free.lock();\ntm::txn(&*self.log, ltid, |tx| {\n    Ok(())\n});\nlet h = self.group.lock();\n";
+        assert!(rules("crates/kvserve/src/coord.rs", src).is_empty());
+        // Single-line txn bodies never open a region.
+        let src = "let v = tm::txn(&*stm, tid, |tx| tx.read(addr)).unwrap();\nlet g = self.free.lock();\n";
+        assert!(rules("crates/kvserve/src/migrate.rs", src).is_empty());
+        // `.unlock(` is not `.lock(`.
+        let src = "tm::txn(&*stm, tid, |tx| {\n    cell.unlock();\n    Ok(())\n})\n";
+        assert!(rules("crates/kvserve/src/coord.rs", src).is_empty());
+        // Harness code may record results under a lock inside the closure.
+        let src = "tm::txn(tm, t, |tx| {\n    committed.lock().unwrap().push(i);\n    Ok(())\n})\n";
+        assert!(rules("tests/crash_recovery.rs", src).is_empty());
     }
 
     #[test]

@@ -150,7 +150,9 @@ pub fn resync(
 }
 
 /// Zero persist-order correctness diagnostics across every pool the
-/// service owns (perf-class advisories are allowed).
+/// service owns (perf-class advisories are allowed). Piggybacks the
+/// lock-discipline check so every sweep that audits persist order also
+/// audits the lock hierarchy when built with `--features locksan`.
 pub fn assert_psan_clean(svc: &Service, what: &str) {
     let diags: Vec<_> = svc
         .psan_diagnostics()
@@ -158,4 +160,26 @@ pub fn assert_psan_clean(svc: &Service, what: &str) {
         .filter(|d| !d.class.is_perf())
         .collect();
     assert!(diags.is_empty(), "{what}: {diags:?}");
+    assert_locksan_clean(what);
 }
+
+/// Zero lock-discipline reports since the last drain. A no-op unless the
+/// workspace is built with `--features locksan` *and* `LOCKSAN=1` (or
+/// `LOCKSAN=panic`) is set, matching the sanitizer's env gate.
+#[cfg(feature = "locksan")]
+pub fn assert_locksan_clean(what: &str) {
+    let reports = locksan::take_reports();
+    assert!(
+        reports.is_empty(),
+        "{what}: {} lock-discipline report(s): {}",
+        reports.len(),
+        reports
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
+}
+
+#[cfg(not(feature = "locksan"))]
+pub fn assert_locksan_clean(_what: &str) {}
