@@ -33,6 +33,18 @@
 //! plain `std` HashMap on one thread — no durability, no concurrency)
 //! as the upper bound the durable service is amortizing toward.
 //!
+//! `--net` runs the open-loop generator **through the wire-protocol
+//! front end**: the service is served over loopback TCP
+//! (`Service::serve_net`), and a single submitting thread drives framed
+//! request batches through one `NetClient` at the offered rate, reaping
+//! response frames opportunistically — never parking per request — so
+//! the socket path is measured under the same coordinated-omission-free
+//! methodology as `--open-loop`. Latency percentiles are *client-side*
+//! (send-to-response on the wire, queueing included); explicit `Busy`
+//! frames — the wire rendering of ring backpressure — are counted as
+//! their own outcome, and the report carries the server's frame/byte
+//! counters alongside the ring and persist numbers.
+//!
 //! `--migrate` measures **elastic resharding under load**: each cell
 //! runs the closed-loop clients through ring handles, splits shard 0
 //! live mid-run (streaming its moving slots to a newly provisioned
@@ -57,7 +69,9 @@
 
 use bench::json::Json;
 use bench::{fmt_tput, Args};
-use kvserve::{MapOp, MigrateSpec, Ring, ServeError, Service, ServiceConfig, Ticket};
+use kvserve::{
+    MapOp, MigrateSpec, NetClient, NetConfig, Ring, ServeError, Service, ServiceConfig, Ticket,
+};
 use pmem::LatencyModel;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -148,6 +162,7 @@ fn main() {
     let args = Args::parse();
     let open_loop = args.get("open-loop").is_some();
     let migrate = args.get("migrate").is_some();
+    let net = args.get("net").is_some();
     let sweep = Sweep {
         mixes: args
             .list("mixes")
@@ -179,6 +194,8 @@ fn main() {
     };
     let cells = if migrate {
         run_migrate(&sweep)
+    } else if net {
+        run_net_loop(&sweep)
     } else if open_loop {
         run_open_loop(&sweep)
     } else {
@@ -191,6 +208,8 @@ fn main() {
                 "mode",
                 if migrate {
                     "migrate"
+                } else if net {
+                    "net-open-loop"
                 } else if open_loop {
                     "open-loop"
                 } else {
@@ -920,6 +939,249 @@ fn run_open_cell(sweep: &Sweep, mix: Mix, shards: usize, batch: usize, rate: f64
         .field("tput_ops_per_sec", tally.ok_ops as f64 / secs)
         .field("max_in_flight", snap.ring.in_flight_hwm)
         .field("latency_us", latency_json(&snap.ring.latency))
+        .field(
+            "persist",
+            Json::obj()
+                .field("flushes_per_op", per_op(flushes))
+                .field("redundant_flushes", redundant)
+                .field("fences_per_op", per_op(fences)),
+        )
+        .field(
+            "locks",
+            Json::obj()
+                .field("held_hwm", snap.lock_held_hwm)
+                .field("contended", snap.lock_contended)
+                .field("stripe_contended", snap.stripe_contended()),
+        )
+}
+
+fn run_net_loop(sweep: &Sweep) -> Vec<Json> {
+    println!(
+        "kvserve wire-protocol open-loop benchmark: {} keys, zipf theta={}, arrival={}, {:.2}s per cell, pm={}",
+        sweep.keys,
+        sweep.zipf_theta,
+        sweep.arrival.label(),
+        sweep.seconds,
+        if sweep.fast { "zero-latency" } else { "optane" },
+    );
+    let mut cells = Vec::new();
+    for &mix in &sweep.mixes {
+        for &shards in &sweep.shard_counts {
+            for &batch in &sweep.batch_caps {
+                for &rate in &sweep.rates {
+                    cells.push(run_net_cell(sweep, mix, shards, batch, rate));
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Resolve one response frame against the in-flight table: OK acks add
+/// their client-side send-to-response latency sample; every error frame
+/// is a definite verdict tallied by class (`Busy` is the wire rendering
+/// of both backpressure rejections).
+fn reap_frame(
+    resp: kvserve::net::ResponseFrame,
+    inflight: &mut HashMap<u64, (usize, Instant)>,
+    tally: &mut OpenTally,
+    busy: &mut u64,
+    lat_us: &mut Vec<f64>,
+) {
+    let (nops, sent) = inflight.remove(&resp.corr).expect("unknown correlation id");
+    match &resp.reply {
+        Ok(_) => {
+            tally.ok_reqs += 1;
+            tally.ok_ops += nops as u64;
+            lat_us.push(sent.elapsed().as_secs_f64() * 1e6);
+        }
+        Err(ServeError::Overloaded { .. }) => *busy += 1,
+        Err(ServeError::Timeout) => tally.timeout += 1,
+        Err(ServeError::Aborted) => tally.aborted += 1,
+        Err(ServeError::Stopped) => tally.stopped += 1,
+        Err(e) => panic!("unexpected wire verdict: {e}"),
+    }
+}
+
+/// Percentile of an already-sorted client-side latency sample set.
+fn sample_quantile(sorted: &[f64], q: f64) -> Json {
+    if sorted.is_empty() {
+        return Json::Null;
+    }
+    Json::Num(sorted[((sorted.len() - 1) as f64 * q).round() as usize])
+}
+
+/// One open-loop cell through the wire: same virtual arrival schedule
+/// as [`run_open_cell`], but every request crosses loopback TCP as a
+/// framed batch and every verdict comes back as a response frame. The
+/// server multiplexes onto its 4096-slot ring; when the offered rate
+/// outruns the service, depth absorbs the excess until the ring (or the
+/// connection cap) is full and the overflow comes back as `Busy`.
+fn run_net_cell(sweep: &Sweep, mix: Mix, shards: usize, batch: usize, rate: f64) -> Json {
+    let svc = Service::new(service_config(sweep, shards, batch));
+    for k in 0..sweep.keys {
+        if k.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 63 == 0 {
+            svc.put(k, k + 1).expect("prefill write");
+        }
+    }
+    svc.reset_metrics();
+    let before = svc.snapshot();
+    let tm_before: Vec<_> = before.shards.iter().map(|s| s.tm).collect();
+    let coord_before = before.coordinator.tm;
+
+    let server = svc.serve_net(NetConfig::default()).expect("bind loopback");
+    let mut client = NetClient::connect(server.local_addr()).expect("connect loopback");
+
+    let kg = KeyGen::new(sweep.keys, sweep.zipf_theta);
+    let mut rng = Rng(0x6e7_ca11 ^ (rate as u64) | 1);
+    let period = 1.0 / rate;
+    // corr → (op count, send instant) for requests still on the wire.
+    let mut inflight: HashMap<u64, (usize, Instant)> = HashMap::new();
+    let mut tally = OpenTally::default();
+    let (mut offered, mut busy) = (0u64, 0u64);
+    let mut lat_us: Vec<f64> = Vec::new();
+
+    let start = Instant::now();
+    let mut next = 0.0f64;
+    loop {
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= sweep.seconds {
+            break;
+        }
+        if elapsed >= next {
+            offered += 1;
+            let ops = gen_ops(mix, sweep.keys, shards, &mut rng, &kg);
+            let nops = ops.len();
+            let corr = client.send_batch(&ops).expect("send over loopback");
+            inflight.insert(corr, (nops, Instant::now()));
+            next += match sweep.arrival {
+                Arrival::Fixed => period,
+                Arrival::Poisson => -rng.unit().ln() * period,
+            };
+            // Reap opportunistically between arrivals; never park.
+            if let Some(resp) = client.try_recv().expect("reap response") {
+                reap_frame(resp, &mut inflight, &mut tally, &mut busy, &mut lat_us);
+            }
+        } else {
+            let mut idle = true;
+            while let Some(resp) = client.try_recv().expect("reap response") {
+                reap_frame(resp, &mut inflight, &mut tally, &mut busy, &mut lat_us);
+                idle = false;
+            }
+            if idle {
+                let gap = (next - start.elapsed().as_secs_f64()).min(200e-6);
+                if gap > 20e-6 {
+                    std::thread::sleep(Duration::from_secs_f64(gap));
+                }
+            }
+        }
+    }
+    // Drain: every request on the wire resolves to a frame (deadlines
+    // bound the wait server-side).
+    let grace = Instant::now() + Duration::from_secs(5);
+    while !inflight.is_empty() && Instant::now() < grace {
+        match client.try_recv().expect("drain response") {
+            Some(resp) => reap_frame(resp, &mut inflight, &mut tally, &mut busy, &mut lat_us),
+            None => std::thread::sleep(Duration::from_micros(100)),
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    assert!(
+        inflight.is_empty(),
+        "requests unresolved after drain: {}",
+        inflight.len()
+    );
+    let net = server.metrics();
+    drop(client);
+    server.stop();
+
+    let mut snap = svc.snapshot();
+    for (s, before) in snap.shards.iter_mut().zip(&tm_before) {
+        s.tm = s.tm.since(before);
+    }
+    snap.coordinator.tm = snap.coordinator.tm.since(&coord_before);
+    let (mut flushes, mut redundant, mut fences) = (0u64, 0u64, 0u64);
+    for tm in snap
+        .shards
+        .iter()
+        .map(|s| &s.tm)
+        .chain(std::iter::once(&snap.coordinator.tm))
+    {
+        flushes += tm.get(Counter::Flush);
+        redundant += tm.get(Counter::RedundantFlush);
+        fences += tm.get(Counter::Fence);
+    }
+    let total_ops = snap.ops() + snap.coordinator.cross_ops;
+    let per_op = |n: u64| {
+        if total_ops == 0 {
+            0.0
+        } else {
+            n as f64 / total_ops as f64
+        }
+    };
+    lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let us = |q: f64| match sample_quantile(&lat_us, q) {
+        Json::Num(v) => v,
+        _ => f64::NAN,
+    };
+    println!(
+        "\n== net mix={} shards={} batch_max={} rate={}/s ==",
+        mix.label(),
+        shards,
+        batch,
+        fmt_tput(rate),
+    );
+    println!(
+        "  offered={offered} ok={} timeout={} aborted={} stopped={} busy={busy}",
+        tally.ok_reqs, tally.timeout, tally.aborted, tally.stopped,
+    );
+    println!(
+        "  tput={}/s max_in_flight={} wire p50={:.0}us p95={:.0}us p99={:.0}us p999={:.0}us",
+        fmt_tput(tally.ok_ops as f64 / secs),
+        snap.ring.in_flight_hwm,
+        us(0.50),
+        us(0.95),
+        us(0.99),
+        us(0.999),
+    );
+    println!("  {net}");
+    println!(
+        "  persist: flushes/op={:.2} fences/op={:.2} redundant={redundant}",
+        per_op(flushes),
+        per_op(fences),
+    );
+
+    Json::obj()
+        .field("mix", mix.label())
+        .field("shards", shards)
+        .field("batch_max", batch)
+        .field("offered_rate", rate)
+        .field("duration_secs", secs)
+        .field("offered", offered)
+        .field("ok", tally.ok_reqs)
+        .field("timeout", tally.timeout)
+        .field("aborted", tally.aborted)
+        .field("stopped", tally.stopped)
+        .field("busy", busy)
+        .field("tput_ops_per_sec", tally.ok_ops as f64 / secs)
+        .field("max_in_flight", snap.ring.in_flight_hwm)
+        .field(
+            "latency_us",
+            Json::obj()
+                .field("p50", sample_quantile(&lat_us, 0.50))
+                .field("p95", sample_quantile(&lat_us, 0.95))
+                .field("p99", sample_quantile(&lat_us, 0.99))
+                .field("p999", sample_quantile(&lat_us, 0.999)),
+        )
+        .field(
+            "net",
+            Json::obj()
+                .field("frames_in", net.frames_in)
+                .field("frames_out", net.frames_out)
+                .field("bytes_in", net.bytes_in)
+                .field("bytes_out", net.bytes_out)
+                .field("busy_frames", net.busy),
+        )
         .field(
             "persist",
             Json::obj()

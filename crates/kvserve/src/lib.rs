@@ -39,16 +39,18 @@
 mod coord;
 pub mod metrics;
 pub mod migrate;
+pub mod net;
 pub mod repl;
 mod ring;
 mod shard;
 
 pub use coord::TwoPcStep;
 pub use metrics::{
-    CoordinatorSnapshot, HistogramSnapshot, ReplShardSnapshot, ReplSnapshot, RingSnapshot,
-    ServiceSnapshot, ShardSnapshot,
+    CoordinatorSnapshot, HistogramSnapshot, NetSnapshot, ReplShardSnapshot, ReplSnapshot,
+    RingSnapshot, ServiceSnapshot, ShardSnapshot,
 };
 pub use migrate::{MigrateCrash, MigrateReport, MigrateSpec, MigrateStep};
+pub use net::{FrameError, NetClient, NetConfig, NetError, NetHook, NetKill, NetServer, NetStep};
 pub use repl::{FailoverStep, Follower, LogEntry, LogKind, ReplStep};
 pub use ring::{Completion, Drain, Ring, Ticket};
 pub use txstructs::MapOp;

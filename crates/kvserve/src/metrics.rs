@@ -442,6 +442,160 @@ impl fmt::Display for RingSnapshot {
     }
 }
 
+/// Hot-path counters of the TCP wire layer (`kvserve::net`). One
+/// instance per [`NetServer`](crate::net::NetServer), shared by every
+/// connection it serves.
+#[derive(Default)]
+pub struct NetCounters {
+    /// Connections accepted.
+    pub accepted: AtomicU64,
+    /// Connections fully torn down (reader and writer exited, ring
+    /// slots drained).
+    pub closed: AtomicU64,
+    /// Request frames read off sockets.
+    pub frames_in: AtomicU64,
+    /// Response frames written to sockets.
+    pub frames_out: AtomicU64,
+    /// Bytes read (frames only; headers included).
+    pub bytes_in: AtomicU64,
+    /// Bytes written (frames only; headers included).
+    pub bytes_out: AtomicU64,
+    /// `Busy` responses: the visible-backpressure path (per-connection
+    /// cap, `RingFull`, or `Overloaded`).
+    pub busy: AtomicU64,
+    /// Malformed frames from peers (each closes its connection).
+    pub protocol_errors: AtomicU64,
+    /// Completions reaped after the peer disconnected — slots freed
+    /// with the response suppressed, never written to a dead socket.
+    pub reaped_after_disconnect: AtomicU64,
+    /// Response writes suppressed because the socket was already dead.
+    pub dead_socket_suppressed: AtomicU64,
+}
+
+/// Wire-layer metrics (counter bumps only; latency lives in the shared
+/// ring histogram the connections' rings feed).
+pub struct NetMetrics {
+    /// Hot-path counters.
+    pub counters: CachePadded<NetCounters>,
+}
+
+impl NetMetrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> NetMetrics {
+        NetMetrics {
+            counters: CachePadded::new(NetCounters::default()),
+        }
+    }
+
+    pub(crate) fn accepted(&self) {
+        self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn closed(&self) {
+        self.counters.closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn frame_in(&self, bytes: u64) {
+        self.counters.frames_in.fetch_add(1, Ordering::Relaxed);
+        self.counters.bytes_in.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn frame_out(&self, bytes: u64) {
+        self.counters.frames_out.fetch_add(1, Ordering::Relaxed);
+        self.counters.bytes_out.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn busy(&self) {
+        self.counters.busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn protocol_error(&self) {
+        self.counters
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn reaped_after_disconnect(&self) {
+        self.counters
+            .reaped_after_disconnect
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn suppressed_dead_write(&self) {
+        self.counters
+            .dead_socket_suppressed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Immutable copy.
+    pub fn snapshot(&self) -> NetSnapshot {
+        let c = &*self.counters;
+        NetSnapshot {
+            accepted: c.accepted.load(Ordering::Relaxed),
+            closed: c.closed.load(Ordering::Relaxed),
+            frames_in: c.frames_in.load(Ordering::Relaxed),
+            frames_out: c.frames_out.load(Ordering::Relaxed),
+            bytes_in: c.bytes_in.load(Ordering::Relaxed),
+            bytes_out: c.bytes_out.load(Ordering::Relaxed),
+            busy: c.busy.load(Ordering::Relaxed),
+            protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
+            reaped_after_disconnect: c.reaped_after_disconnect.load(Ordering::Relaxed),
+            dead_socket_suppressed: c.dead_socket_suppressed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for NetMetrics {
+    fn default() -> NetMetrics {
+        NetMetrics::new()
+    }
+}
+
+/// Immutable copy of the wire-layer counters.
+#[derive(Clone, Debug)]
+pub struct NetSnapshot {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections fully torn down.
+    pub closed: u64,
+    /// Request frames read.
+    pub frames_in: u64,
+    /// Response frames written.
+    pub frames_out: u64,
+    /// Bytes read.
+    pub bytes_in: u64,
+    /// Bytes written.
+    pub bytes_out: u64,
+    /// `Busy` responses (visible backpressure).
+    pub busy: u64,
+    /// Malformed frames from peers.
+    pub protocol_errors: u64,
+    /// Completions reaped after their peer disconnected.
+    pub reaped_after_disconnect: u64,
+    /// Writes suppressed on dead sockets.
+    pub dead_socket_suppressed: u64,
+}
+
+impl fmt::Display for NetSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "net: conns={}/{} frames={}in/{}out bytes={}in/{}out busy={} \
+             proto_err={} reaped_disc={} dead_suppressed={}",
+            self.accepted,
+            self.closed,
+            self.frames_in,
+            self.frames_out,
+            self.bytes_in,
+            self.bytes_out,
+            self.busy,
+            self.protocol_errors,
+            self.reaped_after_disconnect,
+            self.dead_socket_suppressed,
+        )
+    }
+}
+
 /// Hot-path counters of the cross-shard 2PC coordinator.
 #[derive(Default)]
 pub struct CoordinatorCounters {

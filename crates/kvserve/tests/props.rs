@@ -217,6 +217,155 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Wire-frame codec properties: arbitrary batches survive the wire
+// byte-for-byte, and arbitrary bytes — truncations, hostile headers,
+// garbage — decode to clean errors, never panics, never partial frames.
+// ---------------------------------------------------------------------------
+
+use kvserve::net::{
+    decode_frame, encode_request, encode_response, Frame, FrameError, HEADER_LEN, MAX_BODY,
+    PROTOCOL_VERSION,
+};
+use kvserve::{Reply, ServeError};
+use std::time::Duration;
+
+fn reply_strategy() -> impl Strategy<Value = Reply> {
+    prop_oneof![
+        proptest::collection::vec(proptest::option::of(any::<u64>()), 0..16).prop_map(Ok),
+        Just(Err(ServeError::Timeout)),
+        Just(Err(ServeError::Aborted)),
+        Just(Err(ServeError::Stopped)),
+        Just(Err(ServeError::Rerouted)),
+        Just(Err(ServeError::CrossShard)),
+        (0u64..1_000_000).prop_map(|us| Err(ServeError::Overloaded {
+            retry_after: Duration::from_micros(us),
+        })),
+        Just(Err(ServeError::RingFull)),
+    ]
+}
+
+/// What the decoder should hand back for an encoded reply: `RingFull`
+/// crosses the wire as `Busy` with a zero retry hint, everything else
+/// is identity.
+fn wire_normalize(reply: &Reply) -> Reply {
+    match reply {
+        Err(ServeError::RingFull) => Err(ServeError::Overloaded {
+            retry_after: Duration::ZERO,
+        }),
+        other => other.clone(),
+    }
+}
+
+fn wide_op_strategy() -> impl Strategy<Value = MapOp> {
+    (0u8..3, any::<u64>(), any::<u64>()).prop_map(|(tag, k, v)| match tag {
+        0 => MapOp::Get(k),
+        1 => MapOp::Insert(k, v),
+        _ => MapOp::Remove(k),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// A stream of arbitrary request and response frames encodes into
+    /// one buffer and decodes back frame-for-frame identical, consuming
+    /// exactly the bytes written — no drift, no trailing slop.
+    #[test]
+    fn frames_roundtrip_through_the_wire(
+        frames in proptest::collection::vec(
+            prop_oneof![
+                (any::<u64>(), any::<u64>(), proptest::collection::vec(wide_op_strategy(), 0..32))
+                    .prop_map(|(corr, dl, ops)| (corr, Some(dl), Ok(ops))),
+                (any::<u64>(), reply_strategy()).prop_map(|(corr, r)| (corr, None, Err(r))),
+            ],
+            1..12,
+        ),
+    ) {
+        let mut buf = Vec::new();
+        for (corr, deadline, payload) in &frames {
+            match payload {
+                Ok(ops) => encode_request(&mut buf, *corr, deadline.unwrap(), ops),
+                Err(reply) => encode_response(&mut buf, *corr, reply),
+            }
+        }
+        let mut at = 0;
+        for (corr, deadline, payload) in &frames {
+            let (frame, used) = decode_frame(&buf[at..]).expect("valid frame");
+            at += used;
+            match (frame, payload) {
+                (Frame::Request(req), Ok(ops)) => {
+                    prop_assert_eq!(req.corr, *corr);
+                    prop_assert_eq!(req.deadline_micros, deadline.unwrap());
+                    prop_assert_eq!(&req.ops, ops);
+                }
+                (Frame::Response(resp), Err(reply)) => {
+                    prop_assert_eq!(resp.corr, *corr);
+                    prop_assert_eq!(resp.reply, wire_normalize(reply));
+                }
+                (got, _) => prop_assert!(false, "frame kind flipped on the wire: {:?}", got),
+            }
+        }
+        prop_assert_eq!(at, buf.len(), "codec drifted off the frame boundary");
+        prop_assert_eq!(decode_frame(&buf[at..]), Err(FrameError::Closed));
+    }
+
+    /// Every strict prefix of a valid frame is `Truncated` (empty is
+    /// `Closed`) — a cut never panics, never yields a frame, and never
+    /// misreports where the stream died.
+    #[test]
+    fn every_truncation_is_clean(
+        corr in any::<u64>(),
+        deadline in any::<u64>(),
+        ops in proptest::collection::vec(wide_op_strategy(), 0..16),
+        reply in reply_strategy(),
+    ) {
+        let mut buf = Vec::new();
+        encode_request(&mut buf, corr, deadline, &ops);
+        encode_response(&mut buf, corr, &reply);
+        for cut in 0..buf.len() {
+            let want = if cut == 0 { FrameError::Closed } else { FrameError::Truncated };
+            // Cuts inside the *second* frame still decode the first.
+            let got = decode_frame(&buf[..cut]);
+            match got {
+                Err(e) => prop_assert_eq!(e, want, "cut at {}", cut),
+                Ok((_, used)) => prop_assert!(
+                    used <= cut && decode_frame(&buf[used..cut]) == Err(if used == cut {
+                        FrameError::Closed
+                    } else {
+                        FrameError::Truncated
+                    }),
+                    "cut at {} leaked past the boundary", cut
+                ),
+            }
+        }
+    }
+
+    /// Arbitrary bytes never panic the decoder, and a hostile length
+    /// field is rejected *before* any allocation: oversized headers and
+    /// unknown versions fail on the 8 header bytes alone.
+    #[test]
+    fn hostile_bytes_fail_closed(
+        junk in proptest::collection::vec(any::<u8>(), 0..96),
+        body_len in (MAX_BODY + 1)..u32::MAX,
+        version in 0u8..=255,
+    ) {
+        // Whatever the bytes, the decoder returns; it never panics.
+        let _ = decode_frame(&junk);
+
+        let mut hostile = body_len.to_le_bytes().to_vec();
+        hostile.extend_from_slice(&[PROTOCOL_VERSION, 1, 0, 0]);
+        prop_assert_eq!(decode_frame(&hostile), Err(FrameError::Oversized(body_len)));
+        prop_assert_eq!(hostile.len(), HEADER_LEN);
+
+        if version != PROTOCOL_VERSION {
+            let mut wrong = 0u32.to_le_bytes().to_vec();
+            wrong.extend_from_slice(&[version, 1, 0, 0]);
+            prop_assert_eq!(decode_frame(&wrong), Err(FrameError::BadVersion(version)));
+        }
+    }
+}
+
 fn log_entry_strategy() -> impl Strategy<Value = (u8, u64, Vec<MapOp>)> {
     let mutation = (1u8..3, 0u64..32, 0u64..1000).prop_map(|(tag, k, v)| match tag {
         1 => MapOp::Insert(k, v),

@@ -267,7 +267,10 @@ pub fn validate(doc: &Val, min_depth: Option<u64>, max_flushes: Option<f64>) -> 
         None => errors.push("missing `schema`".into()),
     }
     match doc.get("mode").and_then(Val::str) {
-        Some("open-loop" | "closed-loop") => {}
+        // `net-open-loop` is the open-loop generator driving the
+        // wire-protocol front end over loopback TCP; its cells carry
+        // the same throughput/latency/persist obligations.
+        Some("open-loop" | "closed-loop" | "net-open-loop") => {}
         Some(other) => errors.push(format!("unknown mode `{other}`")),
         None => errors.push("missing `mode`".into()),
     }
@@ -417,6 +420,16 @@ mod tests {
         let v = parse(&doc(4096)).unwrap();
         assert_eq!(validate(&v, None, None), Vec::<String>::new());
         assert_eq!(validate(&v, Some(1024), None), Vec::<String>::new());
+    }
+
+    #[test]
+    fn net_open_loop_mode_accepted() {
+        let text = doc(4096).replace("\"open-loop\"", "\"net-open-loop\"");
+        let v = parse(&text).unwrap();
+        assert_eq!(validate(&v, Some(1024), None), Vec::<String>::new());
+        let bogus = doc(4096).replace("\"open-loop\"", "\"net-closed-loop\"");
+        let errs = validate(&parse(&bogus).unwrap(), None, None);
+        assert!(errs.iter().any(|e| e.contains("unknown mode")), "{errs:?}");
     }
 
     #[test]

@@ -53,6 +53,14 @@
 //!    stripes — and the closure may rerun on abort, re-acquiring
 //!    arbitrarily often. Take the lock before entering the
 //!    transaction, or hand the data in by value.
+//! 9. **No raw socket writes in kvserve outside the framed writer.**
+//!    The wire contract — a response on the socket IS the durability
+//!    ack — holds only if every byte crosses through `net.rs`'s
+//!    `FramedWriter`, where the dead-connection check and the crash
+//!    hook's partial-flush injection live. A bare `write_all` anywhere
+//!    else in `crates/kvserve/src/` can leak an ack around the
+//!    suppression path (or a whole frame past a `MidWrite` crash) and
+//!    silently break every fault-injection sweep.
 //!
 //! `cargo xtask check-bench` (see `bench_check`) validates
 //! `kvserve-bench-v1` benchmark artifacts instead of sources.
@@ -147,6 +155,10 @@ const RULES: &[(&str, &str)] = &[
         "lock-in-txn",
         "no `.lock()` inside a `tm::txn(` closure body; acquire before the transaction",
     ),
+    (
+        "raw-tcp-write",
+        "no raw `write_all` in kvserve outside `net.rs`'s `FramedWriter`; frame every byte",
+    ),
 ];
 
 fn is_comment(line: &str) -> bool {
@@ -198,6 +210,9 @@ fn lint_file(file: &str, text: &str) -> Vec<Finding> {
     let mut execute_depth: Option<i64> = None;
     // Brace depth of an open `tm::txn(` closure region; None outside.
     let mut txn_depth: Option<i64> = None;
+    // Brace depth of the open `impl FramedWriter` block (rule 9's one
+    // sanctioned home for raw socket writes); None outside.
+    let mut framed_depth: Option<i64> = None;
     for (i, &line) in lines.iter().enumerate() {
         let lineno = i + 1;
         if line.trim_start().starts_with("#[cfg(test)]") {
@@ -298,6 +313,31 @@ fn lint_file(file: &str, text: &str) -> Vec<Finding> {
                     "direct `std::sync` lock; use the `parking_lot` shim (locksan hooks there)"
                         .into(),
             });
+        }
+
+        // Rule 9: raw socket writes in kvserve must live inside the
+        // framed writer, where ack suppression and crash injection sit.
+        if file.starts_with("crates/kvserve/src/") {
+            match framed_depth {
+                Some(depth) => {
+                    let d = depth + brace_delta(line);
+                    framed_depth = if d > 0 { Some(d) } else { None };
+                }
+                None => {
+                    if line.contains("impl FramedWriter") {
+                        let d = brace_delta(line);
+                        framed_depth = Some(if d > 0 { d } else { 0 });
+                    } else if line.contains("write_all(") {
+                        findings.push(Finding {
+                            file: file.to_string(),
+                            line: lineno,
+                            rule: "raw-tcp-write",
+                            message: "raw `write_all` outside `FramedWriter`; frame every byte"
+                                .into(),
+                        });
+                    }
+                }
+            }
         }
 
         // Rule 8: blocking lock acquisition inside a transaction closure.
@@ -658,6 +698,37 @@ mod tests {
         // Harness code may record results under a lock inside the closure.
         let src = "tm::txn(tm, t, |tx| {\n    committed.lock().unwrap().push(i);\n    Ok(())\n})\n";
         assert!(rules("tests/crash_recovery.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_tcp_write_in_kvserve_flagged() {
+        let src = "self.stream.write_all(&buf)?;\n";
+        assert_eq!(rules("crates/kvserve/src/net.rs", src), ["raw-tcp-write"]);
+        assert_eq!(rules("crates/kvserve/src/lib.rs", src), ["raw-tcp-write"]);
+    }
+
+    #[test]
+    fn write_all_inside_framed_writer_allowed() {
+        let src = "impl FramedWriter {\n    fn write_frame(&mut self, frame: &[u8]) -> io::Result<()> {\n        self.stream.write_all(frame)?;\n        Ok(())\n    }\n}\n";
+        assert!(rules("crates/kvserve/src/net.rs", src).is_empty());
+        // The region closes with the impl block: a later raw write is
+        // back to being a violation.
+        let src =
+            "impl FramedWriter {\n    fn write_frame(&mut self) {}\n}\nstream.write_all(&buf)?;\n";
+        let got = lint_file("crates/kvserve/src/net.rs", src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].rule, "raw-tcp-write");
+        assert_eq!(got[0].line, 4);
+    }
+
+    #[test]
+    fn write_all_outside_kvserve_src_not_flagged() {
+        let src = "self.stream.write_all(&buf)?;\n";
+        assert!(rules("crates/bench/src/bin/service.rs", src).is_empty());
+        assert!(rules("tests/kvserve_net.rs", src).is_empty());
+        // Test regions inside kvserve are exempt like rules 1-3.
+        let test_src = "#[cfg(test)]\nmod tests {\n stream.write_all(&buf).unwrap();\n}\n";
+        assert!(rules("crates/kvserve/src/net.rs", test_src).is_empty());
     }
 
     #[test]

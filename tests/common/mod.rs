@@ -35,6 +35,18 @@ pub fn fire_at<S: Copy + PartialEq + Send + Sync + 'static>(
     Arc::new(move |s| s == step)
 }
 
+/// A crash hook that fires at the `n`-th occurrence of `step` (1-based)
+/// and every occurrence after it. The net sweep uses this to place the
+/// crash mid-pipeline — the plain [`fire_at`] always hits the first
+/// frame/completion, which would leave deeper pipeline states unswept.
+pub fn fire_at_nth<S: Copy + PartialEq + Send + Sync + 'static>(
+    step: S,
+    n: usize,
+) -> Arc<dyn Fn(S) -> bool + Send + Sync> {
+    let seen = std::sync::atomic::AtomicUsize::new(0);
+    Arc::new(move |s| s == step && seen.fetch_add(1, std::sync::atomic::Ordering::AcqRel) + 1 >= n)
+}
+
 /// The suites' seeded PRNG (64-bit LCG, high bits): deterministic by
 /// default, reseedable per suite through an env var so CI failures
 /// reproduce locally.
